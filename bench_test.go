@@ -1,0 +1,206 @@
+package exrquy
+
+// Benchmarks reproducing the paper's evaluation (§5), one group per table
+// or figure. The full parameter sweeps (several document sizes, cutoff
+// handling, printed rows in the paper's format) live in cmd/xmarkbench;
+// these testing.B benchmarks fix one document size so that
+// `go test -bench=. -benchmem` gives a complete, quick pass over every
+// experiment.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/xmarkq"
+	"repro/internal/xquery"
+)
+
+// benchFactor keeps the default `go test -bench` run in tens of seconds;
+// cmd/xmarkbench sweeps real sizes.
+const benchFactor = 0.01
+
+var (
+	envOnce sync.Once
+	benvv   *bench.Env
+)
+
+func benv() *bench.Env {
+	envOnce.Do(func() { benvv = bench.NewEnv(benchFactor) })
+	return benvv
+}
+
+func baselineCfg() core.Config { return core.BaselineConfig() }
+
+func unorderedCfg() core.Config {
+	u := xquery.Unordered
+	cfg := core.DefaultConfig()
+	cfg.ForceOrdering = &u
+	return cfg
+}
+
+func runPrepared(b *testing.B, query string, cfg core.Config) {
+	b.Helper()
+	env := benv()
+	p, err := core.Prepare(query, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Allocation-heavy neighbours would otherwise skew each other through
+	// garbage-collection carry-over.
+	runtime.GC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(env.Store, env.Docs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 12: ordered vs unordered for every XMark query ---
+
+// BenchmarkFigure12 measures each XMark query under the order-ignorant
+// baseline (ordered) and the order-indifference configuration (unordered);
+// the ratio of the two times per query is the speedup series of Figure 12.
+func BenchmarkFigure12(b *testing.B) {
+	for _, q := range xmarkq.All() {
+		b.Run(fmt.Sprintf("%s/ordered", q.Name), func(b *testing.B) {
+			runPrepared(b, q.Text, baselineCfg())
+		})
+		b.Run(fmt.Sprintf("%s/unordered", q.Name), func(b *testing.B) {
+			runPrepared(b, q.Text, unorderedCfg())
+		})
+	}
+}
+
+// --- Table 2: Q11 profile and the fn:count saving ---
+
+// BenchmarkTable2Q11 measures Q11 under the baseline compiler and with
+// order indifference enabled in ordered mode — the configuration of the
+// paper's Table 2 discussion, where Rule FN:COUNT removes the iter→seq
+// reordering of the join result without any unordered declaration.
+func BenchmarkTable2Q11(b *testing.B) {
+	q11 := xmarkq.Get(11).Text
+	b.Run("baseline", func(b *testing.B) { runPrepared(b, q11, baselineCfg()) })
+	b.Run("indifference-ordered", func(b *testing.B) {
+		runPrepared(b, q11, core.DefaultConfig())
+	})
+	b.Run("indifference-unordered", func(b *testing.B) {
+		runPrepared(b, q11, unorderedCfg())
+	})
+}
+
+// --- Figure 10 / Section 1: '|' versus ',' ---
+
+// BenchmarkFigure10UnionVsConcat evaluates the paper's opening example:
+// $t//(c|d) with strict document order versus unordered { $t//(c|d) },
+// whose plan has decayed to a pure concatenation of the two steps.
+func BenchmarkFigure10UnionVsConcat(b *testing.B) {
+	query := `doc("auction.xml")//(bidder|seller)`
+	b.Run("ordered-union", func(b *testing.B) {
+		runPrepared(b, query, baselineCfg())
+	})
+	b.Run("unordered-concat", func(b *testing.B) {
+		runPrepared(b, "unordered { "+query+" }", core.DefaultConfig())
+	})
+}
+
+// --- Figure 6/9/§7: the Q6 plan at its three optimization stages ---
+
+// BenchmarkFigure6Q6 runs Q6 with the plan of Figure 6(a) (5 ρ), with the
+// Figure 9 plan (analysis, 1 ρ), and with the §7 plan (relaxation, 0 ρ).
+func BenchmarkFigure6Q6(b *testing.B) {
+	q6 := xmarkq.Get(6).Text
+	u := xquery.Unordered
+	b.Run("ordered-5-sorts", func(b *testing.B) { runPrepared(b, q6, baselineCfg()) })
+	b.Run("unordered-unoptimized", func(b *testing.B) {
+		runPrepared(b, q6, core.Config{Indifference: true, ForceOrdering: &u})
+	})
+	b.Run("analysis-1-sort", func(b *testing.B) {
+		cfg := core.Config{Indifference: true, ForceOrdering: &u}
+		cfg.Opt.ColumnAnalysis = true
+		runPrepared(b, q6, cfg)
+	})
+	b.Run("relaxation-0-sorts", func(b *testing.B) {
+		cfg := core.Config{Indifference: true, ForceOrdering: &u}
+		cfg.Opt.ColumnAnalysis = true
+		cfg.Opt.RownumRelax = true
+		runPrepared(b, q6, cfg)
+	})
+	b.Run("all-rewrites", func(b *testing.B) { runPrepared(b, q6, unorderedCfg()) })
+}
+
+// --- Ablation: contribution of each optimizer rewrite ---
+
+// BenchmarkAblation times representative queries with individual rewrites
+// toggled (the DESIGN.md ablation index).
+func BenchmarkAblation(b *testing.B) {
+	u := xquery.Unordered
+	configs := []struct {
+		name string
+		cfg  func() core.Config
+	}{
+		{"none", func() core.Config { return core.Config{Indifference: true, ForceOrdering: &u} }},
+		{"analysis", func() core.Config {
+			c := core.Config{Indifference: true, ForceOrdering: &u}
+			c.Opt.ColumnAnalysis = true
+			return c
+		}},
+		{"analysis+merge", func() core.Config {
+			c := core.Config{Indifference: true, ForceOrdering: &u}
+			c.Opt.ColumnAnalysis = true
+			c.Opt.StepMerge = true
+			return c
+		}},
+		{"all", unorderedCfg},
+	}
+	for _, id := range []int{6, 11, 19} {
+		q := xmarkq.Get(id)
+		for _, cc := range configs {
+			b.Run(fmt.Sprintf("%s/%s", q.Name, cc.name), func(b *testing.B) {
+				runPrepared(b, q.Text, cc.cfg())
+			})
+		}
+	}
+}
+
+// --- Compilation cost ---
+
+// BenchmarkCompile measures parse+normalize+compile+optimize time for the
+// largest XMark plans (compilation is excluded from all other benchmarks).
+func BenchmarkCompile(b *testing.B) {
+	for _, id := range []int{6, 10, 11} {
+		q := xmarkq.Get(id)
+		b.Run(q.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Prepare(q.Text, unorderedCfg()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Substrate microbenchmarks ---
+
+// BenchmarkStaircaseJoin isolates the step operator: a descendant step
+// from the document root (the whole-document scan the staircase join
+// performs once per iteration group).
+func BenchmarkStaircaseJoin(b *testing.B) {
+	runPrepared(b, `count(doc("auction.xml")//keyword)`, unorderedCfg())
+}
+
+// BenchmarkRowNumVsRowID isolates the ρ/# cost asymmetry the whole paper
+// rests on: establishing document order after a large step (ρ = sort)
+// versus stamping arbitrary order (#).
+func BenchmarkRowNumVsRowID(b *testing.B) {
+	// The ordered plan sorts the full step result per iteration; the
+	// unordered plan stamps it. fn:data keeps the result sequence (and
+	// hence pos) alive so the ρ cannot simply be pruned.
+	query := `for $k in doc("auction.xml")//keyword/text() return $k`
+	b.Run("rownum", func(b *testing.B) { runPrepared(b, query, baselineCfg()) })
+	b.Run("rowid", func(b *testing.B) { runPrepared(b, query, unorderedCfg()) })
+}

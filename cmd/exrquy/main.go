@@ -1,0 +1,128 @@
+// Command exrquy runs XQuery expressions through the eXrQuy pipeline.
+//
+// Usage:
+//
+//	exrquy [flags] -q 'for $x in ...' doc1.xml doc2.xml
+//	exrquy [flags] -f query.xq auction.xml
+//
+// Documents are registered under their base file names for fn:doc().
+// Use -xmark to generate and register a synthetic XMark instance as
+// auction.xml instead of (or in addition to) loading files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	exrquy "repro"
+)
+
+func main() {
+	var (
+		queryText  = flag.String("q", "", "query text")
+		queryFile  = flag.String("f", "", "file containing the query")
+		xmarkF     = flag.Float64("xmark", 0, "generate an XMark instance at this factor and register it as auction.xml")
+		mode       = flag.String("ordering", "prolog", "ordering mode: prolog, ordered, unordered")
+		baseline   = flag.Bool("baseline", false, "disable order indifference (the order-ignorant baseline)")
+		explain    = flag.Bool("explain", false, "print the optimized plan instead of executing")
+		profile    = flag.Bool("profile", false, "print the per-origin execution profile")
+		stats      = flag.Bool("stats", false, "print plan statistics (operators, sorts, stamps)")
+		reference  = flag.Bool("reference", false, "evaluate with the reference interpreter instead of the compiled pipeline")
+		timeoutSec = flag.Float64("timeout", 0, "execution cutoff in seconds (0 = none)")
+	)
+	flag.Parse()
+
+	if (*queryText == "") == (*queryFile == "") {
+		fatal("exactly one of -q or -f is required")
+	}
+	query := *queryText
+	if *queryFile != "" {
+		data, err := os.ReadFile(*queryFile)
+		if err != nil {
+			fatal("read query: %v", err)
+		}
+		query = string(data)
+	}
+
+	opts := []exrquy.Option{exrquy.WithOrderIndifference(!*baseline)}
+	switch *mode {
+	case "prolog":
+	case "ordered":
+		opts = append(opts, exrquy.WithOrdering(exrquy.Ordered))
+	case "unordered":
+		opts = append(opts, exrquy.WithOrdering(exrquy.Unordered))
+	default:
+		fatal("unknown ordering mode %q", *mode)
+	}
+	if *timeoutSec > 0 {
+		opts = append(opts, exrquy.WithTimeout(time.Duration(*timeoutSec*float64(time.Second))))
+	}
+	eng := exrquy.New(opts...)
+
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal("open %s: %v", path, err)
+		}
+		err = eng.LoadDocument(filepath.Base(path), f)
+		f.Close()
+		if err != nil {
+			fatal("load %s: %v", path, err)
+		}
+	}
+	if *xmarkF > 0 {
+		eng.LoadXMark("auction.xml", *xmarkF)
+	}
+
+	if *reference {
+		res, err := eng.Reference(query)
+		if err != nil {
+			fatal("%v", err)
+		}
+		printResult(res)
+		return
+	}
+
+	q, err := eng.Compile(query)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *stats {
+		before, after := q.PlanStats()
+		fmt.Fprintf(os.Stderr, "plan: %d ops, %d sorts (ρ), %d stamps (#)  ->  %d ops, %d sorts, %d stamps\n",
+			before.Operators, before.Sorts, before.Stamps,
+			after.Operators, after.Sorts, after.Stamps)
+	}
+	if *explain {
+		fmt.Print(q.Explain())
+		return
+	}
+	res, err := q.Execute()
+	if err != nil {
+		fatal("%v", err)
+	}
+	printResult(res)
+	if *profile {
+		fmt.Fprintf(os.Stderr, "\nexecution: %v\n", res.Elapsed())
+		fmt.Fprintf(os.Stderr, "%-34s %12s %8s %12s\n", "origin", "time", "ops", "rows")
+		for _, e := range res.Profile() {
+			fmt.Fprintf(os.Stderr, "%-34s %12v %8d %12d\n", e.Origin, e.Duration.Round(time.Microsecond), e.Ops, e.Rows)
+		}
+	}
+}
+
+func printResult(res *exrquy.Result) {
+	xml, err := res.XML()
+	if err != nil {
+		fatal("serialize: %v", err)
+	}
+	fmt.Println(xml)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "exrquy: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command planview renders eXrQuy plan DAGs, reproducing the paper's plan
+// figures:
+//
+//	planview -xmark Q6                       # Figure 6(a): ordered plan
+//	planview -xmark Q6 -ordering unordered   # Figure 6(b)
+//	planview -xmark Q6 -ordering unordered -optimize   # Figure 9 / §7
+//	planview -q 'unordered { doc("t.xml")/a//(c|d) }' -optimize  # Figure 10
+//	planview ... -dot | dot -Tsvg > plan.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/opt"
+	"repro/internal/xmarkq"
+	"repro/internal/xquery"
+)
+
+func main() {
+	var (
+		queryText = flag.String("q", "", "query text")
+		xmarkQ    = flag.String("xmark", "", "an XMark query name (Q1..Q20)")
+		mode      = flag.String("ordering", "prolog", "ordering mode: prolog, ordered, unordered")
+		baseline  = flag.Bool("baseline", false, "disable the order-indifference rules")
+		optimize  = flag.Bool("optimize", false, "run the optimizer (column analysis & friends)")
+		dot       = flag.Bool("dot", false, "emit Graphviz dot instead of text")
+	)
+	flag.Parse()
+
+	query := *queryText
+	if *xmarkQ != "" {
+		n, err := strconv.Atoi(strings.TrimPrefix(strings.ToUpper(*xmarkQ), "Q"))
+		if err != nil || n < 1 || n > 20 {
+			fatal("bad XMark query %q", *xmarkQ)
+		}
+		query = xmarkq.Get(n).Text
+	}
+	if query == "" {
+		fatal("one of -q or -xmark is required")
+	}
+
+	cfg := core.Config{Indifference: !*baseline}
+	if *optimize {
+		cfg.Opt = opt.AllOptions()
+	}
+	switch *mode {
+	case "prolog":
+	case "ordered":
+		m := xquery.Ordered
+		cfg.ForceOrdering = &m
+	case "unordered":
+		m := xquery.Unordered
+		cfg.ForceOrdering = &m
+	default:
+		fatal("unknown ordering mode %q", *mode)
+	}
+
+	p, err := core.Prepare(query, cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	s := opt.PlanStats(p.Plan.Root)
+	fmt.Fprintf(os.Stderr, "plan: %d operators, %d rownum (ρ, sorts), %d rowid (#)\n",
+		s.Operators, s.RowNums, s.RowIDs)
+	if *dot {
+		fmt.Print(algebra.Dot(p.Plan.Root))
+	} else {
+		fmt.Print(p.Explain())
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "planview: "+format+"\n", args...)
+	os.Exit(1)
+}

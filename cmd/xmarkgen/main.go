@@ -1,0 +1,49 @@
+// Command xmarkgen generates synthetic XMark auction documents (the
+// workload of the paper's evaluation) to stdout or a file.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/xmark"
+)
+
+func main() {
+	var (
+		factor = flag.Float64("factor", 0.01, "XMark scale factor (1.0 ≈ 25,500 persons)")
+		seed   = flag.Uint64("seed", 0, "random seed (0 = fixed default)")
+		out    = flag.String("o", "", "output file (default stdout)")
+		counts = flag.Bool("counts", false, "print entity counts instead of generating")
+	)
+	flag.Parse()
+
+	if *counts {
+		c := xmark.CountsFor(*factor)
+		fmt.Printf("factor %g: %d persons, %d open auctions, %d closed auctions, %d items, %d categories (~%.1f MB)\n",
+			*factor, c.Persons, c.OpenAuctions, c.ClosedAuctions, c.TotalItems(), c.Categories,
+			*factor*float64(xmark.ApproxBytesPerFactor)/(1<<20))
+		return
+	}
+
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmarkgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriterSize(f, 1<<20)
+	}
+	if err := xmark.WriteXML(w, xmark.Config{Factor: *factor, Seed: *seed}); err != nil {
+		fmt.Fprintf(os.Stderr, "xmarkgen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "xmarkgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,92 @@
+// Order indifference, step by step: this example walks XMark Q6 through
+// the paper's optimization stages and prints the plan after each one,
+// reproducing Figures 6(a), 6(b), 9 and the §7 wrap-up:
+//
+//	ordered mode            5 ρ (every order interaction realized)
+//	ordering mode unordered 1 ρ (LOC#/BIND# traded ρ for #)
+//	+ column analysis       1 ρ, most # pruned   (Figure 9)
+//	+ rownum relaxation     0 ρ — no residual traces of order (§7)
+//	+ step merging          descendant-or-self + child fuse
+//
+// All variants are executed and their results compared (as multisets —
+// under unordered semantics any permutation is admissible).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	exrquy "repro"
+)
+
+const q6 = `for $b in doc("auction.xml")//site/regions
+return count($b//item)`
+
+type stage struct {
+	name string
+	opts []exrquy.Option
+}
+
+func main() {
+	stages := []stage{
+		{"ordered (baseline, Figure 6a)", []exrquy.Option{
+			exrquy.WithOrderIndifference(false),
+		}},
+		{"unordered, no optimizer (Figure 6b)", []exrquy.Option{
+			exrquy.WithOrdering(exrquy.Unordered),
+			exrquy.WithOptimizations(exrquy.Optimizations{}),
+		}},
+		{"+ column dependency analysis (Figure 9)", []exrquy.Option{
+			exrquy.WithOrdering(exrquy.Unordered),
+			exrquy.WithOptimizations(exrquy.Optimizations{ColumnAnalysis: true}),
+		}},
+		{"+ rownum relaxation (§7)", []exrquy.Option{
+			exrquy.WithOrdering(exrquy.Unordered),
+			exrquy.WithOptimizations(exrquy.Optimizations{ColumnAnalysis: true, RownumRelax: true}),
+		}},
+		{"+ step merging (full optimizer)", []exrquy.Option{
+			exrquy.WithOrdering(exrquy.Unordered),
+		}},
+	}
+
+	var bags []string
+	for _, st := range stages {
+		eng := exrquy.New(st.opts...)
+		eng.LoadXMark("auction.xml", 0.005)
+		q, err := eng.Compile(q6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		before, after := q.PlanStats()
+		res, err := q.Execute()
+		if err != nil {
+			log.Fatal(err)
+		}
+		items, _ := res.Items()
+		sort.Strings(items)
+		bags = append(bags, strings.Join(items, " "))
+
+		fmt.Printf("== %s ==\n", st.name)
+		fmt.Printf("   plan: %d -> %d operators, %d -> %d sorts (ρ), %d -> %d stamps (#)\n",
+			before.Operators, after.Operators, before.Sorts, after.Sorts,
+			before.Stamps, after.Stamps)
+		fmt.Printf("   time: %v\n", res.Elapsed())
+		fmt.Printf("   result (as multiset): %s\n\n", bags[len(bags)-1])
+	}
+
+	for i := 1; i < len(bags); i++ {
+		if bags[i] != bags[0] {
+			log.Fatalf("stage %d changed the result multiset!", i)
+		}
+	}
+	fmt.Println("all stages produce the same multiset — order indifference preserved semantics")
+
+	// For the curious: the fully optimized plan.
+	eng := exrquy.New(exrquy.WithOrdering(exrquy.Unordered))
+	eng.LoadXMark("auction.xml", 0.005)
+	q, _ := eng.Compile(q6)
+	fmt.Println("\nfinal plan (cf. Figure 9 + §7):")
+	fmt.Print(q.Explain())
+}

@@ -1,0 +1,240 @@
+package exrquy
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestEngine(t *testing.T, opts ...Option) *Engine {
+	t.Helper()
+	eng := New(opts...)
+	if err := eng.LoadDocumentString("t.xml", `<a><b><c/><d/></b><c/></a>`); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestQuickstart(t *testing.T) {
+	eng := newTestEngine(t)
+	res, err := eng.Query(`doc("t.xml")/a//(c|d)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xml, err := res.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xml != "<c/><d/><c/>" {
+		t.Errorf("result: %q", xml)
+	}
+	if res.Len() != 3 {
+		t.Errorf("len: %d", res.Len())
+	}
+}
+
+func TestUnorderedPermutation(t *testing.T) {
+	eng := newTestEngine(t)
+	res, err := eng.Query(`unordered { doc("t.xml")/a//(c|d) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := res.Items()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(items)
+	if strings.Join(items, "") != "<c/><c/><d/>" {
+		t.Errorf("multiset: %v", items)
+	}
+}
+
+func TestPlanStatsReflectConfiguration(t *testing.T) {
+	q, err := newTestEngine(t).Compile(`doc("t.xml")/a//(c|d)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, after := q.PlanStats()
+	if after.Operators == 0 {
+		t.Error("empty stats")
+	}
+	// Baseline engine: no # anywhere, no optimization.
+	qb, err := newTestEngine(t, WithOrderIndifference(false)).Compile(`unordered { doc("t.xml")/a//(c|d) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, afterB := qb.PlanStats()
+	if afterB.Stamps != 0 || before != afterB {
+		t.Errorf("baseline stats: %+v -> %+v", before, afterB)
+	}
+	// Unordered engine: the union plan loses all sorts.
+	qu, err := newTestEngine(t, WithOrdering(Unordered)).Compile(`doc("t.xml")/a//(c|d)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, afterU := qu.PlanStats()
+	if afterU.Sorts != 0 {
+		t.Errorf("unordered union plan keeps %d sorts", afterU.Sorts)
+	}
+}
+
+func TestReferenceAgreement(t *testing.T) {
+	eng := newTestEngine(t)
+	for _, q := range []string{
+		`count(doc("t.xml")/a//(c|d))`,
+		`for $x in doc("t.xml")/a/b/* return name($x)`,
+		`(let $b := doc("t.xml")/a//b, $d := doc("t.xml")/a//d,
+		  $e := <e>{ $d, $b }</e> return ($b << $d, $e/b << $e/d))`,
+	} {
+		got, err := eng.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		want, err := eng.Reference(q)
+		if err != nil {
+			t.Fatalf("%s (ref): %v", q, err)
+		}
+		g, _ := got.XML()
+		w, _ := want.XML()
+		if g != w {
+			t.Errorf("%s: pipeline %q vs reference %q", q, g, w)
+		}
+	}
+}
+
+func TestExplainShowsOperators(t *testing.T) {
+	q, err := newTestEngine(t).Compile(`count(doc("t.xml")//c)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := q.Explain()
+	if !strings.Contains(plan, "aggr") || !strings.Contains(plan, "step") {
+		t.Errorf("explain output:\n%s", plan)
+	}
+}
+
+func TestProfileAvailable(t *testing.T) {
+	eng := newTestEngine(t)
+	res, err := eng.Query(`count(doc("t.xml")//c)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Profile()) == 0 || res.Elapsed() <= 0 {
+		t.Error("profile/elapsed missing")
+	}
+	// Reference results carry no profile.
+	ref, _ := eng.Reference(`1`)
+	if len(ref.Profile()) != 0 {
+		t.Error("reference result should have no profile")
+	}
+}
+
+func TestLoadXMarkAndDocumentStats(t *testing.T) {
+	eng := New()
+	eng.LoadXMark("auction.xml", 0.001)
+	st, err := eng.DocumentStats("auction.xml")
+	if err != nil || st.Nodes == 0 {
+		t.Fatalf("stats: %+v, %v", st, err)
+	}
+	if _, err := eng.DocumentStats("nope.xml"); err == nil {
+		t.Error("expected unknown-document error")
+	}
+	res, err := eng.Query(`count(doc("auction.xml")/site/people/person)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xml, _ := res.XML(); xml == "0" {
+		t.Error("no persons generated")
+	}
+	if len(eng.Documents()) != 1 {
+		t.Error("document registry")
+	}
+}
+
+func TestTimeoutOption(t *testing.T) {
+	eng := New(WithTimeout(time.Nanosecond))
+	eng.LoadXMark("auction.xml", 0.005)
+	_, err := eng.Query(`for $p in doc("auction.xml")/site/people/person
+		return count(doc("auction.xml")//keyword)`)
+	if err == nil || !strings.Contains(err.Error(), "cutoff") {
+		t.Errorf("expected cutoff, got %v", err)
+	}
+}
+
+func TestErrorsSurface(t *testing.T) {
+	eng := newTestEngine(t)
+	if _, err := eng.Query(`$nope`); err == nil {
+		t.Error("compile error not surfaced")
+	}
+	if _, err := eng.Query(`doc("missing.xml")`); err == nil {
+		t.Error("runtime error not surfaced")
+	}
+	if _, err := eng.Compile(`for $x in`); err == nil {
+		t.Error("parse error not surfaced")
+	}
+	if err := eng.LoadDocumentString("bad.xml", `<a><b></a>`); err == nil {
+		t.Error("document parse error not surfaced")
+	}
+}
+
+func TestOptimizationToggles(t *testing.T) {
+	eng := newTestEngine(t,
+		WithOrdering(Unordered),
+		WithOptimizations(Optimizations{ColumnAnalysis: true}))
+	q, err := eng.Compile(`for $b in doc("t.xml")/a//b return count($b//c)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, after := q.PlanStats()
+	if after.Operators >= before.Operators {
+		t.Errorf("analysis did not shrink plan: %d -> %d", before.Operators, after.Operators)
+	}
+	res, err := q.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xml, _ := res.XML(); xml != "1" {
+		t.Errorf("result: %q", xml)
+	}
+}
+
+func TestExternalVariables(t *testing.T) {
+	eng := newTestEngine(t)
+	res, err := eng.QueryWith(`declare variable $n external;
+		declare variable $tag external;
+		for $x in 1 to $n return concat($tag, string($x))`,
+		map[string]any{"n": 3, "tag": "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xml, _ := res.XML(); xml != "v1 v2 v3" {
+		t.Errorf("result: %q", xml)
+	}
+	// Sequences bind too.
+	res, err = eng.QueryWith(`declare variable $xs external; sum($xs)`,
+		map[string]any{"xs": []any{1, 2, 3.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xml, _ := res.XML(); xml != "6.5" {
+		t.Errorf("sum: %q", xml)
+	}
+	// Missing binding is a compile error.
+	if _, err := eng.Query(`declare variable $missing external; $missing`); err == nil {
+		t.Error("unbound external variable must fail")
+	}
+	// Initialized prolog variables need no binding.
+	res, err = eng.Query(`declare variable $k := 6 * 7; $k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xml, _ := res.XML(); xml != "42" {
+		t.Errorf("initialized variable: %q", xml)
+	}
+	// Unsupported Go types are rejected.
+	if _, err := eng.QueryWith(`declare variable $x external; $x`,
+		map[string]any{"x": struct{}{}}); err == nil {
+		t.Error("unsupported binding type must fail")
+	}
+}

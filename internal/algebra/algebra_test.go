@@ -1,0 +1,160 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xdm"
+	"repro/internal/xquery"
+)
+
+func TestHashConsingSharesStructure(t *testing.T) {
+	b := NewBuilder()
+	l1 := b.LitCol("iter", xdm.NewInt(1))
+	l2 := b.LitCol("iter", xdm.NewInt(1))
+	if l1 != l2 {
+		t.Error("identical literals must be the same node")
+	}
+	d1 := b.Doc("a.xml")
+	s1 := b.Step(b.Cross(l1, d1), xquery.AxisChild, xquery.NodeTest{Kind: xquery.TestName, Name: "x"})
+	s2 := b.Step(b.Cross(l2, b.Doc("a.xml")), xquery.AxisChild, xquery.NodeTest{Kind: xquery.TestName, Name: "x"})
+	if s1 != s2 {
+		t.Error("identical step chains must share")
+	}
+	s3 := b.Step(b.Cross(l1, d1), xquery.AxisChild, xquery.NodeTest{Kind: xquery.TestName, Name: "y"})
+	if s1 == s3 {
+		t.Error("different node tests must not share")
+	}
+}
+
+func TestConstructorsNeverShare(t *testing.T) {
+	b := NewBuilder()
+	loop := b.LitCol("iter", xdm.NewInt(1))
+	content := b.EmptyLit("iter", "pos", "item")
+	e1 := b.Elem("a", loop, content)
+	e2 := b.Elem("a", loop, content)
+	if e1 == e2 {
+		t.Error("element constructors create fresh node identity and must not be shared")
+	}
+	a1 := b.Attr("k", b.Lit([]string{"iter", "v"}), "v")
+	a2 := b.Attr("k", b.Lit([]string{"iter", "v"}), "v")
+	if a1 == a2 {
+		t.Error("attribute constructors must not be shared")
+	}
+}
+
+func TestRebuildPreservesIdentityAndSerial(t *testing.T) {
+	b := NewBuilder()
+	loop := b.LitCol("iter", xdm.NewInt(1))
+	content := b.EmptyLit("iter", "pos", "item")
+	e := b.Elem("a", loop, content)
+	same := b.Rebuild(e, []*Node{loop, content})
+	if same != e {
+		t.Error("rebuild with identical inputs must return the same node")
+	}
+	content2 := b.EmptyLit("item", "pos", "iter") // different column order
+	r := b.Rebuild(e, []*Node{loop, content2})
+	if r == e || r.Ser != e.Ser || r.Name != "a" {
+		t.Errorf("rebuild must keep parameters (ser %d vs %d)", r.Ser, e.Ser)
+	}
+}
+
+func TestSchemaInference(t *testing.T) {
+	b := NewBuilder()
+	lit := b.Lit([]string{"iter", "pos", "item"})
+	if got := b.Keep(lit, "iter", "item").Schema(); len(got) != 2 {
+		t.Errorf("keep schema: %v", got)
+	}
+	rn := b.RowNum(lit, "r", []SortSpec{{Col: "pos"}}, "iter")
+	if !rn.HasCol("r") || !rn.HasCol("item") {
+		t.Errorf("rownum schema: %v", rn.Schema())
+	}
+	j := b.Join(b.Lit([]string{"a"}), b.Lit([]string{"b"}), "a", "b")
+	if len(j.Schema()) != 2 {
+		t.Errorf("join schema: %v", j.Schema())
+	}
+}
+
+func TestSchemaViolationsPanic(t *testing.T) {
+	assertPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	b := NewBuilder()
+	lit := b.Lit([]string{"iter", "item"})
+	assertPanic("project unknown col", func() { b.Keep(lit, "nope") })
+	assertPanic("join duplicate cols", func() { b.Join(lit, lit, "iter", "iter") })
+	assertPanic("union mismatched schemas", func() {
+		b.Union(lit, b.Lit([]string{"iter", "other"}))
+	})
+	assertPanic("rownum missing sort col", func() {
+		b.RowNum(lit, "r", []SortSpec{{Col: "ghost"}}, "")
+	})
+	assertPanic("step without iter", func() {
+		b.Step(b.Lit([]string{"item"}), xquery.AxisChild, xquery.NodeTest{Kind: xquery.TestWild})
+	})
+	assertPanic("strjoin without pos", func() {
+		b.Aggr(lit, AggrStrJoin, "r", "item", "iter")
+	})
+}
+
+func TestIdentityProjectionEliminated(t *testing.T) {
+	b := NewBuilder()
+	lit := b.Lit([]string{"iter", "pos", "item"})
+	if b.Keep(lit, "iter", "pos", "item") != lit {
+		t.Error("identity projection should vanish")
+	}
+	// Chained projections collapse.
+	p1 := b.Project(lit, ColPair{New: "a", Old: "iter"}, ColPair{New: "b", Old: "pos"})
+	p2 := b.Project(p1, ColPair{New: "c", Old: "a"})
+	if p2.Ins[0] != lit {
+		t.Error("projection chain should collapse onto the base input")
+	}
+}
+
+func TestPlanStatsAndPrint(t *testing.T) {
+	b := NewBuilder()
+	loop := b.LitCol("iter", xdm.NewInt(1))
+	doc := b.Doc("a.xml")
+	ctx := b.Cross(loop, doc)
+	step := b.Step(ctx, xquery.AxisDescendant, xquery.NodeTest{Kind: xquery.TestWild})
+	rn := b.RowNum(step, "pos", []SortSpec{{Col: "item"}}, "iter")
+	rid := b.RowID(step, "pos2")
+	root := b.Union(b.Keep(rn, "iter", "pos", "item"),
+		b.Project(rid, ColPair{New: "iter", Old: "iter"}, ColPair{New: "pos", Old: "pos2"}, ColPair{New: "item", Old: "item"}))
+	s := PlanStats(root)
+	if s.RowNums != 1 || s.RowIDs != 1 || s.Steps != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+	out := Print(root)
+	if !strings.Contains(out, "rownum pos:<item>/iter") || !strings.Contains(out, "step descendant::*") {
+		t.Errorf("print output:\n%s", out)
+	}
+	// Shared nodes print once, then as ^id references.
+	if !strings.Contains(out, "^") {
+		t.Error("shared step should print as a reference the second time")
+	}
+	dot := Dot(root)
+	if !strings.Contains(dot, "digraph plan") || !strings.Contains(dot, "salmon") {
+		t.Error("dot output should highlight rownum nodes")
+	}
+}
+
+func TestUnionDisjointSignatureDiffers(t *testing.T) {
+	b := NewBuilder()
+	l := b.Lit([]string{"iter"})
+	r := b.Lit([]string{"iter"}, []xdm.Item{xdm.NewInt(9)})
+	u1 := b.Union(l, r)
+	u2 := b.UnionDisjoint(l, r, "iter")
+	if u1 == u2 {
+		t.Error("disjointness assertion must be part of the node identity")
+	}
+	if u2.Disj != "iter" {
+		t.Errorf("Disj = %q", u2.Disj)
+	}
+}

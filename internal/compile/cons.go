@@ -1,0 +1,78 @@
+package compile
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/xdm"
+	"repro/internal/xquery"
+)
+
+// stringValue compiles the fn:string coercion of an expression: atomized
+// singleton cast to xs:string, with "" for the empty sequence. Result
+// shape: iter|item, complete over the loop.
+func (c *compiler) stringValue(e xquery.Expr, sc *frame) *algebra.Node {
+	a := c.atomized(c.guardCard(c.compile(e, sc), "string coercion"))
+	m := c.b.Map1(a, algebra.UnString, "sv", "item")
+	val := c.b.Project(m,
+		algebra.ColPair{New: "iter", Old: "iter"},
+		algebra.ColPair{New: "item", Old: "sv"})
+	return c.fillDefault(val, sc.loop, xdm.NewString(""))
+}
+
+// compileElemCons compiles a direct element constructor. Element
+// construction is where sequence order establishes document order
+// (interaction 2 of the paper) — the content's pos column is genuinely
+// consumed here, so column dependency analysis keeps the content order
+// bookkeeping alive in every ordering mode (Figure 3 keeps the
+// "elem cons." arrow).
+func (c *compiler) compileElemCons(e *xquery.ElemCons, sc *frame) *algebra.Node {
+	var parts []*algebra.Node
+	for _, a := range e.Attrs {
+		val := c.avtValue(a.Parts, sc)
+		attr := algebra.WithOrigin(c.b.Attr(a.Name, val, "item"), "element construction")
+		parts = append(parts, c.withPos1(attr))
+	}
+	for _, ce := range e.Content {
+		parts = append(parts, c.compile(ce, sc))
+	}
+	content := c.seqConcat(parts)
+	if len(parts) == 0 {
+		content = c.b.EmptyLit("iter", "pos", "item")
+	}
+	elem := algebra.WithOrigin(
+		c.b.Elem(e.Name, sc.loop, c.b.Keep(content, "iter", "pos", "item")),
+		"element construction")
+	return c.withPos1(elem)
+}
+
+// avtValue compiles an attribute value template into an iter|item string
+// table, complete over the loop. Expression parts are atomized and joined
+// with single spaces in sequence order (AggrStrJoin is deliberately
+// order-sensitive: it consumes pos).
+func (c *compiler) avtValue(parts []xquery.AttrPart, sc *frame) *algebra.Node {
+	var acc *algebra.Node
+	for _, p := range parts {
+		var cur *algebra.Node
+		if p.Expr == nil {
+			cur = c.b.Cross(sc.loop, c.b.LitCol("item", xdm.NewString(p.Literal)))
+		} else {
+			q := c.b.Keep(c.compile(p.Expr, sc), "iter", "pos", "item")
+			sj := algebra.WithOrigin(
+				c.b.AggrJoin(q, "res", "item", "iter", " "),
+				"element construction")
+			val := c.b.Project(sj,
+				algebra.ColPair{New: "iter", Old: "iter"},
+				algebra.ColPair{New: "item", Old: "res"})
+			cur = c.fillDefault(val, sc.loop, xdm.NewString(""))
+		}
+		if acc == nil {
+			acc = cur
+		} else {
+			joined := c.combine(c.withPos1(acc), c.withPos1(cur), algebra.BConcat, 0, "element construction")
+			acc = c.b.Keep(joined, "iter", "item")
+		}
+	}
+	if acc == nil {
+		acc = c.b.Cross(sc.loop, c.b.LitCol("item", xdm.NewString("")))
+	}
+	return c.b.Keep(acc, "iter", "item")
+}

@@ -1,0 +1,261 @@
+package compile
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/xdm"
+	"repro/internal/xquery"
+)
+
+func (c *compiler) compilePath(p *xquery.Path, sc *frame) *algebra.Node {
+	var q *algebra.Node
+	if p.Start != nil {
+		q = c.compile(p.Start, sc)
+	} else {
+		fr, v := sc.lookup(".")
+		if fr == nil {
+			c.errf("relative path without context item")
+		}
+		q = c.liftTo(v, fr, sc)
+	}
+	for i := range p.Steps {
+		q = c.compileStep(q, &p.Steps[i], sc)
+	}
+	return q
+}
+
+// compileStep implements Rules LOC (ordered) and LOC# (unordered):
+//
+//	LOC : e/ax::nt ⇒ %pos:<item>/iter (π(iter,item) (⤋ax::nt qe))
+//	LOC#: e/ax::nt ⇒ #pos             (π(iter,item) (⤋ax::nt qe))
+//
+// Steps carrying a positional predicate take the Core route instead
+// (compileStepPerContext): XPath predicates select positionally *per
+// context node*, which the flat (iter, item) encoding cannot express once
+// an iteration holds several context nodes.
+func (c *compiler) compileStep(q *algebra.Node, st *xquery.Step, sc *frame) *algebra.Node {
+	for _, pred := range st.Preds {
+		if pc, ok := classifyPredicate(pred); ok && pc.positional {
+			return c.compileStepPerContext(q, st, sc)
+		}
+	}
+	res := c.stepLOC(c.b.Keep(q, "iter", "item"))(st)
+	for _, pred := range st.Preds {
+		res = c.compilePredicate(res, pred, sc)
+	}
+	return res
+}
+
+// stepLOC returns the plain LOC/LOC# compilation over a given context.
+func (c *compiler) stepLOC(ctx *algebra.Node) func(*xquery.Step) *algebra.Node {
+	return func(st *xquery.Step) *algebra.Node {
+		out := algebra.WithOrigin(c.b.Step(ctx, st.Axis, st.Test), "path step")
+		var withPos *algebra.Node
+		if c.unordered() {
+			withPos = algebra.WithOrigin(c.b.RowID(out, "pos"), "step numbering (#)")
+		} else {
+			withPos = algebra.WithOrigin(c.b.RowNum(out, "pos",
+				[]algebra.SortSpec{{Col: "item"}}, "iter"), "doc->seq order (1)")
+		}
+		return c.b.Keep(withPos, "iter", "pos", "item")
+	}
+}
+
+// compileStepPerContext is the XQuery Core reading of a predicated step:
+// for $dot in e return $dot/ax::nt[p1][p2]… — each context node becomes
+// an iteration of a sub-loop, the predicates (positional ranks included)
+// apply within that iteration, and the results are merged back into node
+// set semantics (duplicate-free, doc order or # per the ordering mode).
+func (c *compiler) compileStepPerContext(q *algebra.Node, st *xquery.Step, sc *frame) *algebra.Node {
+	base := c.b.Keep(q, "iter", "pos", "item")
+	var qn *algebra.Node
+	if c.unordered() {
+		qn = c.b.RowID(base, "inner")
+	} else {
+		qn = algebra.WithOrigin(c.b.RowNum(base, "inner",
+			[]algebra.SortSpec{{Col: "iter"}, {Col: "pos"}}, ""), "predicate iteration")
+	}
+	subloop := c.b.Project(qn, algebra.ColPair{New: "iter", Old: "inner"})
+	m := c.b.Project(qn,
+		algebra.ColPair{New: "outer", Old: "iter"},
+		algebra.ColPair{New: "inner", Old: "inner"})
+	inner := sc.child(m, subloop)
+	dot := c.withPos1(c.b.Project(qn,
+		algebra.ColPair{New: "iter", Old: "inner"},
+		algebra.ColPair{New: "item", Old: "item"}))
+	res := c.stepLOC(c.b.Keep(dot, "iter", "item"))(st)
+	for _, pred := range st.Preds {
+		res = c.compilePredicate(res, pred, inner)
+	}
+	// Back to the enclosing iterations: dedup across context nodes and
+	// re-establish the node-set order.
+	j := algebra.WithOrigin(c.b.Join(m, c.b.Keep(res, "iter", "item"), "inner", "iter"),
+		"join (result mapping)")
+	nodes := c.b.Distinct(c.b.Project(j,
+		algebra.ColPair{New: "iter", Old: "outer"},
+		algebra.ColPair{New: "item", Old: "item"}), "iter", "item")
+	var withPos *algebra.Node
+	if c.unordered() {
+		withPos = c.b.RowID(nodes, "pos")
+	} else {
+		withPos = algebra.WithOrigin(c.b.RowNum(nodes, "pos",
+			[]algebra.SortSpec{{Col: "item"}}, "iter"), "doc->seq order (1)")
+	}
+	return c.b.Keep(withPos, "iter", "pos", "item")
+}
+
+// predClass classifies a predicate expression: positional predicates are
+// decided statically (XQuery decides dynamically by the value's type; our
+// static subset covers the forms the XMark queries use — integer
+// literals, last(), and position() comparisons against integer literals
+// or last()).
+type predClass struct {
+	positional bool
+	cmp        xdm.CmpOp // how pos relates to the operand
+	lit        int64     // literal operand (if !isLast)
+	isLast     bool      // operand is last()
+}
+
+// unwrapUnordered strips fn:unordered() wrappers inserted by
+// normalization; position()/last() classification must see through them.
+func unwrapUnordered(e xquery.Expr) xquery.Expr {
+	for {
+		fc, ok := e.(*xquery.FuncCall)
+		if !ok || fc.Name != "unordered" || len(fc.Args) != 1 {
+			return e
+		}
+		e = fc.Args[0]
+	}
+}
+
+func classifyPredicate(p xquery.Expr) (predClass, bool) {
+	switch p := p.(type) {
+	case *xquery.IntLit:
+		return predClass{positional: true, cmp: xdm.CmpEq, lit: p.Val}, true
+	case *xquery.FuncCall:
+		if p.Name == "last" && len(p.Args) == 0 {
+			return predClass{positional: true, cmp: xdm.CmpEq, isLast: true}, true
+		}
+	case *xquery.GeneralCmp:
+		return classifyPositionCmp(p.L, p.R, p.Op)
+	case *xquery.ValueCmp:
+		return classifyPositionCmp(p.L, p.R, p.Op)
+	}
+	return predClass{}, false
+}
+
+func classifyPositionCmp(l, r xquery.Expr, op xdm.CmpOp) (predClass, bool) {
+	l, r = unwrapUnordered(l), unwrapUnordered(r)
+	if isPositionCall(r) {
+		l, r = r, l
+		op = op.Flip()
+	}
+	if !isPositionCall(l) {
+		return predClass{}, false
+	}
+	switch r := r.(type) {
+	case *xquery.IntLit:
+		return predClass{positional: true, cmp: op, lit: r.Val}, true
+	case *xquery.FuncCall:
+		if r.Name == "last" && len(r.Args) == 0 {
+			return predClass{positional: true, cmp: op, isLast: true}, true
+		}
+	}
+	return predClass{}, false
+}
+
+func isPositionCall(e xquery.Expr) bool {
+	fc, ok := e.(*xquery.FuncCall)
+	return ok && fc.Name == "position" && len(fc.Args) == 0
+}
+
+// compilePredicate filters q (iter|pos|item) through one predicate.
+func (c *compiler) compilePredicate(q *algebra.Node, pred xquery.Expr, sc *frame) *algebra.Node {
+	if pc, ok := classifyPredicate(pred); ok && pc.positional {
+		return c.compilePositionalPred(q, pc)
+	}
+	return c.compileBooleanPred(q, pred, sc)
+}
+
+// compilePositionalPred selects by the dense per-iteration rank of pos.
+// The renumbering % sorts by pos — a value-consuming use, so column
+// dependency analysis keeps it alive (and keeps whatever order pos
+// carries), even under ordering mode unordered where that order is an
+// arbitrary one (see the let-unfolding discussion in §2.2).
+func (c *compiler) compilePositionalPred(q *algebra.Node, pc predClass) *algebra.Node {
+	dense := algebra.WithOrigin(c.b.RowNum(c.b.Keep(q, "iter", "pos", "item"), "posd",
+		[]algebra.SortSpec{{Col: "pos"}}, "iter"), "positional predicate")
+	var cmp *algebra.Node
+	if pc.isLast {
+		cnt := c.b.Aggr(dense, algebra.AggrCount, "cnt", "", "iter")
+		cntR := c.b.Project(cnt,
+			algebra.ColPair{New: "citer", Old: "iter"},
+			algebra.ColPair{New: "cnt", Old: "cnt"})
+		j := c.b.Join(dense, cntR, "iter", "citer")
+		cmp = c.b.BinOp(j, algebra.BCmpVal, pc.cmp, "res", "posd", "cnt")
+	} else {
+		withLit := c.b.Cross(dense, c.b.LitCol("pv", xdm.NewInt(pc.lit)))
+		cmp = c.b.BinOp(withLit, algebra.BCmpVal, pc.cmp, "res", "posd", "pv")
+	}
+	return c.b.Keep(c.b.Select(cmp, "res"), "iter", "pos", "item")
+}
+
+// compileBooleanPred evaluates the predicate once per item: each row of q
+// becomes an iteration of a sub-loop in which "." is bound to the item;
+// rows whose predicate EBV is true survive.
+func (c *compiler) compileBooleanPred(q *algebra.Node, pred xquery.Expr, sc *frame) *algebra.Node {
+	base := c.b.Keep(q, "iter", "pos", "item")
+	var qn *algebra.Node
+	if c.unordered() {
+		qn = c.b.RowID(base, "inner")
+	} else {
+		qn = algebra.WithOrigin(c.b.RowNum(base, "inner",
+			[]algebra.SortSpec{{Col: "iter"}, {Col: "pos"}}, ""), "predicate iteration")
+	}
+	subloop := c.b.Project(qn, algebra.ColPair{New: "iter", Old: "inner"})
+	m := c.b.Project(qn,
+		algebra.ColPair{New: "outer", Old: "iter"},
+		algebra.ColPair{New: "inner", Old: "inner"})
+	inner := sc.child(m, subloop)
+	inner.bind(".", c.withPos1(c.b.Project(qn,
+		algebra.ColPair{New: "iter", Old: "inner"},
+		algebra.ColPair{New: "item", Old: "item"})))
+	qp := c.compile(pred, inner)
+	keep := c.b.Project(c.ebvIters(qp), algebra.ColPair{New: "inner", Old: "iter"})
+	return c.b.Keep(c.b.Semi(qn, keep, "inner"), "iter", "pos", "item")
+}
+
+// compileSetOp implements union/intersect/except over node sequences:
+// dedup by (iter, item), then establish document order via % — or an
+// arbitrary order via # under ordering mode unordered, which is the '|'
+// that column analysis later degrades to ',' (Figure 10).
+func (c *compiler) compileSetOp(e *xquery.SetOp, sc *frame) *algebra.Node {
+	l := c.b.Keep(c.compile(e.L, sc), "iter", "item")
+	r := c.b.Keep(c.compile(e.R, sc), "iter", "item")
+	var d *algebra.Node
+	switch e.Kind {
+	case xquery.SetUnion:
+		d = c.b.Distinct(c.b.Union(l, r), "iter", "item")
+	case xquery.SetIntersect:
+		d = c.b.Distinct(c.b.Semi(l, r, "iter", "item"), "iter", "item")
+	default:
+		d = c.b.Distinct(c.b.Diff(l, r, "iter", "item"), "iter", "item")
+	}
+	algebra.WithOrigin(d, "node set operation")
+	var withPos *algebra.Node
+	if c.unordered() {
+		withPos = c.b.RowID(d, "pos")
+	} else {
+		withPos = algebra.WithOrigin(c.b.RowNum(d, "pos",
+			[]algebra.SortSpec{{Col: "item"}}, "iter"), "doc->seq order (1)")
+	}
+	return c.b.Keep(withPos, "iter", "pos", "item")
+}
+
+func (c *compiler) compileRange(e *xquery.RangeExpr, sc *frame) *algebra.Node {
+	l := c.atomized(c.guardCard(c.compile(e.L, sc), "range start"))
+	r := c.atomized(c.guardCard(c.compile(e.R, sc), "range end"))
+	lp := c.b.Project(l, algebra.ColPair{New: "iter", Old: "iter"}, algebra.ColPair{New: "lo", Old: "item"})
+	rp := c.b.Project(r, algebra.ColPair{New: "iter2", Old: "iter"}, algebra.ColPair{New: "hi", Old: "item"})
+	j := c.b.Join(lp, rp, "iter", "iter2")
+	return algebra.WithOrigin(c.b.Range(c.dropCols(j, "iter2"), "lo", "hi"), "range")
+}

@@ -1,0 +1,120 @@
+// Package core wires the eXrQuy pipeline together — the paper's primary
+// contribution as one composable unit:
+//
+//	parse (xquery) → normalize (norm) → compile (compile)
+//	      → optimize (opt: column dependency analysis & friends)
+//	      → execute (engine)
+//
+// The Config switches mirror the paper's experimental configurations: the
+// baseline compiler that "proceeds as if strict ordering is required
+// throughout" versus the order-indifference-aware compiler of §4, with
+// each optimizer rewrite individually controllable for ablations.
+package core
+
+import (
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/engine"
+	"repro/internal/norm"
+	"repro/internal/opt"
+	"repro/internal/xdm"
+	"repro/internal/xmltree"
+	"repro/internal/xquery"
+)
+
+// Config selects pipeline behaviour.
+type Config struct {
+	// Indifference enables the order-indifference machinery end to end:
+	// fn:unordered() insertion during normalization (Figure 4 rules),
+	// the compiler rules FN:UNORDERED/LOC#/BIND# (Figure 7), and the
+	// optimizer (column dependency analysis, §4.1). Off = the baseline.
+	Indifference bool
+	// ForceOrdering overrides the module prolog's ordering mode when
+	// non-nil (the experiments inject "declare ordering unordered" this
+	// way instead of editing query text).
+	ForceOrdering *xquery.OrderingMode
+	// Opt configures the optimizer; ignored unless Indifference is set.
+	Opt opt.Options
+	// Timeout bounds execution wall-clock time (the paper used 30 s).
+	Timeout time.Duration
+	// MaxCells bounds materialized intermediate results (0 = unlimited);
+	// exceeding it aborts with a cutoff error, like the gaps in the
+	// paper's Figure 12.
+	MaxCells int64
+	// InterestingOrders enables the engine's physical sortedness check on
+	// ρ (§6/[15], orthogonal to the paper's technique; off by default).
+	InterestingOrders bool
+	// Vars binds external prolog variables (declare variable $x external).
+	Vars map[string][]xdm.Item
+}
+
+// DefaultConfig enables everything — the paper's "order indifference
+// enabled" configuration.
+func DefaultConfig() Config {
+	return Config{Indifference: true, Opt: opt.AllOptions()}
+}
+
+// BaselineConfig is the order-ignorant configuration of §5.
+func BaselineConfig() Config { return Config{} }
+
+// Prepared is a compiled query ready for (repeated) execution.
+type Prepared struct {
+	Module *xquery.Module
+	Plan   *compile.Plan
+	// StatsBefore/StatsAfter hold plan statistics before and after
+	// optimization (equal when the optimizer is off) — the data behind
+	// the paper's Figure 6/9 and §4.1 plan-size claims.
+	StatsBefore, StatsAfter struct {
+		Operators, RowNums, RowIDs int
+	}
+	cfg Config
+}
+
+// Prepare parses, normalizes, compiles and optimizes a query.
+func Prepare(src string, cfg Config) (*Prepared, error) {
+	mod, err := xquery.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return PrepareModule(mod, cfg)
+}
+
+// PrepareModule is Prepare over an already-parsed module.
+func PrepareModule(mod *xquery.Module, cfg Config) (*Prepared, error) {
+	if cfg.ForceOrdering != nil {
+		mod = &xquery.Module{Ordering: *cfg.ForceOrdering, Functions: mod.Functions, Body: mod.Body}
+	}
+	nm, err := norm.Normalize(mod, norm.Options{InsertUnordered: cfg.Indifference})
+	if err != nil {
+		return nil, err
+	}
+	plan, err := compile.Compile(nm, compile.Options{Indifference: cfg.Indifference, Vars: cfg.Vars})
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{Module: nm, Plan: plan, cfg: cfg}
+	p.StatsBefore = planCounts(plan)
+	if cfg.Indifference {
+		plan.Root = opt.Optimize(plan.Root, plan.Builder, cfg.Opt)
+	}
+	p.StatsAfter = planCounts(plan)
+	return p, nil
+}
+
+func planCounts(plan *compile.Plan) struct{ Operators, RowNums, RowIDs int } {
+	s := opt.PlanStats(plan.Root)
+	return struct{ Operators, RowNums, RowIDs int }{s.Operators, s.RowNums, s.RowIDs}
+}
+
+// Run executes the prepared plan against a store and document registry.
+func (p *Prepared) Run(store *xmltree.Store, docs map[string]uint32) (*engine.Result, error) {
+	return engine.Run(p.Plan.Root, store, docs, engine.Options{
+		Timeout:           p.cfg.Timeout,
+		MaxCells:          p.cfg.MaxCells,
+		InterestingOrders: p.cfg.InterestingOrders,
+	})
+}
+
+// Explain renders the (optimized) plan DAG as text.
+func (p *Prepared) Explain() string { return opt.Explain(p.Plan.Root) }

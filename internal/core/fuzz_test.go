@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/xmltree"
+	"repro/internal/xquery"
+)
+
+// Grammar-directed differential fuzzing: random (but by construction
+// valid) queries over a fixed document are run through the compiled
+// pipeline in every configuration and compared against the reference
+// interpreter. This complements the hand-written corpus with the
+// combinations nobody thought to write down.
+
+const fuzzDoc = `<r>
+  <e k="1" g="a"><v>10</v><v>20</v><w>x</w></e>
+  <e k="2" g="b"><v>30</v></e>
+  <e k="3" g="a"><v>40</v><v>50</v><u><v>60</v></u></e>
+  <e k="4"><w>y</w></e>
+</r>`
+
+// qgen generates random query strings. Depth bounds recursion; vars
+// tracks in-scope node variables usable as path roots.
+type qgen struct {
+	r    *rand.Rand
+	vars []string
+	// inPred is true while generating a step predicate, where the context
+	// item "." is defined.
+	inPred bool
+}
+
+func (g *qgen) pick(opts ...string) string { return opts[g.r.Intn(len(opts))] }
+
+// nodePath produces a node-sequence expression.
+func (g *qgen) nodePath(depth int) string {
+	var root string
+	if len(g.vars) > 0 && g.r.Intn(2) == 0 {
+		root = "$" + g.vars[g.r.Intn(len(g.vars))]
+	} else {
+		root = `doc("f.xml")/r`
+	}
+	steps := []string{
+		"/e", "//v", "/e/v", "//e", "/e/u/v", "//w", "/e/@k", "//*",
+	}
+	p := root + g.pick(steps...)
+	if depth > 0 {
+		switch g.r.Intn(5) {
+		case 0:
+			p += fmt.Sprintf("[%d]", 1+g.r.Intn(3))
+		case 1:
+			p += "[last()]"
+		case 2:
+			p = "(" + p + " | " + g.nodePath(0) + ")"
+		case 3:
+			saved := g.inPred
+			g.inPred = true
+			p += "[" + g.boolExpr(depth-1) + "]"
+			g.inPred = saved
+		}
+	}
+	return p
+}
+
+// atomicExpr produces a singleton-or-empty atomic expression.
+func (g *qgen) atomicExpr(depth int) string {
+	if depth <= 0 {
+		return g.pick("1", "2", `"a"`, "7.5", "0")
+	}
+	switch g.r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("count(%s)", g.seqExpr(depth-1))
+	case 1:
+		return fmt.Sprintf("sum(%s)", g.numSeq(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s + %s)", g.atomicExpr(depth-1), g.atomicExpr(0))
+	case 3:
+		return fmt.Sprintf("string((%s)[1])", g.nodePath(0))
+	case 4:
+		return fmt.Sprintf("max(%s)", g.numSeq(depth-1))
+	default:
+		return g.pick("1", "42", `"b"`)
+	}
+}
+
+// numSeq produces a sequence of numbers (possibly node-derived).
+func (g *qgen) numSeq(depth int) string {
+	switch g.r.Intn(3) {
+	case 0:
+		var root string
+		if len(g.vars) > 0 && g.r.Intn(2) == 0 {
+			root = "$" + g.vars[g.r.Intn(len(g.vars))]
+		} else {
+			root = `doc("f.xml")/r`
+		}
+		return root + "//v"
+	case 1:
+		return fmt.Sprintf("(%s, %s)", g.atomicExpr(0), g.atomicExpr(0))
+	default:
+		return fmt.Sprintf("(1 to %d)", 1+g.r.Intn(5))
+	}
+}
+
+func (g *qgen) boolExpr(depth int) string {
+	if depth <= 0 {
+		if g.inPred {
+			return g.pick("true()", "1 = 1", ". > 1", "exists(.)")
+		}
+		return g.pick("true()", "1 = 1", "2 > 1", "false()")
+	}
+	switch g.r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("%s > %s", g.numSeq(depth-1), g.atomicExpr(0))
+	case 1:
+		return fmt.Sprintf("exists(%s)", g.nodePath(depth-1))
+	case 2:
+		return fmt.Sprintf("empty(%s)", g.nodePath(depth-1))
+	case 3:
+		return fmt.Sprintf("(%s and %s)", g.boolExpr(depth-1), g.boolExpr(0))
+	case 4:
+		return fmt.Sprintf("(%s or %s)", g.boolExpr(depth-1), g.boolExpr(0))
+	default:
+		return fmt.Sprintf("some $q in %s satisfies $q > %d", g.numSeq(depth-1), g.r.Intn(40))
+	}
+}
+
+// seqExpr produces an arbitrary item-sequence expression.
+func (g *qgen) seqExpr(depth int) string {
+	if depth <= 0 {
+		return g.pick(g.nodePath(0), "(1, 2)", `"s"`, "()")
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return g.nodePath(depth)
+	case 1:
+		v := fmt.Sprintf("x%d", len(g.vars))
+		g.vars = append(g.vars, v)
+		inner := g.seqExpr(depth - 1)
+		g.vars = g.vars[:len(g.vars)-1]
+		where := ""
+		if g.r.Intn(2) == 0 {
+			g.vars = append(g.vars, v)
+			where = " where " + g.boolExpr(depth-1)
+			g.vars = g.vars[:len(g.vars)-1]
+		}
+		return fmt.Sprintf("for $%s in %s%s return %s", v, g.nodePath(depth-1), where, inner)
+	case 2:
+		return fmt.Sprintf("(%s, %s)", g.seqExpr(depth-1), g.seqExpr(depth-1))
+	case 3:
+		return fmt.Sprintf("if (%s) then %s else %s",
+			g.boolExpr(depth-1), g.seqExpr(depth-1), g.seqExpr(0))
+	case 4:
+		return fmt.Sprintf("<t a=\"%%{ %s }\">{ %s }</t>", g.atomicExpr(depth-1), g.seqExpr(depth-1))
+	case 5:
+		return g.atomicExpr(depth)
+	case 6:
+		v := fmt.Sprintf("l%d", len(g.vars))
+		g.vars = append(g.vars, v)
+		body := g.seqExpr(depth - 1)
+		g.vars = g.vars[:len(g.vars)-1]
+		return fmt.Sprintf("let $%s := %s return %s", v, g.seqExpr(depth-1), body)
+	default:
+		return fmt.Sprintf("for $s%d in %s order by $s%d return $s%d",
+			depth, g.numSeq(depth-1), depth, depth)
+	}
+}
+
+func TestFuzzDifferential(t *testing.T) {
+	store, docs := buildStoreWith(t, map[string]string{"f.xml": fuzzDoc})
+	seeds := 300
+	if testing.Short() {
+		seeds = 60
+	}
+	for seed := 0; seed < seeds; seed++ {
+		g := &qgen{r: rand.New(rand.NewSource(int64(seed)))}
+		query := strings.ReplaceAll(g.seqExpr(3), "%{", "{")
+		if _, err := xquery.Parse(query); err != nil {
+			t.Fatalf("seed %d generated an unparsable query %q: %v", seed, query, err)
+		}
+		// Oracle. Dynamic errors (e.g. EBV of a multi-item sequence) are
+		// fine as long as the pipeline errors too.
+		want, wantBag, refErr := tryInterp(store, docs, query)
+		for name, cfg := range map[string]Config{
+			"baseline":     BaselineConfig(),
+			"indifference": DefaultConfig(),
+		} {
+			got, _, err := tryPipeline(store, docs, query, cfg)
+			if (err != nil) != (refErr != nil) {
+				// Error-versus-result divergences are conforming when they
+				// stem from evaluation-strategy freedom (XQuery 1.0 §2.3.4):
+				// the interpreter evaluates let bindings and condition
+				// branches lazily, the compiled pipeline evaluates
+				// loop-lifted (and hoisted) plans eagerly. Results, when
+				// both sides produce one, must still agree — checked below.
+				continue
+			}
+			if refErr != nil {
+				continue
+			}
+			if got != want {
+				t.Errorf("seed %d [%s] result mismatch:\n query: %s\n got:  %q\n want: %q",
+					seed, name, query, got, want)
+			}
+		}
+		if refErr == nil {
+			u := xquery.Unordered
+			cfg := DefaultConfig()
+			cfg.ForceOrdering = &u
+			if !queryOrderSensitiveUnderUnordered(query) {
+				_, gotBag, err := tryPipeline(store, docs, query, cfg)
+				if err != nil {
+					t.Errorf("seed %d [unordered] error: %v\n query: %s", seed, err, query)
+				} else if !bagsEqual(gotBag, wantBag) {
+					t.Errorf("seed %d [unordered] bag mismatch:\n query: %s\n got:  %v\n want: %v",
+						seed, query, gotBag, wantBag)
+				}
+			}
+		}
+	}
+}
+
+// queryOrderSensitiveUnderUnordered reports whether the query may
+// legitimately produce different *values* (not just a different order)
+// under ordering mode unordered: positional selection from an arbitrary
+// order, or string() of the "first" node.
+func queryOrderSensitiveUnderUnordered(q string) bool {
+	return strings.Contains(q, "[1]") || strings.Contains(q, "[2]") ||
+		strings.Contains(q, "[3]") || strings.Contains(q, "[last()]") ||
+		strings.Contains(q, ")[1]")
+}
+
+func buildStoreWith(t *testing.T, extra map[string]string) (*xmltree.Store, map[string]uint32) {
+	t.Helper()
+	s, d := buildStore(t)
+	for name, src := range extra {
+		f, err := xmltree.ParseString(src, name, xmltree.ParseOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d[name] = s.Add(f)
+	}
+	return s, d
+}
+
+// tryInterp evaluates with the oracle, returning the serialized result
+// and per-item bag, or an error (dynamic errors are expected outcomes for
+// fuzzed queries).
+func tryInterp(store *xmltree.Store, docs map[string]uint32, q string) (string, []string, error) {
+	ip := interp.New(store, docs)
+	res, err := ip.EvalString(q)
+	if err != nil {
+		return "", nil, err
+	}
+	s, err := res.SerializeXML()
+	if err != nil {
+		return "", nil, err
+	}
+	bag := make([]string, len(res.Items))
+	for i := range res.Items {
+		one, err := xmltree.SerializeItems(res.Store, res.Items[i:i+1])
+		if err != nil {
+			return "", nil, err
+		}
+		bag[i] = one
+	}
+	sort.Strings(bag)
+	return s, bag, nil
+}
+
+// tryPipeline compiles and runs, returning result, bag, or error.
+func tryPipeline(store *xmltree.Store, docs map[string]uint32, q string, cfg Config) (string, []string, error) {
+	p, err := Prepare(q, cfg)
+	if err != nil {
+		return "", nil, err
+	}
+	res, err := p.Run(store, docs)
+	if err != nil {
+		return "", nil, err
+	}
+	s, err := res.SerializeXML()
+	if err != nil {
+		return "", nil, err
+	}
+	bag := make([]string, len(res.Items))
+	for i := range res.Items {
+		one, err := xmltree.SerializeItems(res.Store, res.Items[i:i+1])
+		if err != nil {
+			return "", nil, err
+		}
+		bag[i] = one
+	}
+	sort.Strings(bag)
+	return s, bag, nil
+}

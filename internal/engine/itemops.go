@@ -1,0 +1,530 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/xdm"
+	"repro/internal/xmltree"
+)
+
+// coerceArith applies the arithmetic untypedAtomic→double coercion.
+func coerceArith(it xdm.Item) (xdm.Item, error) {
+	if it.Kind == xdm.KUntyped {
+		f, err := it.AsDouble()
+		if err != nil {
+			return xdm.Item{}, err
+		}
+		return xdm.NewDouble(f), nil
+	}
+	return it, nil
+}
+
+func (ex *exec) evalBinOp(n *algebra.Node, in *Table) (*Table, error) {
+	l, r := in.Col(n.LCol), in.Col(n.RCol)
+	var tc []xdm.Item
+	if n.TCol != "" {
+		tc = in.Col(n.TCol)
+	}
+	out := make([]xdm.Item, in.NumRows())
+	for i := range out {
+		var v xdm.Item
+		var err error
+		if tc != nil {
+			v, err = ex.applyTernFn(n, l[i], r[i], tc[i])
+		} else {
+			v, err = ex.applyBinFn(n, l[i], r[i])
+		}
+		if err != nil {
+			return nil, ex.errf(n, "%v", err)
+		}
+		out[i] = v
+	}
+	return in.withColumn(n.Res, out), nil
+}
+
+// applyTernFn evaluates ternary item functions.
+func (ex *exec) applyTernFn(n *algebra.Node, a, b, c xdm.Item) (xdm.Item, error) {
+	switch n.BFn {
+	case algebra.BSubstr3:
+		start, err := b.AsDouble()
+		if err != nil {
+			return xdm.Item{}, err
+		}
+		length, err := c.AsDouble()
+		if err != nil {
+			return xdm.Item{}, err
+		}
+		return xdm.NewString(substring(a.StringValue(), start, length, true)), nil
+	default:
+		return xdm.Item{}, ex.errf(n, "unknown ternary function")
+	}
+}
+
+func (ex *exec) applyBinFn(n *algebra.Node, a, b xdm.Item) (xdm.Item, error) {
+	switch n.BFn {
+	case algebra.BArithAdd, algebra.BArithSub, algebra.BArithMul,
+		algebra.BArithDiv, algebra.BArithIDiv, algebra.BArithMod:
+		a2, err := coerceArith(a)
+		if err != nil {
+			return xdm.Item{}, err
+		}
+		b2, err := coerceArith(b)
+		if err != nil {
+			return xdm.Item{}, err
+		}
+		op := map[algebra.BinFn]xdm.ArithOp{
+			algebra.BArithAdd: xdm.OpAdd, algebra.BArithSub: xdm.OpSub,
+			algebra.BArithMul: xdm.OpMul, algebra.BArithDiv: xdm.OpDiv,
+			algebra.BArithIDiv: xdm.OpIDiv, algebra.BArithMod: xdm.OpMod,
+		}[n.BFn]
+		return xdm.Arith(a2, b2, op)
+	case algebra.BCmpGen:
+		ok, err := xdm.CompareGeneral(a, b, n.Cmp)
+		if err != nil {
+			return xdm.Item{}, err
+		}
+		return xdm.NewBool(ok), nil
+	case algebra.BCmpGenJoin:
+		// Value-join pair enumeration: incomparable pairs do not match
+		// here; BCmpGenErr flags them so the compiler can raise the type
+		// error for iterations in which no true pair exists.
+		ok, err := xdm.CompareGeneral(a, b, n.Cmp)
+		if err != nil {
+			return xdm.False, nil
+		}
+		return xdm.NewBool(ok), nil
+	case algebra.BCmpGenErr:
+		_, err := xdm.CompareGeneral(a, b, n.Cmp)
+		return xdm.NewBool(err != nil), nil
+	case algebra.BCmpVal:
+		ok, err := xdm.CompareValue(a, b, n.Cmp)
+		if err != nil {
+			return xdm.Item{}, err
+		}
+		return xdm.NewBool(ok), nil
+	case algebra.BNodeBefore:
+		if !a.IsNode() || !b.IsNode() {
+			return xdm.Item{}, ex.errf(n, "node comparison over atomic value")
+		}
+		return xdm.NewBool(a.N.Before(b.N)), nil
+	case algebra.BNodeIs:
+		if !a.IsNode() || !b.IsNode() {
+			return xdm.Item{}, ex.errf(n, "node comparison over atomic value")
+		}
+		return xdm.NewBool(a.N == b.N), nil
+	case algebra.BAnd:
+		return xdm.NewBool(a.Bool() && b.Bool()), nil
+	case algebra.BOr:
+		return xdm.NewBool(a.Bool() || b.Bool()), nil
+	case algebra.BConcat:
+		return xdm.NewString(a.StringValue() + b.StringValue()), nil
+	case algebra.BContains:
+		return xdm.NewBool(strings.Contains(a.StringValue(), b.StringValue())), nil
+	case algebra.BStartsWith:
+		return xdm.NewBool(strings.HasPrefix(a.StringValue(), b.StringValue())), nil
+	case algebra.BEndsWith:
+		return xdm.NewBool(strings.HasSuffix(a.StringValue(), b.StringValue())), nil
+	case algebra.BSubstr2:
+		start, err := b.AsDouble()
+		if err != nil {
+			return xdm.Item{}, err
+		}
+		return xdm.NewString(substring(a.StringValue(), start, 0, false)), nil
+	default:
+		return xdm.Item{}, ex.errf(n, "unknown binary function")
+	}
+}
+
+func (ex *exec) evalMap1(n *algebra.Node, in *Table) (*Table, error) {
+	arg := in.Col(n.LCol)
+	out := make([]xdm.Item, in.NumRows())
+	for i, it := range arg {
+		v, err := ex.applyUnFn(n, it)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return in.withColumn(n.Res, out), nil
+}
+
+func (ex *exec) applyUnFn(n *algebra.Node, it xdm.Item) (xdm.Item, error) {
+	switch n.UFn {
+	case algebra.UnAtomize:
+		return ex.store.Atomize(it), nil
+	case algebra.UnString:
+		return xdm.NewString(ex.store.Atomize(it).StringValue()), nil
+	case algebra.UnNumber:
+		return xdm.NewDouble(ex.store.Atomize(it).NumberOrNaN()), nil
+	case algebra.UnStringLength:
+		return xdm.NewInt(int64(len([]rune(ex.store.Atomize(it).StringValue())))), nil
+	case algebra.UnNot:
+		if it.Kind != xdm.KBoolean {
+			return xdm.Item{}, ex.errf(n, "not over non-boolean")
+		}
+		return xdm.NewBool(it.I == 0), nil
+	case algebra.UnNeg:
+		v, err := coerceArith(it)
+		if err != nil {
+			return xdm.Item{}, err
+		}
+		return xdm.Arith(xdm.NewInt(0), v, xdm.OpSub)
+	case algebra.UnNameOf:
+		if !it.IsNode() {
+			return xdm.Item{}, ex.errf(n, "name() over atomic value")
+		}
+		return xdm.NewString(ex.store.NameOf(it.N)), nil
+	case algebra.UnRoot:
+		if !it.IsNode() {
+			return xdm.Item{}, ex.errf(n, "root() over atomic value")
+		}
+		return xdm.NewNode(xdm.NodeID{Frag: it.N.Frag, Pre: 0}), nil
+	case algebra.UnToDouble:
+		f, err := it.AsDouble()
+		if err != nil {
+			return xdm.Item{}, err
+		}
+		return xdm.NewDouble(f), nil
+	case algebra.UnNormalizeSpace:
+		return xdm.NewString(strings.Join(strings.Fields(ex.store.Atomize(it).StringValue()), " ")), nil
+	case algebra.UnUpperCase:
+		return xdm.NewString(strings.ToUpper(ex.store.Atomize(it).StringValue())), nil
+	case algebra.UnLowerCase:
+		return xdm.NewString(strings.ToLower(ex.store.Atomize(it).StringValue())), nil
+	case algebra.UnRound, algebra.UnFloor, algebra.UnCeiling, algebra.UnAbs:
+		return roundingFn(n.UFn, it)
+	default:
+		return xdm.Item{}, ex.errf(n, "unknown unary function")
+	}
+}
+
+// --- Grouped aggregation ---
+
+type aggGroup struct {
+	key   int64
+	count int64
+	sum   float64
+	allI  bool
+	best  xdm.Item
+	hasB  bool
+	// EBV state
+	nodes   int
+	atomics int
+	first   xdm.Item
+	// strjoin state
+	pairs []posItem
+}
+
+type posItem struct {
+	pos  int64
+	item xdm.Item
+}
+
+func (ex *exec) evalAggr(n *algebra.Node, in *Table) (*Table, error) {
+	rows := in.NumRows()
+	var part, val, pos []xdm.Item
+	if n.Part != "" {
+		part = in.Col(n.Part)
+	}
+	if n.Col != "" {
+		val = in.Col(n.Col)
+	}
+	if n.AFn == algebra.AggrStrJoin {
+		pos = in.Col("pos")
+	}
+	groups := make(map[int64]*aggGroup)
+	var order []int64
+	get := func(k int64) *aggGroup {
+		g, ok := groups[k]
+		if !ok {
+			g = &aggGroup{key: k, allI: true}
+			groups[k] = g
+			order = append(order, k)
+		}
+		return g
+	}
+	for r := 0; r < rows; r++ {
+		k := int64(0)
+		if part != nil {
+			k = iterKey(part[r])
+		}
+		g := get(k)
+		g.count++
+		var v xdm.Item
+		if val != nil {
+			v = val[r]
+		}
+		switch n.AFn {
+		case algebra.AggrCount:
+			// count only needs the row
+		case algebra.AggrSum, algebra.AggrAvg:
+			c, err := coerceArith(v)
+			if err != nil {
+				return nil, ex.errf(n, "%s: %v", n.AFn, err)
+			}
+			if !c.Kind.IsNumeric() {
+				return nil, ex.errf(n, "%s over non-numeric %s", n.AFn, c.Kind)
+			}
+			if c.Kind != xdm.KInteger {
+				g.allI = false
+			}
+			f, _ := c.AsDouble()
+			g.sum += f
+		case algebra.AggrMax, algebra.AggrMin:
+			c, err := coerceArith(v)
+			if err != nil {
+				return nil, ex.errf(n, "%s: %v", n.AFn, err)
+			}
+			if !g.hasB {
+				g.best, g.hasB = c, true
+				break
+			}
+			cv := xdm.OrderCompare(c, g.best)
+			if (n.AFn == algebra.AggrMax && cv > 0) || (n.AFn == algebra.AggrMin && cv < 0) {
+				g.best = c
+			}
+		case algebra.AggrEbv:
+			if v.IsNode() {
+				g.nodes++
+			} else {
+				g.atomics++
+				g.first = v
+			}
+		case algebra.AggrStrJoin:
+			g.pairs = append(g.pairs, posItem{pos: iterKey(pos[r]), item: v})
+		}
+	}
+	// Emit one row per group in first-occurrence order.
+	cols := n.Schema()
+	t := NewTable(cols)
+	var keyCol, resCol []xdm.Item
+	for _, k := range order {
+		g := groups[k]
+		var res xdm.Item
+		switch n.AFn {
+		case algebra.AggrCount:
+			res = xdm.NewInt(g.count)
+		case algebra.AggrSum:
+			if g.allI {
+				res = xdm.NewInt(int64(g.sum))
+			} else {
+				res = xdm.NewDouble(g.sum)
+			}
+		case algebra.AggrAvg:
+			res = xdm.NewDouble(g.sum / float64(g.count))
+		case algebra.AggrMax, algebra.AggrMin:
+			res = g.best
+		case algebra.AggrEbv:
+			switch {
+			case g.atomics == 0:
+				res = xdm.True // non-empty group of nodes
+			case g.nodes == 0 && g.atomics == 1:
+				b, err := xdm.EffectiveBooleanValue([]xdm.Item{g.first})
+				if err != nil {
+					return nil, ex.errf(n, "%v", err)
+				}
+				res = xdm.NewBool(b)
+			default:
+				return nil, ex.errf(n, "effective boolean value of a mixed multi-item sequence")
+			}
+		case algebra.AggrStrJoin:
+			sort.SliceStable(g.pairs, func(a, b int) bool { return g.pairs[a].pos < g.pairs[b].pos })
+			parts := make([]string, len(g.pairs))
+			for i, p := range g.pairs {
+				parts[i] = ex.store.Atomize(p.item).StringValue()
+			}
+			res = xdm.NewString(strings.Join(parts, n.Name))
+		}
+		if n.Part != "" {
+			keyCol = append(keyCol, xdm.NewInt(k))
+		}
+		resCol = append(resCol, res)
+	}
+	if n.Part != "" {
+		t.Data[0] = keyCol
+		t.Data[1] = resCol
+	} else {
+		t.Data[0] = resCol
+	}
+	return t, nil
+}
+
+// --- Node construction ---
+
+func (ex *exec) evalElem(n *algebra.Node, loop, content *Table) (*Table, error) {
+	iters := content.Col("iter")
+	poss := content.Col("pos")
+	items := content.Col("item")
+	byIter := make(map[int64][]posItem, loop.NumRows())
+	for r := range iters {
+		k := iterKey(iters[r])
+		byIter[k] = append(byIter[k], posItem{pos: iterKey(poss[r]), item: items[r]})
+	}
+	loopIter := loop.Col("iter")
+	outIter := make([]xdm.Item, 0, len(loopIter))
+	outItem := make([]xdm.Item, 0, len(loopIter))
+	for _, li := range loopIter {
+		k := iterKey(li)
+		rowsFor := byIter[k]
+		sort.SliceStable(rowsFor, func(a, b int) bool { return rowsFor[a].pos < rowsFor[b].pos })
+		b := xmltree.NewBuilder()
+		b.StartElem(n.Name)
+		seq := make([]xdm.Item, len(rowsFor))
+		for i, p := range rowsFor {
+			seq[i] = p.item
+		}
+		if err := xmltree.AppendContent(ex.store, b, n.Name, seq); err != nil {
+			return nil, ex.errf(n, "%v", err)
+		}
+		id := ex.store.Add(b.Close())
+		outIter = append(outIter, li)
+		outItem = append(outItem, xdm.NewNode(xdm.NodeID{Frag: id, Pre: 0}))
+	}
+	t := NewTable([]string{"iter", "item"})
+	t.Data[0] = outIter
+	t.Data[1] = outItem
+	return t, nil
+}
+
+func (ex *exec) evalAttr(n *algebra.Node, in *Table) (*Table, error) {
+	iters := in.Col("iter")
+	vals := in.Col(n.Col)
+	outItem := make([]xdm.Item, len(vals))
+	for i, v := range vals {
+		frag := xmltree.NewAttrFragment(n.Name, ex.store.Atomize(v).StringValue())
+		id := ex.store.Add(frag)
+		outItem[i] = xdm.NewNode(xdm.NodeID{Frag: id, Pre: 0})
+	}
+	t := NewTable([]string{"iter", "item"})
+	t.Data[0] = iters
+	t.Data[1] = outItem
+	return t, nil
+}
+
+const maxRangeSize = 10_000_000
+
+func (ex *exec) evalRange(n *algebra.Node, in *Table) (*Table, error) {
+	iters := in.Col("iter")
+	los := in.Col(n.LCol)
+	his := in.Col(n.RCol)
+	var outIter, outPos, outItem []xdm.Item
+	total := 0
+	for r := range iters {
+		lo, err := los[r].AsInteger()
+		if err != nil {
+			return nil, ex.errf(n, "%v", err)
+		}
+		hi, err := his[r].AsInteger()
+		if err != nil {
+			return nil, ex.errf(n, "%v", err)
+		}
+		if hi < lo {
+			continue
+		}
+		if total += int(hi - lo + 1); total > maxRangeSize {
+			return nil, ex.errf(n, "range result larger than %d items", maxRangeSize)
+		}
+		for i := lo; i <= hi; i++ {
+			outIter = append(outIter, iters[r])
+			outPos = append(outPos, xdm.NewInt(i-lo+1))
+			outItem = append(outItem, xdm.NewInt(i))
+		}
+	}
+	t := NewTable([]string{"iter", "pos", "item"})
+	t.Data[0] = outIter
+	t.Data[1] = outPos
+	t.Data[2] = outItem
+	return t, nil
+}
+
+func (ex *exec) evalCheckCard(n *algebra.Node, ins []*Table) (*Table, error) {
+	in := ins[0]
+	counts := make(map[int64]int, in.NumRows())
+	for _, it := range in.Col(n.Col) {
+		counts[iterKey(it)]++
+	}
+	check := func(c int) error {
+		if c < n.Min {
+			return ex.errf(n, "sequence with %d items where at least %d required", c, n.Min)
+		}
+		if n.Max == 0 && c > 0 {
+			// Max 0 is the error-witness pattern: any row proves a
+			// dynamic error the relational mapping deferred.
+			return ex.errf(n, "dynamic error witnessed (e.g. comparison of incomparable values)")
+		}
+		if n.Max >= 0 && c > n.Max {
+			return ex.errf(n, "sequence with %d items where at most %d allowed", c, n.Max)
+		}
+		return nil
+	}
+	if len(ins) == 2 {
+		for _, it := range ins[1].Col(n.Col) {
+			if err := check(counts[iterKey(it)]); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for _, c := range counts {
+			if err := check(c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return in, nil
+}
+
+// roundingFn implements fn:round/floor/ceiling/abs with the integer fast
+// path (integers stay integers).
+func roundingFn(fn algebra.UnFn, it xdm.Item) (xdm.Item, error) {
+	v, err := coerceArith(it)
+	if err != nil {
+		return xdm.Item{}, err
+	}
+	if v.Kind == xdm.KInteger {
+		if fn == algebra.UnAbs && v.I < 0 {
+			return xdm.NewInt(-v.I), nil
+		}
+		return v, nil
+	}
+	if !v.Kind.IsNumeric() {
+		return xdm.Item{}, fmt.Errorf("engine: %s over non-numeric %s", "rounding", v.Kind)
+	}
+	f := v.F
+	switch fn {
+	case algebra.UnRound:
+		return xdm.NewDouble(math.Floor(f + 0.5)), nil // round half up, per fn:round
+	case algebra.UnFloor:
+		return xdm.NewDouble(math.Floor(f)), nil
+	case algebra.UnCeiling:
+		return xdm.NewDouble(math.Ceil(f)), nil
+	default:
+		return xdm.NewDouble(math.Abs(f)), nil
+	}
+}
+
+// substring implements the fn:substring positional rules: characters at
+// 1-based positions p with round(start) <= p (< round(start)+round(len)
+// when a length is given). NaN bounds select nothing.
+func substring(s string, start, length float64, hasLen bool) string {
+	runes := []rune(s)
+	if math.IsNaN(start) || (hasLen && math.IsNaN(length)) {
+		return ""
+	}
+	lo := math.Floor(start + 0.5)
+	hi := math.Inf(1)
+	if hasLen {
+		hi = lo + math.Floor(length+0.5)
+	}
+	var sb strings.Builder
+	for i, r := range runes {
+		p := float64(i + 1)
+		if p >= lo && p < hi {
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}

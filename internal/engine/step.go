@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/xdm"
+	"repro/internal/xmltree"
+	"repro/internal/xquery"
+)
+
+// evalStep implements the XPath step operator ⤋ax::nt with a staircase
+// join over the pre/size/level encoding (Grust/van Keulen/Teubner, VLDB
+// 2003): within each iteration group the context set is sorted by preorder
+// rank and pruned (contexts covered by an earlier context's subtree are
+// skipped), then each surviving context's region is scanned once. The
+// output is duplicate-free per iteration and in document order — but the
+// plan never relies on that: sequence order is (re-)established by ρ, or
+// deliberately left arbitrary by #.
+func (ex *exec) evalStep(n *algebra.Node, in *Table) (*Table, error) {
+	iters := in.Col("iter")
+	items := in.Col("item")
+
+	// Group context nodes by iteration (first-occurrence group order) and
+	// by fragment within each group.
+	type group struct {
+		iter    xdm.Item
+		byFrag  map[uint32][]int32
+		fragIDs []uint32
+	}
+	groups := make(map[int64]*group)
+	var order []int64
+	for r := range iters {
+		if !items[r].IsNode() {
+			return nil, ex.errf(n, "path step over atomic value %s", items[r].Kind)
+		}
+		k := iterKey(iters[r])
+		g, ok := groups[k]
+		if !ok {
+			g = &group{iter: iters[r], byFrag: make(map[uint32][]int32)}
+			groups[k] = g
+			order = append(order, k)
+		}
+		id := items[r].N
+		if _, seen := g.byFrag[id.Frag]; !seen {
+			g.fragIDs = append(g.fragIDs, id.Frag)
+		}
+		g.byFrag[id.Frag] = append(g.byFrag[id.Frag], id.Pre)
+	}
+
+	var outIter, outItem []xdm.Item
+	for _, k := range order {
+		g := groups[k]
+		// Fragments in ascending id order = global document order.
+		sort.Slice(g.fragIDs, func(a, b int) bool { return g.fragIDs[a] < g.fragIDs[b] })
+		for _, fid := range g.fragIDs {
+			f := ex.store.Frag(fid)
+			ctx := dedupSorted(g.byFrag[fid])
+			res := axisScan(f, ctx, n.Axis, n.Test)
+			for _, pre := range res {
+				outIter = append(outIter, g.iter)
+				outItem = append(outItem, xdm.NewNode(xdm.NodeID{Frag: fid, Pre: pre}))
+			}
+		}
+	}
+	t := NewTable([]string{"iter", "item"})
+	t.Data[0] = outIter
+	t.Data[1] = outItem
+	return t, nil
+}
+
+// dedupSorted sorts preorder ranks ascending and removes duplicates.
+func dedupSorted(pres []int32) []int32 {
+	sort.Slice(pres, func(a, b int) bool { return pres[a] < pres[b] })
+	out := pres[:0]
+	var last int32 = -1
+	for _, p := range pres {
+		if p != last {
+			out = append(out, p)
+			last = p
+		}
+	}
+	return out
+}
+
+// axisScan evaluates one axis over a sorted, duplicate-free context set in
+// one fragment, returning matching preorder ranks in document order.
+func axisScan(f *xmltree.Fragment, ctx []int32, axis xquery.Axis, test xquery.NodeTest) []int32 {
+	var out []int32
+	switch axis {
+	case xquery.AxisDescendant, xquery.AxisDescendantOrSelf:
+		// Staircase: skip contexts subsumed by the previous scan region.
+		scanned := int32(-1)
+		for _, v := range ctx {
+			if v <= scanned {
+				continue // covered by an earlier context's subtree
+			}
+			start := v + 1
+			if axis == xquery.AxisDescendantOrSelf {
+				start = v
+			}
+			end := v + f.Size[v]
+			for c := start; c <= end; c++ {
+				// Attributes are not on the descendant axis, but a context
+				// node is on its own descendant-or-self axis even if it is
+				// an attribute.
+				if (c == v || f.Kind[c] != xmltree.KindAttr) && testMatch(f, c, axis, test) {
+					out = append(out, c)
+				}
+			}
+			scanned = end
+		}
+	case xquery.AxisChild:
+		sorted := true
+		last := int32(-1)
+		for _, v := range ctx {
+			end := v + f.Size[v]
+			lvl := f.Level[v] + 1
+			for c := v + 1; c <= end; c += f.Size[c] + 1 {
+				if f.Kind[c] == xmltree.KindAttr {
+					continue
+				}
+				if f.Level[c] == lvl && testMatch(f, c, axis, test) {
+					if c < last {
+						sorted = false
+					}
+					last = c
+					out = append(out, c)
+				}
+			}
+		}
+		if !sorted {
+			out = dedupSorted(out) // children of distinct contexts are disjoint; sort restores doc order
+		}
+	case xquery.AxisAttribute:
+		for _, v := range ctx {
+			end := v + f.Size[v]
+			for c := v + 1; c <= end && f.Kind[c] == xmltree.KindAttr && f.Level[c] == f.Level[v]+1; c++ {
+				if testMatch(f, c, axis, test) {
+					out = append(out, c)
+				}
+			}
+		}
+	case xquery.AxisSelf:
+		for _, v := range ctx {
+			if testMatch(f, v, axis, test) {
+				out = append(out, v)
+			}
+		}
+	case xquery.AxisParent:
+		for _, v := range ctx {
+			if p := f.Parent[v]; p >= 0 && testMatch(f, p, axis, test) {
+				out = append(out, p)
+			}
+		}
+		out = dedupSorted(out)
+	}
+	return out
+}
+
+// testMatch applies a node test; the principal node kind is attribute on
+// the attribute axis and element elsewhere.
+func testMatch(f *xmltree.Fragment, pre int32, axis xquery.Axis, test xquery.NodeTest) bool {
+	kind := f.Kind[pre]
+	switch test.Kind {
+	case xquery.TestNode:
+		return true
+	case xquery.TestText:
+		return kind == xmltree.KindText
+	case xquery.TestWild:
+		if axis == xquery.AxisAttribute {
+			return kind == xmltree.KindAttr
+		}
+		return kind == xmltree.KindElem
+	default:
+		if axis == xquery.AxisAttribute {
+			return kind == xmltree.KindAttr && f.Name[pre] == test.Name
+		}
+		return kind == xmltree.KindElem && f.Name[pre] == test.Name
+	}
+}

@@ -1,0 +1,111 @@
+// Package engine evaluates algebra plan DAGs over in-memory columnar
+// tables. It plays the role MonetDB plays for Pathfinder: an inherently
+// unordered, column-oriented runtime in which
+//
+//   - ρ (rownum) really is a blocking sort (the table is physically
+//     reordered and densely renumbered per group), while
+//   - # (rowid) is a single column stamp — "negligible cost or even for
+//     free" in the paper's words.
+//
+// Shared DAG nodes are evaluated exactly once (memoization), mirroring
+// common subexpression reuse in MonetDB BAT programs. Every operator
+// evaluation is timed and attributed to the operator's origin label,
+// which is how the Table 2 profile is reproduced.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/xdm"
+)
+
+// Table is a column-major relation: Data[c][r] is row r of column c.
+// Tables are immutable after construction; projections alias columns.
+type Table struct {
+	Cols []string
+	Data [][]xdm.Item
+	idx  map[string]int
+}
+
+// NewTable builds a table over the given column names with empty data.
+func NewTable(cols []string) *Table {
+	t := &Table{Cols: cols, Data: make([][]xdm.Item, len(cols))}
+	t.buildIndex()
+	return t
+}
+
+func (t *Table) buildIndex() {
+	t.idx = make(map[string]int, len(t.Cols))
+	for i, c := range t.Cols {
+		t.idx[c] = i
+	}
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return len(t.Data[0])
+}
+
+// Col returns the column slice by name; it panics on unknown columns
+// (schema errors are compiler bugs, caught by the algebra layer).
+func (t *Table) Col(name string) []xdm.Item {
+	i, ok := t.idx[name]
+	if !ok {
+		panic(fmt.Sprintf("engine: unknown column %q in %v", name, t.Cols))
+	}
+	return t.Data[i]
+}
+
+// HasCol reports whether the table has the named column.
+func (t *Table) HasCol(name string) bool {
+	_, ok := t.idx[name]
+	return ok
+}
+
+// permute returns a new table with rows reordered by perm.
+func (t *Table) permute(perm []int) *Table {
+	out := NewTable(t.Cols)
+	for c := range t.Data {
+		col := make([]xdm.Item, len(perm))
+		for i, p := range perm {
+			col[i] = t.Data[c][p]
+		}
+		out.Data[c] = col
+	}
+	return out
+}
+
+// filter returns a new table with only the rows at the given indices.
+func (t *Table) filter(keep []int) *Table { return t.permute(keep) }
+
+// withColumn returns a table extended by one column (aliasing existing
+// column data).
+func (t *Table) withColumn(name string, data []xdm.Item) *Table {
+	out := &Table{
+		Cols: append(append([]string{}, t.Cols...), name),
+		Data: append(append([][]xdm.Item{}, t.Data...), data),
+	}
+	out.buildIndex()
+	return out
+}
+
+// iterKey converts an iteration id item to its int64 representation;
+// iteration, position and numbering columns are always integers.
+func iterKey(it xdm.Item) int64 {
+	if it.Kind != xdm.KInteger {
+		panic(fmt.Sprintf("engine: non-integer key item %v", it.Kind))
+	}
+	return it.I
+}
+
+// rowKey builds a composite grouping key over several columns for one row.
+func rowKey(cols [][]xdm.Item, r int) string {
+	key := ""
+	for _, c := range cols {
+		key += xdm.DistinctKey(c[r]) + "\x00"
+	}
+	return key
+}

@@ -1,0 +1,518 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xdm"
+	"repro/internal/xmltree"
+	"repro/internal/xquery"
+)
+
+// newTestInterp builds an interpreter over the paper's Figure 1 fragment
+// plus any extra documents, binding $t-style variables via a let prefix in
+// queries instead (the interpreter has no external variable API).
+func newTestInterp(t *testing.T, docs map[string]string) *Interp {
+	t.Helper()
+	store := xmltree.NewStore()
+	ids := make(map[string]uint32, len(docs))
+	for name, src := range docs {
+		f, err := xmltree.ParseString(src, name, xmltree.ParseOptions{})
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		ids[name] = store.Add(f)
+	}
+	return New(store, ids)
+}
+
+// paperDocs returns the Figure 1 fragment as document "t.xml".
+func paperDocs() map[string]string {
+	return map[string]string{"t.xml": `<a><b><c/><d/></b><c/></a>`}
+}
+
+// evalXML evaluates a query and serializes the result.
+func evalXML(t *testing.T, ip *Interp, q string) string {
+	t.Helper()
+	res, err := ip.EvalString(q)
+	if err != nil {
+		t.Fatalf("eval %q: %v", q, err)
+	}
+	s, err := res.SerializeXML()
+	if err != nil {
+		t.Fatalf("serialize %q: %v", q, err)
+	}
+	return s
+}
+
+func evalErr(t *testing.T, ip *Interp, q string) error {
+	t.Helper()
+	_, err := ip.EvalString(q)
+	if err == nil {
+		t.Fatalf("eval %q: expected error", q)
+	}
+	return err
+}
+
+const bindT = `let $t := doc("t.xml")/a return `
+
+func TestPaperExpression1DocumentOrder(t *testing.T) {
+	ip := newTestInterp(t, paperDocs())
+	// $t//(c|d) returns (c1, d, c2) in document order (Section 1).
+	got := evalXML(t, ip, bindT+`$t//(c|d)`)
+	if got != "<c/><d/><c/>" {
+		t.Errorf("got %q", got)
+	}
+	// Counting distinguishes nothing, but order of c vs d does: check via
+	// name() of the second node.
+	got = evalXML(t, ip, bindT+`name(($t//(c|d))[2])`)
+	if got != "d" {
+		t.Errorf("second node in document order should be d, got %q", got)
+	}
+}
+
+func TestPaperExpression3SequenceEstablishesDocOrder(t *testing.T) {
+	ip := newTestInterp(t, paperDocs())
+	q := bindT + `
+		(let $b := $t//b, $d := $t//d,
+		     $e := <e>{ $d, $b }</e>
+		 return ($b << $d, $e/b << $e/d))`
+	got := evalXML(t, ip, q)
+	if got != "true false" {
+		t.Errorf("Expression (3): got %q, want %q", got, "true false")
+	}
+}
+
+func TestPaperExpression4PositionalFor(t *testing.T) {
+	ip := newTestInterp(t, nil)
+	got := evalXML(t, ip, `for $x at $p in ("a","b","c")
+		return <e pos="{ $p }">{ $x }</e>`)
+	want := `<e pos="1">a</e><e pos="2">b</e><e pos="3">c</e>`
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestPaperExpression5IterPreservesInnerOrder(t *testing.T) {
+	ip := newTestInterp(t, nil)
+	got := evalXML(t, ip, `for $x in (1,2) return ($x, $x * 10)`)
+	if got != "1 10 2 20" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPaperExpression6NestedIteration(t *testing.T) {
+	ip := newTestInterp(t, nil)
+	got := evalXML(t, ip, `for $x in (1,2) for $y in (10,20) return <a>{ $x, $y }</a>`)
+	want := "<a>1 10</a><a>1 20</a><a>2 10</a><a>2 20</a>"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestLetUnfoldingExample(t *testing.T) {
+	// §2.2: let $c2 := $t//c[2] return unordered { $c2 } must return c2
+	// deterministically (the second c in document order).
+	ip := newTestInterp(t, map[string]string{
+		"t.xml": `<a><b><c i="1"/><d/></b><c i="2"/></a>`,
+	})
+	// Note ($t//c)[2], not $t//c[2]: the predicate in the paper's prose is
+	// meant to select the second c overall; attached to the step it would
+	// filter per context node and select nothing.
+	got := evalXML(t, ip, bindT+`(let $c2 := ($t//c)[2] return string(unordered { $c2 } /@i))`)
+	if got != "2" {
+		t.Errorf("let-bound unordered{} must stay deterministic: got %q", got)
+	}
+}
+
+func TestPositionalPredicates(t *testing.T) {
+	ip := newTestInterp(t, map[string]string{
+		"b.xml": `<r><x>1</x><x>2</x><x>3</x></r>`,
+	})
+	bind := `let $r := doc("b.xml")/r return `
+	if got := evalXML(t, ip, bind+`$r/x[1]`); got != "<x>1</x>" {
+		t.Errorf("[1]: %q", got)
+	}
+	if got := evalXML(t, ip, bind+`$r/x[last()]`); got != "<x>3</x>" {
+		t.Errorf("[last()]: %q", got)
+	}
+	if got := evalXML(t, ip, bind+`$r/x[position() = 2]`); got != "<x>2</x>" {
+		t.Errorf("[position()=2]: %q", got)
+	}
+	if got := evalXML(t, ip, bind+`$r/x[. > 1]`); got != "<x>2</x><x>3</x>" {
+		t.Errorf("value predicate: %q", got)
+	}
+}
+
+func TestPerContextPositionalSemantics(t *testing.T) {
+	// bidder[1] selects the first bidder of EACH auction.
+	ip := newTestInterp(t, map[string]string{
+		"a.xml": `<as><a><b>1</b><b>2</b></a><a><b>3</b></a></as>`,
+	})
+	got := evalXML(t, ip, `let $a := doc("a.xml") return $a/as/a/b[1]`)
+	if got != "<b>1</b><b>3</b>" {
+		t.Errorf("per-context positional: %q", got)
+	}
+}
+
+func TestStepDeduplication(t *testing.T) {
+	// Overlapping contexts: descendant from nested nodes must dedup.
+	ip := newTestInterp(t, map[string]string{
+		"n.xml": `<r><s><s><x/></s></s></r>`,
+	})
+	got := evalXML(t, ip, `count(doc("n.xml")//s//x)`)
+	if got != "1" {
+		t.Errorf("dedup: count = %q", got)
+	}
+}
+
+func TestGeneralComparisonExistential(t *testing.T) {
+	ip := newTestInterp(t, nil)
+	if got := evalXML(t, ip, `(1, 2) = (2, 3)`); got != "true" {
+		t.Errorf("= : %q", got)
+	}
+	if got := evalXML(t, ip, `(1, 2) = (3, 4)`); got != "false" {
+		t.Errorf("= disjoint: %q", got)
+	}
+	// Famous non-transitivity: both < and > true for overlapping ranges.
+	if got := evalXML(t, ip, `((1, 5) < (3), (1, 5) > (3))`); got != "true true" {
+		t.Errorf("< and >: %q", got)
+	}
+	if got := evalXML(t, ip, `() = (1)`); got != "false" {
+		t.Errorf("empty =: %q", got)
+	}
+}
+
+func TestUntypedCoercionThroughNodes(t *testing.T) {
+	ip := newTestInterp(t, map[string]string{
+		"p.xml": `<p income="52000"><i>9</i></p>`,
+	})
+	bind := `let $p := doc("p.xml")/p return `
+	if got := evalXML(t, ip, bind+`$p/@income > 5000 * $p/i`); got != "true" {
+		t.Errorf("income > 5000*i: %q", got)
+	}
+	if got := evalXML(t, ip, bind+`$p/@income > 6000 * $p/i`); got != "false" {
+		t.Errorf("income > 6000*i: %q", got)
+	}
+}
+
+func TestQuantifiers(t *testing.T) {
+	ip := newTestInterp(t, nil)
+	if got := evalXML(t, ip, `some $x in (1, 2, 3) satisfies $x > 2`); got != "true" {
+		t.Errorf("some: %q", got)
+	}
+	if got := evalXML(t, ip, `every $x in (1, 2, 3) satisfies $x > 0`); got != "true" {
+		t.Errorf("every: %q", got)
+	}
+	if got := evalXML(t, ip, `every $x in (1, 2, 3) satisfies $x > 1`); got != "false" {
+		t.Errorf("every false: %q", got)
+	}
+	if got := evalXML(t, ip, `some $x in () satisfies $x`); got != "false" {
+		t.Errorf("some empty: %q", got)
+	}
+	if got := evalXML(t, ip, `every $x in () satisfies $x`); got != "true" {
+		t.Errorf("every empty: %q", got)
+	}
+	if got := evalXML(t, ip, `some $x in (1,2), $y in (10,20) satisfies $x * 10 = $y`); got != "true" {
+		t.Errorf("two vars: %q", got)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	ip := newTestInterp(t, nil)
+	for q, want := range map[string]string{
+		`count((1, 2, 3))`:     "3",
+		`count(())`:            "0",
+		`sum((1, 2, 3))`:       "6",
+		`sum(())`:              "0",
+		`avg((1, 2, 3, 4))`:    "2.5",
+		`max((1, 5, 3))`:       "5",
+		`min((2.5, 1, 7))`:     "1",
+		`count(avg(()))`:       "0",
+		`max(("a", "c", "b"))`: "c",
+		`sum((1.5, 2.5))`:      "4",
+	} {
+		if got := evalXML(t, ip, q); got != want {
+			t.Errorf("%s = %q, want %q", q, got, want)
+		}
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	ip := newTestInterp(t, nil)
+	got := evalXML(t, ip, `for $x in (3, 1, 2) order by $x return $x`)
+	if got != "1 2 3" {
+		t.Errorf("ascending: %q", got)
+	}
+	got = evalXML(t, ip, `for $x in (3, 1, 2) order by $x descending return $x`)
+	if got != "3 2 1" {
+		t.Errorf("descending: %q", got)
+	}
+	got = evalXML(t, ip, `for $x in ("b", "a", "c") order by $x return $x`)
+	if got != "a b c" {
+		t.Errorf("strings: %q", got)
+	}
+	// empty least default; empty greatest.
+	ip2 := newTestInterp(t, map[string]string{
+		"o.xml": `<r><e k="2"/><e/><e k="1"/></r>`,
+	})
+	got = evalXML(t, ip2, `for $e in doc("o.xml")/r/e order by $e/@k return count($e/@k)`)
+	if got != "0 1 1" {
+		t.Errorf("empty least: %q", got)
+	}
+	got = evalXML(t, ip2, `for $e in doc("o.xml")/r/e order by $e/@k empty greatest return count($e/@k)`)
+	if got != "1 1 0" {
+		t.Errorf("empty greatest: %q", got)
+	}
+	// multiple keys, stability.
+	got = evalXML(t, ip, `for $p in (3, 1, 2, 11) order by string-length(string($p)), $p descending return $p`)
+	if got != "3 2 1 11" {
+		t.Errorf("multi-key: %q", got)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	ip := newTestInterp(t, paperDocs())
+	if got := evalXML(t, ip, bindT+`count($t//c | $t//d)`); got != "3" {
+		t.Errorf("union: %q", got)
+	}
+	if got := evalXML(t, ip, bindT+`count($t//c union $t//c)`); got != "2" {
+		t.Errorf("union dedup: %q", got)
+	}
+	if got := evalXML(t, ip, bindT+`count($t//* intersect $t//c)`); got != "2" {
+		t.Errorf("intersect: %q", got)
+	}
+	if got := evalXML(t, ip, bindT+`count($t//* except $t//c)`); got != "2" {
+		t.Errorf("except: %q", got)
+	}
+	// Union result is in document order regardless of operand order.
+	if got := evalXML(t, ip, bindT+`name(($t//d | $t//c)[1])`); got != "c" {
+		t.Errorf("union doc order: %q", got)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	ip := newTestInterp(t, paperDocs())
+	for q, want := range map[string]string{
+		`empty(())`:                          "true",
+		`empty((1))`:                         "false",
+		`exists(())`:                         "false",
+		`not(1 = 1)`:                         "false",
+		`boolean("")`:                        "false",
+		`string(42)`:                         "42",
+		`string(())`:                         "",
+		`number("4.5") * 2`:                  "9",
+		`string-length("hello")`:             "5",
+		`contains("auction gold", "gold")`:   "true",
+		`starts-with("person0", "person")`:   "true",
+		`concat("a", "b", "c")`:              "abc",
+		`count(distinct-values((1, 2, 1)))`:  "2",
+		`count(distinct-values(("a", "a")))`: "1",
+		`zero-or-one(())`:                    "",
+		`exactly-one(7)`:                     "7",
+		`1 to 4`:                             "1 2 3 4",
+		`count(2 to 1)`:                      "0",
+		`7 idiv 2`:                           "3",
+		`-(3 - 5)`:                           "2",
+	} {
+		if got := evalXML(t, ip, q); got != want {
+			t.Errorf("%s = %q, want %q", q, got, want)
+		}
+	}
+	evalErr(t, ip, `exactly-one(())`)
+	evalErr(t, ip, `zero-or-one((1, 2))`)
+	evalErr(t, ip, `one-or-more(())`)
+	evalErr(t, ip, `nosuchfn(1)`)
+}
+
+func TestUserFunctions(t *testing.T) {
+	ip := newTestInterp(t, nil)
+	got := evalXML(t, ip, `declare function local:convert($v as xs:decimal?) as xs:decimal? { 2.0 * $v };
+		local:convert(21)`)
+	if got != "42" {
+		t.Errorf("local:convert: %q", got)
+	}
+	// Functions are closed: they must not see caller variables.
+	evalErr(t, ip, `declare function local:f($x) { $x + $hidden };
+		let $hidden := 1 return local:f(1)`)
+	// Arity mismatch.
+	evalErr(t, ip, `declare function local:g($x) { $x }; local:g(1, 2)`)
+	// Runaway recursion is cut off.
+	evalErr(t, ip, `declare function local:r($x) { local:r($x) }; local:r(1)`)
+}
+
+func TestConstructors(t *testing.T) {
+	ip := newTestInterp(t, paperDocs())
+	got := evalXML(t, ip, `<items name="x">{ count((1, 2)) }</items>`)
+	if got != `<items name="x">2</items>` {
+		t.Errorf("constructed: %q", got)
+	}
+	// Copied nodes are deep copies; new fragment has fresh identity.
+	got = evalXML(t, ip, bindT+`(let $e := <e>{ $t//b }</e> return ($e/b/c, $e/b is $t//b))`)
+	if got != "<c/>false" {
+		t.Errorf("copy semantics: %q", got)
+	}
+	// Adjacent atomics join with a space; nodes do not add separators.
+	got = evalXML(t, ip, `<e>{ 1, 2, <x/>, 3 }</e>`)
+	if got != "<e>1 2<x/>3</e>" {
+		t.Errorf("content spacing: %q", got)
+	}
+	// Attribute value templates with several parts.
+	got = evalXML(t, ip, `<e a="n={ 1 + 1 }!"/>`)
+	if got != `<e a="n=2!"/>` {
+		t.Errorf("AVT: %q", got)
+	}
+}
+
+func TestIfAndLogic(t *testing.T) {
+	ip := newTestInterp(t, nil)
+	if got := evalXML(t, ip, `if (1 < 2) then "y" else "n"`); got != "y" {
+		t.Errorf("if: %q", got)
+	}
+	if got := evalXML(t, ip, `(1 = 1 and 2 = 2, 1 = 2 or 1 = 1)`); got != "true true" {
+		t.Errorf("logic: %q", got)
+	}
+	// EBV of node sequences.
+	ip2 := newTestInterp(t, paperDocs())
+	if got := evalXML(t, ip2, bindT+`if ($t//d) then "has-d" else "no-d"`); got != "has-d" {
+		t.Errorf("EBV nodes: %q", got)
+	}
+}
+
+func TestWhereFiltering(t *testing.T) {
+	ip := newTestInterp(t, nil)
+	got := evalXML(t, ip, `for $x in (1, 2, 3, 4) where $x mod 2 = 0 return $x`)
+	if got != "2 4" {
+		t.Errorf("where: %q", got)
+	}
+}
+
+func TestSerializationErrors(t *testing.T) {
+	ip := newTestInterp(t, map[string]string{"p.xml": `<p a="1"/>`})
+	res, err := ip.EvalString(`doc("p.xml")/p/@a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.SerializeXML(); err == nil {
+		t.Error("free-standing attribute serialization should fail")
+	}
+}
+
+func TestDynamicErrors(t *testing.T) {
+	ip := newTestInterp(t, paperDocs())
+	for _, q := range []string{
+		`$undefined`,
+		`doc("missing.xml")`,
+		`1 + "x"`,
+		`("a", "b") + 1`,
+		`"a" eq 1`,
+		`1 is 2`,
+		`(1, 2) << (3, 4)`,
+		`1 | 2`,
+		`sum(("a"))`,
+		`1 idiv 0`,
+		`string((1, 2))`,
+	} {
+		if _, err := ip.EvalString(q); err == nil {
+			t.Errorf("eval %q: expected error", q)
+		}
+	}
+}
+
+func TestTextNodesAndAtomization(t *testing.T) {
+	ip := newTestInterp(t, map[string]string{
+		"m.xml": `<r><x>12</x><x>34</x></r>`,
+	})
+	if got := evalXML(t, ip, `sum(doc("m.xml")/r/x)`); got != "46" {
+		t.Errorf("sum over nodes: %q", got)
+	}
+	if got := evalXML(t, ip, `doc("m.xml")/r/x/text()`); got != "1234" {
+		t.Errorf("text(): %q", got)
+	}
+	if got := evalXML(t, ip, `string(doc("m.xml")/r)`); got != "1234" {
+		t.Errorf("string value: %q", got)
+	}
+}
+
+func TestResultSerializationEscaping(t *testing.T) {
+	ip := newTestInterp(t, nil)
+	if got := evalXML(t, ip, `"a < b & c"`); got != "a &lt; b &amp; c" {
+		t.Errorf("escaping: %q", got)
+	}
+}
+
+func TestLargeDocSmoke(t *testing.T) {
+	// A wider document exercising multi-level paths.
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	for i := 0; i < 50; i++ {
+		sb.WriteString("<grp><item><v>1</v></item><item><v>2</v></item></grp>")
+	}
+	sb.WriteString("</root>")
+	ip := newTestInterp(t, map[string]string{"w.xml": sb.String()})
+	if got := evalXML(t, ip, `count(doc("w.xml")//v)`); got != "100" {
+		t.Errorf("count: %q", got)
+	}
+	if got := evalXML(t, ip, `sum(doc("w.xml")/root/grp/item/v)`); got != "150" {
+		t.Errorf("sum: %q", got)
+	}
+}
+
+func TestStringFunctions(t *testing.T) {
+	ip := newTestInterp(t, nil)
+	for q, want := range map[string]string{
+		`substring("auction", 4)`:         "tion",
+		`substring("auction", 4, 2)`:      "ti",
+		`substring("gold", 0)`:            "gold",
+		`substring("gold", 1.4, 1.8)`:     "go", // round(1.4)=1, round(1.8)=2 → positions 1,2
+		`substring("gold", -1, 3)`:        "g",  // positions < round(-1)+round(3)=2
+		`substring("héllo", 2, 2)`:        "él", // rune positions, not bytes
+		`normalize-space("  a   b  c ")`:  "a b c",
+		`upper-case("Gold")`:              "GOLD",
+		`lower-case("GoLd")`:              "gold",
+		`ends-with("person0", "0")`:       "true",
+		`ends-with("person0", "1")`:       "false",
+		`string-join(("a","b","c"), "-")`: "a-b-c",
+		`string-join((), "-")`:            "",
+		`round(2.5)`:                      "3",
+		`round(-2.5)`:                     "-2", // round half toward +inf
+		`floor(-2.1)`:                     "-3",
+		`ceiling(-2.1)`:                   "-2",
+		`abs(-7)`:                         "7",
+		`round(5)`:                        "5", // integers stay integers
+	} {
+		if got := evalXML(t, ip, q); got != want {
+			t.Errorf("%s = %q, want %q", q, got, want)
+		}
+	}
+}
+
+func TestExternalVariableEvaluation(t *testing.T) {
+	ip := newTestInterp(t, nil)
+	m, err := xquery.Parse(`declare variable $x external; $x * 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ip.EvalWithVars(m, map[string][]xdm.Item{"x": {xdm.NewInt(21)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := res.SerializeXML(); s != "42" {
+		t.Errorf("external var: %q", s)
+	}
+	if _, err := ip.Eval(m); err == nil {
+		t.Error("unbound external variable must fail")
+	}
+	// Initialized declarations evaluate without normalization.
+	m2, err := xquery.Parse(`declare variable $k := 3 + 4; $k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = ip.Eval(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := res.SerializeXML(); s != "7" {
+		t.Errorf("initialized var: %q", s)
+	}
+}

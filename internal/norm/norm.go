@@ -1,0 +1,420 @@
+// Package norm implements the normalization step ⟦·⟧ of the eXrQuy
+// pipeline (§2.2 of the paper). Its central job is to make order
+// indifference explicit on the language level by inserting calls to
+// fn:unordered() in the contexts where sequence order is unobservable:
+//
+//   - aggregate arguments: fn:count, fn:sum, fn:avg, fn:max, fn:min
+//     (Rule FN:COUNT and its siblings),
+//   - fn:empty, fn:exists, fn:boolean, fn:not, fn:distinct-values,
+//   - the domains of some/every quantifiers (Rule QUANT — applies in
+//     either ordering mode),
+//   - both operands of general comparisons (whose W3C normalization is a
+//     pair of nested some-quantifiers).
+//
+// The paper's Rules FOR/STEP/UNION (pushing unordered{} through
+// iterations, steps and node set operations, Figure 4) are deliberately
+// NOT expressed here: §2.2 shows they cannot capture the full freedom of
+// ordering mode unordered (nested for reordering, positional variables).
+// Those contexts are instead handled below the language level, by the
+// compiler's twin rules LOC#/BIND# (package compile) — exactly the
+// division of labour the paper argues for.
+//
+// The package also inlines prolog-declared functions (rejecting
+// recursion), so the compiler sees a closed expression.
+package norm
+
+import (
+	"fmt"
+
+	"repro/internal/xquery"
+)
+
+// Options controls normalization.
+type Options struct {
+	// InsertUnordered enables the fn:unordered() insertion rules above.
+	// Disabled, the pipeline behaves like the order-ignorant baseline
+	// compiler of §5 ("if the compiler ignores order indifference").
+	InsertUnordered bool
+}
+
+// unorderedArgFuncs lists built-ins whose argument order is unobservable.
+var unorderedArgFuncs = map[string]bool{
+	"count": true, "sum": true, "avg": true, "max": true, "min": true,
+	"empty": true, "exists": true, "boolean": true, "not": true,
+	"distinct-values": true,
+}
+
+// Normalize rewrites a module per the options. The input module is not
+// modified.
+func Normalize(m *xquery.Module, opts Options) (*xquery.Module, error) {
+	n := &normalizer{opts: opts, funcs: make(map[string]*xquery.FuncDecl)}
+	for _, fd := range m.Functions {
+		if _, dup := n.funcs[fd.Name]; dup {
+			return nil, fmt.Errorf("norm: duplicate function %s", fd.Name)
+		}
+		n.funcs[fd.Name] = fd
+	}
+	body, err := n.rewrite(m.Body)
+	if err != nil {
+		return nil, err
+	}
+	// Initialized prolog variables desugar into a let chain around the
+	// body (innermost = last declared); external ones survive for the
+	// host environment to bind.
+	var externals []*xquery.VarDecl
+	for i := len(m.Variables) - 1; i >= 0; i-- {
+		vd := m.Variables[i]
+		if vd.External {
+			externals = append([]*xquery.VarDecl{vd}, externals...)
+			continue
+		}
+		init, err := n.rewrite(vd.Init)
+		if err != nil {
+			return nil, err
+		}
+		body = &xquery.FLWOR{
+			Clauses: []xquery.Clause{&xquery.LetClause{Var: vd.Name, Expr: init}},
+			Return:  body,
+		}
+	}
+	return &xquery.Module{Ordering: m.Ordering, Variables: externals, Body: body}, nil
+}
+
+type normalizer struct {
+	opts  Options
+	funcs map[string]*xquery.FuncDecl
+	depth int
+	fresh int
+}
+
+// wrap inserts fn:unordered(e) when the insertion rules are enabled.
+func (n *normalizer) wrap(e xquery.Expr) xquery.Expr {
+	if !n.opts.InsertUnordered {
+		return e
+	}
+	if fc, ok := e.(*xquery.FuncCall); ok && fc.Name == "unordered" {
+		return e // already wrapped
+	}
+	return &xquery.FuncCall{Name: "unordered", Args: []xquery.Expr{e}}
+}
+
+const maxInlineDepth = 64
+
+func (n *normalizer) rewrite(e xquery.Expr) (xquery.Expr, error) {
+	switch e := e.(type) {
+	case *xquery.IntLit, *xquery.DecLit, *xquery.StrLit, *xquery.VarRef,
+		*xquery.ContextItem, *xquery.EmptySeq, *xquery.CharContent:
+		return e, nil
+
+	case *xquery.Sequence:
+		items := make([]xquery.Expr, len(e.Items))
+		for i, it := range e.Items {
+			v, err := n.rewrite(it)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = v
+		}
+		return &xquery.Sequence{Items: items}, nil
+
+	case *xquery.Path:
+		out := &xquery.Path{Steps: make([]xquery.Step, len(e.Steps))}
+		if e.Start != nil {
+			s, err := n.rewrite(e.Start)
+			if err != nil {
+				return nil, err
+			}
+			out.Start = s
+		}
+		for i, st := range e.Steps {
+			preds := make([]xquery.Expr, len(st.Preds))
+			for j, p := range st.Preds {
+				v, err := n.rewrite(p)
+				if err != nil {
+					return nil, err
+				}
+				preds[j] = v
+			}
+			out.Steps[i] = xquery.Step{Axis: st.Axis, Test: st.Test, Preds: preds}
+		}
+		return out, nil
+
+	case *xquery.Filter:
+		base, err := n.rewrite(e.Base)
+		if err != nil {
+			return nil, err
+		}
+		preds := make([]xquery.Expr, len(e.Preds))
+		for i, p := range e.Preds {
+			v, err := n.rewrite(p)
+			if err != nil {
+				return nil, err
+			}
+			preds[i] = v
+		}
+		return &xquery.Filter{Base: base, Preds: preds}, nil
+
+	case *xquery.FLWOR:
+		out := &xquery.FLWOR{Stable: e.Stable}
+		for _, cl := range e.Clauses {
+			switch cl := cl.(type) {
+			case *xquery.ForClause:
+				in, err := n.rewrite(cl.In)
+				if err != nil {
+					return nil, err
+				}
+				out.Clauses = append(out.Clauses, &xquery.ForClause{Var: cl.Var, PosVar: cl.PosVar, In: in})
+			case *xquery.LetClause:
+				v, err := n.rewrite(cl.Expr)
+				if err != nil {
+					return nil, err
+				}
+				out.Clauses = append(out.Clauses, &xquery.LetClause{Var: cl.Var, Expr: v})
+			}
+		}
+		if e.Where != nil {
+			// where p ≡ if (fn:boolean(p)) …: the condition is an EBV
+			// context, hence order indifferent.
+			w, err := n.rewrite(e.Where)
+			if err != nil {
+				return nil, err
+			}
+			out.Where = n.ebvContext(w)
+		}
+		for _, spec := range e.Order {
+			k, err := n.rewrite(spec.Key)
+			if err != nil {
+				return nil, err
+			}
+			out.Order = append(out.Order, xquery.OrderSpec{Key: k, Descending: spec.Descending, EmptyGreatest: spec.EmptyGreatest})
+		}
+		ret, err := n.rewrite(e.Return)
+		if err != nil {
+			return nil, err
+		}
+		out.Return = ret
+		return out, nil
+
+	case *xquery.Quantified:
+		out := &xquery.Quantified{Every: e.Every}
+		for _, v := range e.Vars {
+			in, err := n.rewrite(v.In)
+			if err != nil {
+				return nil, err
+			}
+			// Rule QUANT: quantifier domains are order indifferent in
+			// either ordering mode.
+			out.Vars = append(out.Vars, xquery.QVar{Var: v.Var, In: n.wrap(in)})
+		}
+		sat, err := n.rewrite(e.Satisfies)
+		if err != nil {
+			return nil, err
+		}
+		out.Satisfies = n.ebvContext(sat)
+		return out, nil
+
+	case *xquery.IfExpr:
+		cond, err := n.rewrite(e.Cond)
+		if err != nil {
+			return nil, err
+		}
+		then, err := n.rewrite(e.Then)
+		if err != nil {
+			return nil, err
+		}
+		els, err := n.rewrite(e.Else)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.IfExpr{Cond: n.ebvContext(cond), Then: then, Else: els}, nil
+
+	case *xquery.Arith:
+		l, err := n.rewrite(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := n.rewrite(e.R)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.Arith{Op: e.Op, L: l, R: r}, nil
+
+	case *xquery.Neg:
+		v, err := n.rewrite(e.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.Neg{Expr: v}, nil
+
+	case *xquery.GeneralCmp:
+		l, err := n.rewrite(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := n.rewrite(e.R)
+		if err != nil {
+			return nil, err
+		}
+		// General comparisons normalize to nested some-quantifiers; both
+		// operand sequences are therefore order indifferent (§2.2).
+		return &xquery.GeneralCmp{Op: e.Op, L: n.wrap(l), R: n.wrap(r)}, nil
+
+	case *xquery.ValueCmp:
+		l, err := n.rewrite(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := n.rewrite(e.R)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.ValueCmp{Op: e.Op, L: l, R: r}, nil
+
+	case *xquery.NodeCmp:
+		l, err := n.rewrite(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := n.rewrite(e.R)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.NodeCmp{Op: e.Op, L: l, R: r}, nil
+
+	case *xquery.Logic:
+		l, err := n.rewrite(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := n.rewrite(e.R)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.Logic{Op: e.Op, L: n.ebvContext(l), R: n.ebvContext(r)}, nil
+
+	case *xquery.SetOp:
+		l, err := n.rewrite(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := n.rewrite(e.R)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.SetOp{Kind: e.Kind, L: l, R: r}, nil
+
+	case *xquery.RangeExpr:
+		l, err := n.rewrite(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := n.rewrite(e.R)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.RangeExpr{L: l, R: r}, nil
+
+	case *xquery.OrderedExpr:
+		v, err := n.rewrite(e.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.OrderedExpr{Mode: e.Mode, Expr: v}, nil
+
+	case *xquery.ElemCons:
+		out := &xquery.ElemCons{Name: e.Name}
+		for _, a := range e.Attrs {
+			na := xquery.AttrCons{Name: a.Name}
+			for _, p := range a.Parts {
+				if p.Expr == nil {
+					na.Parts = append(na.Parts, p)
+					continue
+				}
+				v, err := n.rewrite(p.Expr)
+				if err != nil {
+					return nil, err
+				}
+				na.Parts = append(na.Parts, xquery.AttrPart{Expr: v})
+			}
+			out.Attrs = append(out.Attrs, na)
+		}
+		for _, cexp := range e.Content {
+			v, err := n.rewrite(cexp)
+			if err != nil {
+				return nil, err
+			}
+			out.Content = append(out.Content, v)
+		}
+		return out, nil
+
+	case *xquery.FuncCall:
+		return n.rewriteFuncCall(e)
+
+	default:
+		return nil, fmt.Errorf("norm: unsupported expression %T", e)
+	}
+}
+
+// ebvContext marks an expression as consumed through its effective
+// boolean value (if/where/and/or/satisfies): order indifferent.
+func (n *normalizer) ebvContext(e xquery.Expr) xquery.Expr {
+	if !n.opts.InsertUnordered {
+		return e
+	}
+	// Avoid noise around expressions that are single booleans anyway.
+	switch e.(type) {
+	case *xquery.GeneralCmp, *xquery.ValueCmp, *xquery.NodeCmp,
+		*xquery.Logic, *xquery.Quantified:
+		return e
+	}
+	return n.wrap(e)
+}
+
+func (n *normalizer) rewriteFuncCall(e *xquery.FuncCall) (xquery.Expr, error) {
+	// Inline prolog-declared functions: the call becomes a let-chain
+	// binding fresh parameter names (avoiding capture), followed by the
+	// rewritten body with parameters renamed.
+	if fd, ok := n.funcs[e.Name]; ok {
+		if len(e.Args) != len(fd.Params) {
+			return nil, fmt.Errorf("norm: %s expects %d arguments, got %d", e.Name, len(fd.Params), len(e.Args))
+		}
+		if n.depth++; n.depth > maxInlineDepth {
+			return nil, fmt.Errorf("norm: recursive function %s cannot be inlined", e.Name)
+		}
+		defer func() { n.depth-- }()
+		rename := make(map[string]string, len(fd.Params))
+		fl := &xquery.FLWOR{}
+		for i, p := range fd.Params {
+			n.fresh++
+			fresh := fmt.Sprintf("%s#%d", p.Name, n.fresh)
+			rename[p.Name] = fresh
+			arg, err := n.rewrite(e.Args[i])
+			if err != nil {
+				return nil, err
+			}
+			fl.Clauses = append(fl.Clauses, &xquery.LetClause{Var: fresh, Expr: arg})
+		}
+		body, err := n.rewrite(substituteVars(fd.Body, rename))
+		if err != nil {
+			return nil, err
+		}
+		if len(fl.Clauses) == 0 {
+			return body, nil
+		}
+		fl.Return = body
+		return fl, nil
+	}
+
+	args := make([]xquery.Expr, len(e.Args))
+	for i, a := range e.Args {
+		v, err := n.rewrite(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	if unorderedArgFuncs[e.Name] && len(args) == 1 {
+		args[0] = n.wrap(args[0])
+	}
+	return &xquery.FuncCall{Name: e.Name, Args: args}, nil
+}

@@ -1,0 +1,195 @@
+package norm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xquery"
+)
+
+func normalize(t *testing.T, src string, insert bool) *xquery.Module {
+	t.Helper()
+	m, err := xquery.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	n, err := Normalize(m, Options{InsertUnordered: insert})
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	return n
+}
+
+// countUnordered counts fn:unordered() calls in the rendered core form.
+func countUnordered(e xquery.Expr) int {
+	return strings.Count(e.String(), "unordered(")
+}
+
+func TestAggregateArgumentsWrapped(t *testing.T) {
+	for _, fn := range []string{"count", "sum", "avg", "max", "min", "empty", "exists", "distinct-values"} {
+		m := normalize(t, fn+`(("a", "b"))`, true)
+		if countUnordered(m.Body) != 1 {
+			t.Errorf("%s argument not wrapped: %s", fn, m.Body)
+		}
+		m = normalize(t, fn+`(("a", "b"))`, false)
+		if countUnordered(m.Body) != 0 {
+			t.Errorf("%s wrapped with insertion disabled: %s", fn, m.Body)
+		}
+	}
+}
+
+func TestQuantifierDomainsWrapped(t *testing.T) {
+	m := normalize(t, `some $x in (1,2), $y in (3,4) satisfies $x = $y`, true)
+	q, ok := m.Body.(*xquery.Quantified)
+	if !ok {
+		t.Fatalf("body: %T", m.Body)
+	}
+	for i, v := range q.Vars {
+		fc, ok := v.In.(*xquery.FuncCall)
+		if !ok || fc.Name != "unordered" {
+			t.Errorf("domain %d not wrapped: %s", i, v.In)
+		}
+	}
+}
+
+func TestGeneralComparisonOperandsWrapped(t *testing.T) {
+	m := normalize(t, `(1, 2) = (2, 3)`, true)
+	cmp, ok := m.Body.(*xquery.GeneralCmp)
+	if !ok {
+		t.Fatalf("body: %T", m.Body)
+	}
+	for _, side := range []xquery.Expr{cmp.L, cmp.R} {
+		fc, ok := side.(*xquery.FuncCall)
+		if !ok || fc.Name != "unordered" {
+			t.Errorf("operand not wrapped: %s", side)
+		}
+	}
+	// Value comparisons are order-sensitive only in their cardinality
+	// checks; their operands are singletons and stay unwrapped.
+	m = normalize(t, `1 eq 2`, true)
+	if countUnordered(m.Body) != 0 {
+		t.Errorf("value comparison wrapped: %s", m.Body)
+	}
+}
+
+func TestNoDoubleWrapping(t *testing.T) {
+	m := normalize(t, `count(unordered((1, 2)))`, true)
+	if got := countUnordered(m.Body); got != 1 {
+		t.Errorf("unordered applied %d times: %s", got, m.Body)
+	}
+}
+
+func TestWhereConditionEbvContext(t *testing.T) {
+	// Path-valued conditions are wrapped (EBV is order indifferent)…
+	m := normalize(t, `for $x in (1, 2) where $x/a return $x`, true)
+	fl := m.Body.(*xquery.FLWOR)
+	if fc, ok := fl.Where.(*xquery.FuncCall); !ok || fc.Name != "unordered" {
+		t.Errorf("where condition not wrapped: %s", fl.Where)
+	}
+	// …while boolean-typed conditions skip the noise wrapper.
+	m = normalize(t, `for $x in (1, 2) where $x = 1 return $x`, true)
+	fl = m.Body.(*xquery.FLWOR)
+	if _, ok := fl.Where.(*xquery.GeneralCmp); !ok {
+		t.Errorf("boolean condition needlessly wrapped: %s", fl.Where)
+	}
+}
+
+func TestFunctionInliningBindsParameters(t *testing.T) {
+	m := normalize(t, `declare function local:twice($v) { $v + $v };
+		local:twice(21)`, false)
+	fl, ok := m.Body.(*xquery.FLWOR)
+	if !ok {
+		t.Fatalf("inlined call should become a let block, got %T", m.Body)
+	}
+	let, ok := fl.Clauses[0].(*xquery.LetClause)
+	if !ok || !strings.HasPrefix(let.Var, "v#") {
+		t.Fatalf("parameter binding: %#v", fl.Clauses[0])
+	}
+	if !strings.Contains(fl.Return.String(), "$"+let.Var) {
+		t.Errorf("body does not reference the fresh parameter: %s", fl.Return)
+	}
+}
+
+func TestInliningAvoidsCapture(t *testing.T) {
+	// The parameter is renamed, so a caller-side $v is not captured.
+	m := normalize(t, `declare function local:f($v) { $v };
+		for $v in (1, 2) return local:f($v + 1)`, false)
+	s := m.Body.String()
+	if strings.Contains(s, "let $v :=") {
+		t.Errorf("parameter not renamed: %s", s)
+	}
+}
+
+func TestInliningShadowingInsideBody(t *testing.T) {
+	// An inner binding of the same name inside the function body shadows
+	// the parameter and must not be renamed.
+	m := normalize(t, `declare function local:f($x) { for $x in (1, 2) return $x };
+		local:f(9)`, false)
+	s := m.Body.String()
+	if !strings.Contains(s, "for $x in") || !strings.Contains(s, "return $x") {
+		t.Errorf("inner shadowing broken: %s", s)
+	}
+}
+
+func TestRecursionRejected(t *testing.T) {
+	m, err := xquery.Parse(`declare function local:r($x) { local:r($x) }; local:r(1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Normalize(m, Options{}); err == nil {
+		t.Error("recursive functions must be rejected")
+	}
+	// Mutual recursion too.
+	m, err = xquery.Parse(`declare function local:a($x) { local:b($x) };
+		declare function local:b($x) { local:a($x) };
+		local:a(1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Normalize(m, Options{}); err == nil {
+		t.Error("mutually recursive functions must be rejected")
+	}
+}
+
+func TestArityMismatchRejected(t *testing.T) {
+	m, err := xquery.Parse(`declare function local:f($x) { $x }; local:f(1, 2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Normalize(m, Options{}); err == nil {
+		t.Error("arity mismatch must be rejected")
+	}
+}
+
+func TestDuplicateFunctionRejected(t *testing.T) {
+	m, err := xquery.Parse(`declare function local:f($x) { $x };
+		declare function local:f($y) { $y }; local:f(1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Normalize(m, Options{}); err == nil {
+		t.Error("duplicate declarations must be rejected")
+	}
+}
+
+func TestOrderingModePreserved(t *testing.T) {
+	m := normalize(t, `declare ordering unordered; 1`, true)
+	if m.Ordering != xquery.Unordered {
+		t.Error("prolog ordering lost")
+	}
+}
+
+func TestNormalizationIsPure(t *testing.T) {
+	src := `count(for $x in (1,2) where $x = 1 return $x)`
+	m, err := xquery.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Body.String()
+	if _, err := Normalize(m, Options{InsertUnordered: true}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Body.String() != before {
+		t.Error("normalization mutated the input module")
+	}
+}

@@ -1,0 +1,208 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/xdm"
+	"repro/internal/xquery"
+)
+
+// mini builds a toy plan: loop × doc → step → ρ/# pos → π(pos, item)-style
+// consumers, letting the passes be tested in isolation.
+func miniStep(b *algebra.Builder, test string) *algebra.Node {
+	loop := b.LitCol("iter", xdm.NewInt(1))
+	ctx := b.Cross(loop, b.Doc("d.xml"))
+	return b.Step(ctx, xquery.AxisChild, xquery.NodeTest{Kind: xquery.TestName, Name: test})
+}
+
+func TestDeadRowNumPruned(t *testing.T) {
+	b := algebra.NewBuilder()
+	step := miniStep(b, "x")
+	rn := b.RowNum(step, "pos", []algebra.SortSpec{{Col: "item"}}, "iter")
+	// Consumer ignores pos entirely.
+	root := b.Keep(rn, "item")
+	out := Optimize(root, b, Options{ColumnAnalysis: true})
+	if algebra.PlanStats(out).RowNums != 0 {
+		t.Errorf("dead rownum survived:\n%s", algebra.Print(out))
+	}
+}
+
+func TestLiveRowNumKept(t *testing.T) {
+	b := algebra.NewBuilder()
+	step := miniStep(b, "x")
+	rn := b.RowNum(step, "pos", []algebra.SortSpec{{Col: "item"}}, "iter")
+	root := b.Keep(rn, "pos", "item") // pos is the result position: required
+	out := Optimize(root, b, Options{ColumnAnalysis: true})
+	if algebra.PlanStats(out).RowNums != 1 {
+		t.Errorf("live rownum pruned:\n%s", algebra.Print(out))
+	}
+}
+
+func TestDeadLiteralCrossPruned(t *testing.T) {
+	b := algebra.NewBuilder()
+	step := miniStep(b, "x")
+	crossed := b.Cross(step, b.LitCol("pos", xdm.NewInt(1)))
+	root := b.Keep(crossed, "item")
+	out := Optimize(root, b, Options{ColumnAnalysis: true})
+	for _, n := range algebra.Nodes(out) {
+		if n.Kind == algebra.OpCross && n.Ins[1].Kind == algebra.OpLit && n.Ins[1].Cols[0] == "pos" {
+			t.Errorf("dead × pos|1 survived:\n%s", algebra.Print(out))
+		}
+	}
+}
+
+func TestChainedDeadOrderBookkeeping(t *testing.T) {
+	// #pos over %pos: once the outer # makes the inner % dead, a second
+	// round prunes the # itself if unused — the cascade of §4.1.
+	b := algebra.NewBuilder()
+	step := miniStep(b, "x")
+	rn := b.RowNum(step, "pos", []algebra.SortSpec{{Col: "item"}}, "iter")
+	rid := b.RowID(b.Keep(rn, "iter", "item"), "pos")
+	root := b.Keep(rid, "item")
+	out := Optimize(root, b, Options{ColumnAnalysis: true})
+	s := algebra.PlanStats(out)
+	if s.RowNums != 0 || s.RowIDs != 0 {
+		t.Errorf("cascaded pruning incomplete (ρ=%d, #=%d):\n%s", s.RowNums, s.RowIDs, algebra.Print(out))
+	}
+}
+
+func TestRelaxationNeedsOrderOnlyUse(t *testing.T) {
+	b := algebra.NewBuilder()
+	step := miniStep(b, "x")
+	rid := b.RowID(step, "arb") // arbitrary unique column
+	rn := b.RowNum(rid, "pos", []algebra.SortSpec{{Col: "arb"}}, "")
+	// pos used as a *value* (selection): must NOT relax.
+	withLit := b.Cross(rn, b.LitCol("pv", xdm.NewInt(2)))
+	cmp := b.BinOp(withLit, algebra.BCmpVal, xdm.CmpEq, "res", "pos", "pv")
+	rootVal := b.Keep(b.Select(cmp, "res"), "item", "pos")
+	out := Optimize(rootVal, b, Options{ColumnAnalysis: true, RownumRelax: true})
+	if algebra.PlanStats(out).RowNums != 1 {
+		t.Errorf("value-consumed rownum relaxed:\n%s", algebra.Print(out))
+	}
+
+	// pos used only for ordering (as the root pos): relaxes to #.
+	rootOrd := b.Keep(rn, "pos", "item")
+	out2 := Optimize(rootOrd, b, Options{ColumnAnalysis: true, RownumRelax: true})
+	if algebra.PlanStats(out2).RowNums != 0 {
+		t.Errorf("order-only rownum over arbitrary keys not relaxed:\n%s", algebra.Print(out2))
+	}
+}
+
+func TestRelaxationDropsConstantKeys(t *testing.T) {
+	b := algebra.NewBuilder()
+	step := miniStep(b, "x")
+	crossed := b.Cross(step, b.LitCol("c", xdm.NewInt(7)))
+	rn := b.RowNum(crossed, "pos", []algebra.SortSpec{{Col: "c"}, {Col: "item"}}, "")
+	root := b.Keep(rn, "pos", "item")
+	out := Optimize(root, b, Options{ColumnAnalysis: true, RownumRelax: true})
+	for _, n := range algebra.Nodes(out) {
+		if n.Kind == algebra.OpRowNum {
+			if len(n.Sort) != 1 || n.Sort[0].Col != "item" {
+				t.Errorf("constant key not dropped: %v", n.Sort)
+			}
+		}
+	}
+}
+
+func TestRelaxationStopsAtMeaningfulKey(t *testing.T) {
+	// <item, arb>: arb is arbitrary-unique but FOLLOWS a meaningful key —
+	// only the tail from arb on may be dropped; item must stay.
+	b := algebra.NewBuilder()
+	step := miniStep(b, "x")
+	rid := b.RowID(step, "arb")
+	rn := b.RowNum(rid, "pos", []algebra.SortSpec{{Col: "item"}, {Col: "arb"}}, "")
+	root := b.Keep(rn, "pos", "item")
+	out := Optimize(root, b, Options{ColumnAnalysis: true, RownumRelax: true})
+	found := false
+	for _, n := range algebra.Nodes(out) {
+		if n.Kind == algebra.OpRowNum {
+			found = true
+			if len(n.Sort) != 1 || n.Sort[0].Col != "item" {
+				t.Errorf("sort keys after relaxation: %v", n.Sort)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("rownum with a meaningful key disappeared:\n%s", algebra.Print(out))
+	}
+}
+
+func TestStepMergePattern(t *testing.T) {
+	b := algebra.NewBuilder()
+	loop := b.LitCol("iter", xdm.NewInt(1))
+	ctx := b.Cross(loop, b.Doc("d.xml"))
+	dos := b.Step(ctx, xquery.AxisDescendantOrSelf, xquery.NodeTest{Kind: xquery.TestNode})
+	child := b.Step(dos, xquery.AxisChild, xquery.NodeTest{Kind: xquery.TestName, Name: "item"})
+	out := stepMerge(b.Keep(child, "iter", "item"), b)
+	var merged *algebra.Node
+	for _, n := range algebra.Nodes(out) {
+		if n.Kind == algebra.OpStep && n.Axis == xquery.AxisDescendant {
+			merged = n
+		}
+		if n.Kind == algebra.OpStep && n.Axis == xquery.AxisDescendantOrSelf {
+			t.Error("descendant-or-self step survived the merge")
+		}
+	}
+	if merged == nil || merged.Test.Name != "item" {
+		t.Fatalf("merge missing:\n%s", algebra.Print(out))
+	}
+	// Merging must see through # but is blocked by ρ.
+	rn := b.RowNum(dos, "pos", []algebra.SortSpec{{Col: "item"}}, "iter")
+	blocked := b.Step(b.Keep(rn, "iter", "item"), xquery.AxisChild, xquery.NodeTest{Kind: xquery.TestName, Name: "item"})
+	out2 := stepMerge(blocked, b)
+	for _, n := range algebra.Nodes(out2) {
+		if n.Kind == algebra.OpStep && n.Axis == xquery.AxisDescendant {
+			t.Error("merge fired through a ρ")
+		}
+	}
+}
+
+func TestDisjointDistinctRemoval(t *testing.T) {
+	b := algebra.NewBuilder()
+	// union of child::c and child::d (disjoint names) → distinct removable.
+	sc := miniStep(b, "c")
+	sd := miniStep(b, "d")
+	d := b.Distinct(b.Union(sc, sd), "iter", "item")
+	out := disjointDistinct(b.Keep(d, "iter", "item"), b)
+	if algebra.PlanStats(out).ByKind[algebra.OpDistinct] != 0 {
+		t.Errorf("distinct over disjoint steps survived:\n%s", algebra.Print(out))
+	}
+	// Same name on both branches: distinct must stay.
+	d2 := b.Distinct(b.Union(sc, miniStep(b, "c")), "iter", "item")
+	out2 := disjointDistinct(b.Keep(d2, "iter", "item"), b)
+	if algebra.PlanStats(out2).ByKind[algebra.OpDistinct] != 1 {
+		t.Errorf("distinct over same-name steps removed:\n%s", algebra.Print(out2))
+	}
+}
+
+func TestOptimizeFixpointTerminates(t *testing.T) {
+	b := algebra.NewBuilder()
+	step := miniStep(b, "x")
+	rn := b.RowNum(step, "pos", []algebra.SortSpec{{Col: "item"}}, "iter")
+	root := b.Keep(rn, "pos", "item")
+	out1 := Optimize(root, b, AllOptions())
+	out2 := Optimize(out1, b, AllOptions())
+	if out1 != out2 {
+		t.Error("optimizer is not idempotent at its fixed point")
+	}
+}
+
+func TestInferRequiredSeedsRoot(t *testing.T) {
+	b := algebra.NewBuilder()
+	lit := b.Lit([]string{"pos", "item", "junk"})
+	reqs := inferRequired(lit)
+	r := reqs[lit]
+	if !r.has("pos") || !r.has("item") {
+		t.Error("root must require pos and item")
+	}
+	if r.has("junk") {
+		t.Error("junk must not be required")
+	}
+	if !r.orderOnly("pos") {
+		t.Error("root pos is an order-only requirement")
+	}
+	if r.orderOnly("item") {
+		t.Error("root item is a value requirement")
+	}
+}

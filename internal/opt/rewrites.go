@@ -1,0 +1,291 @@
+package opt
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/xquery"
+)
+
+// columnAnalysis runs one round of column dependency analysis (§4.1):
+// infer strictly required columns top-down, then rewrite bottom-up,
+// removing operators that only produce unneeded columns —
+//
+//   - ρ/# whose result column nobody requires (the dead order
+//     bookkeeping left behind by the compositional compiler),
+//   - binops/mappings with unused results,
+//   - cross products that install unused literal columns (the × pos|1
+//     instances of Figure 6(b)),
+//   - projection pairs for unneeded columns.
+//
+// With RownumRelax (§7), residual ρ operators whose result is consumed
+// only as a sort criterion and whose own sort criteria are constants or
+// arbitrary unique ids degenerate into free # stamps.
+func columnAnalysis(root *algebra.Node, b *algebra.Builder, opts Options) *algebra.Node {
+	reqs := inferRequired(root)
+	var props map[*algebra.Node]propMap
+	if opts.RownumRelax {
+		props = inferProps(root)
+	}
+	memo := make(map[*algebra.Node]*algebra.Node)
+	var rw func(n *algebra.Node) *algebra.Node
+	rw = func(n *algebra.Node) *algebra.Node {
+		if out, ok := memo[n]; ok {
+			return out
+		}
+		newIns := make([]*algebra.Node, len(n.Ins))
+		for i, in := range n.Ins {
+			newIns[i] = rw(in)
+		}
+		R := reqs[n]
+		var out *algebra.Node
+		switch n.Kind {
+		case algebra.OpRowNum:
+			switch {
+			case !R.has(n.Res):
+				out = newIns[0]
+			case opts.RownumRelax && R.orderOnly(n.Res):
+				out = relaxRowNum(n, newIns[0], b, props)
+			default:
+				out = b.Rebuild(n, newIns)
+			}
+		case algebra.OpRowID:
+			if !R.has(n.Col) {
+				out = newIns[0]
+			} else {
+				out = b.Rebuild(n, newIns)
+			}
+		case algebra.OpBinOp:
+			if !R.has(n.Res) {
+				out = newIns[0]
+			} else {
+				out = b.Rebuild(n, newIns)
+			}
+		case algebra.OpMap1:
+			if !R.has(n.Res) {
+				out = newIns[0]
+			} else {
+				out = b.Rebuild(n, newIns)
+			}
+		case algebra.OpCross:
+			switch {
+			case isDeadLit(n.Ins[0], R):
+				out = newIns[1]
+			case isDeadLit(n.Ins[1], R):
+				out = newIns[0]
+			default:
+				out = b.Rebuild(n, newIns)
+			}
+		case algebra.OpProject:
+			var pairs []algebra.ColPair
+			for _, p := range n.Proj {
+				if R.has(p.New) {
+					pairs = append(pairs, p)
+				}
+			}
+			if len(pairs) == 0 {
+				pairs = n.Proj // keep degenerate projections intact
+			}
+			out = b.Project(newIns[0], pairs...)
+		case algebra.OpUnion:
+			cols := sortedCols(R)
+			if len(cols) == 0 {
+				out = b.Rebuild(n, newIns)
+			} else {
+				// Rebuild (not a fresh Union) to preserve the disjointness
+				// assertion for property inference — unless its column was
+				// projected away.
+				out = b.RebuildWith(n, []*algebra.Node{
+					b.Keep(newIns[0], cols...), b.Keep(newIns[1], cols...),
+				}, func(c *algebra.Node) {
+					if c.Disj != "" && !R.has(c.Disj) {
+						c.Disj = ""
+					}
+				})
+			}
+		default:
+			out = b.Rebuild(n, newIns)
+		}
+		memo[n] = out
+		return out
+	}
+	return rw(root)
+}
+
+// isDeadLit reports whether a cross-product operand is a single-row
+// literal none of whose columns are required.
+func isDeadLit(n *algebra.Node, R colReq) bool {
+	if n.Kind != algebra.OpLit || len(n.Rows) != 1 {
+		return false
+	}
+	for _, c := range n.Cols {
+		if R.has(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// relaxRowNum implements the §7 wrap-up for a ρ whose result is consumed
+// as an order criterion only:
+//
+//   - constant sort criteria are useless order criteria — dropped;
+//   - an arbitrary *unique* criterion imposes a meaningless total order:
+//     it never leaves ties for later criteria, so it and everything after
+//     it may be replaced by "any order" — the list is truncated there;
+//   - a constant grouping column degenerates to no grouping.
+//
+// A ρ left with no criteria "comes for free" — it becomes #. (With a
+// non-constant grouping column the # stamp is still an admissible
+// order-only replacement: group-internal order was arbitrary once no
+// criteria remain, and pos ranks are only ever compared within groups.)
+func relaxRowNum(n *algebra.Node, in *algebra.Node, b *algebra.Builder, props map[*algebra.Node]propMap) *algebra.Node {
+	p := props[n.Ins[0]]
+	var keep []algebra.SortSpec
+	for _, s := range n.Sort {
+		cp := p[s.Col]
+		if cp.constant {
+			continue
+		}
+		if cp.arbitrary && cp.unique {
+			break // this and all later criteria are immaterial
+		}
+		keep = append(keep, s)
+	}
+	part := n.Part
+	if part != "" && p[part].constant {
+		part = ""
+	}
+	if len(keep) == 0 {
+		return algebra.WithOrigin(b.RowID(in, n.Res), "relaxed rownum (#)")
+	}
+	if len(keep) == len(n.Sort) && part == n.Part {
+		return b.Rebuild(n, []*algebra.Node{in})
+	}
+	return b.RebuildWith(n, []*algebra.Node{in}, func(c *algebra.Node) {
+		c.Sort = keep
+		c.Part = part
+	})
+}
+
+// stepMerge fuses ⤋descendant-or-self::node() feeding ⤋child::nt into a
+// single ⤋descendant::nt — the XPath // equivalence. In ordered plans a ρ
+// sits between the two steps; once column analysis has removed it (the
+// unordered case), the steps become adjacent and merge. This rewrite is
+// behind the exceptional Q6/Q7 speedups of Figure 12: the huge
+// descendant-or-self::node() intermediate is never materialized.
+func stepMerge(root *algebra.Node, b *algebra.Builder) *algebra.Node {
+	memo := make(map[*algebra.Node]*algebra.Node)
+	var rw func(n *algebra.Node) *algebra.Node
+	rw = func(n *algebra.Node) *algebra.Node {
+		if out, ok := memo[n]; ok {
+			return out
+		}
+		newIns := make([]*algebra.Node, len(n.Ins))
+		for i, in := range n.Ins {
+			newIns[i] = rw(in)
+		}
+		out := b.Rebuild(n, newIns)
+		if out.Kind == algebra.OpStep && out.Axis == xquery.AxisChild {
+			if inner := resolveStep(out.Ins[0]); inner != nil &&
+				inner.Axis == xquery.AxisDescendantOrSelf &&
+				inner.Test.Kind == xquery.TestNode {
+				merged := b.Step(inner.Ins[0], xquery.AxisDescendant, out.Test)
+				out = algebra.WithOrigin(merged, "path step (merged //)")
+			}
+		}
+		memo[n] = out
+		return out
+	}
+	return rw(root)
+}
+
+// resolveStep looks through operators that leave the (iter, item) pairs of
+// a step result untouched — # stamps and projections that pass iter and
+// item through unrenamed — and returns the underlying step, or nil.
+func resolveStep(n *algebra.Node) *algebra.Node {
+	for {
+		switch n.Kind {
+		case algebra.OpStep:
+			return n
+		case algebra.OpRowID:
+			n = n.Ins[0]
+		case algebra.OpProject:
+			ok := true
+			for _, p := range n.Proj {
+				if (p.New == "iter" || p.New == "item") && p.New != p.Old {
+					ok = false
+					break
+				}
+			}
+			if !ok || !n.HasCol("iter") || !n.HasCol("item") {
+				return nil
+			}
+			n = n.Ins[0]
+		default:
+			return nil
+		}
+	}
+}
+
+// disjointDistinct removes duplicate elimination over unions whose
+// branches are provably disjoint: steps with name tests for different
+// names can never produce the same node (a node has one name), and step
+// output is itself duplicate-free per iteration. This completes the
+// paper's Figure 10: unordered { $t//(c|d) } ends as a pure concatenation.
+func disjointDistinct(root *algebra.Node, b *algebra.Builder) *algebra.Node {
+	memo := make(map[*algebra.Node]*algebra.Node)
+	var rw func(n *algebra.Node) *algebra.Node
+	rw = func(n *algebra.Node) *algebra.Node {
+		if out, ok := memo[n]; ok {
+			return out
+		}
+		newIns := make([]*algebra.Node, len(n.Ins))
+		for i, in := range n.Ins {
+			newIns[i] = rw(in)
+		}
+		out := b.Rebuild(n, newIns)
+		if out.Kind == algebra.OpDistinct && len(out.Cols) == 2 &&
+			out.Cols[0] == "iter" && out.Cols[1] == "item" {
+			if names, ok := disjointNames(out.Ins[0]); ok && allDistinct(names) {
+				out = b.Keep(out.Ins[0], "iter", "item")
+			}
+		}
+		memo[n] = out
+		return out
+	}
+	return rw(root)
+}
+
+// disjointNames collects the name tests of the union branches below n,
+// looking through pass-through projections; it fails if any branch is not
+// a name-test step.
+func disjointNames(n *algebra.Node) ([]string, bool) {
+	switch n.Kind {
+	case algebra.OpUnion:
+		l, ok := disjointNames(n.Ins[0])
+		if !ok {
+			return nil, false
+		}
+		r, ok := disjointNames(n.Ins[1])
+		if !ok {
+			return nil, false
+		}
+		return append(l, r...), true
+	default:
+		st := resolveStep(n)
+		if st == nil || st.Test.Kind != xquery.TestName {
+			return nil, false
+		}
+		return []string{st.Test.Name}, true
+	}
+}
+
+func allDistinct(names []string) bool {
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+	}
+	return true
+}

@@ -1,0 +1,358 @@
+package xdm
+
+import (
+	"fmt"
+	"math"
+)
+
+// CmpOp enumerates the six comparison relations shared by XQuery's value
+// comparisons (eq, ne, lt, le, gt, ge) and general comparisons
+// (=, !=, <, <=, >, >=).
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// String returns the general-comparison spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case CmpEq:
+		return "="
+	case CmpNe:
+		return "!="
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Flip returns the operator with its operands exchanged (a op b == b op.Flip a).
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case CmpLt:
+		return CmpGt
+	case CmpLe:
+		return CmpGe
+	case CmpGt:
+		return CmpLt
+	case CmpGe:
+		return CmpLe
+	default:
+		return op
+	}
+}
+
+func applyCmp(op CmpOp, c int) bool {
+	switch op {
+	case CmpEq:
+		return c == 0
+	case CmpNe:
+		return c != 0
+	case CmpLt:
+		return c < 0
+	case CmpLe:
+		return c <= 0
+	case CmpGt:
+		return c > 0
+	case CmpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// CompareValue implements XQuery value comparison (eq, lt, ...) on two
+// atomized items: untypedAtomic is treated as xs:string, numerics promote
+// to double, and comparing incompatible type classes is a type error.
+func CompareValue(a, b Item, op CmpOp) (bool, error) {
+	ak, bk := valueClass(a.Kind), valueClass(b.Kind)
+	if ak != bk {
+		return false, fmt.Errorf("xdm: cannot compare %s with %s", a.Kind, b.Kind)
+	}
+	switch ak {
+	case classNum:
+		af, _ := a.AsDouble()
+		bf, _ := b.AsDouble()
+		return cmpFloat(af, bf, op), nil
+	case classStr:
+		return applyCmp(op, cmpString(a.S, b.S)), nil
+	case classBool:
+		return applyCmp(op, cmpInt(a.I, b.I)), nil
+	default:
+		return false, fmt.Errorf("xdm: cannot compare %s values", a.Kind)
+	}
+}
+
+// CompareGeneral implements the item-level core of an XQuery general
+// comparison (=, <, ...): untypedAtomic coerces to the other operand's
+// type class (number if the other side is numeric, boolean if boolean,
+// string otherwise); two untyped operands compare as strings.
+func CompareGeneral(a, b Item, op CmpOp) (bool, error) {
+	a2, b2, err := coerceGeneral(a, b)
+	if err != nil {
+		return false, err
+	}
+	return CompareValue(a2, b2, op)
+}
+
+func coerceGeneral(a, b Item) (Item, Item, error) {
+	if a.Kind == KUntyped && b.Kind != KUntyped {
+		c, err := coerceUntyped(a, b.Kind)
+		return c, b, err
+	}
+	if b.Kind == KUntyped && a.Kind != KUntyped {
+		c, err := coerceUntyped(b, a.Kind)
+		return a, c, err
+	}
+	return a, b, nil
+}
+
+func coerceUntyped(u Item, target Kind) (Item, error) {
+	switch {
+	case target.IsNumeric():
+		f, err := u.AsDouble()
+		if err != nil {
+			return Item{}, err
+		}
+		return NewDouble(f), nil
+	case target == KBoolean:
+		switch u.S {
+		case "true", "1":
+			return True, nil
+		case "false", "0":
+			return False, nil
+		}
+		return Item{}, fmt.Errorf("xdm: cannot cast %q to xs:boolean", u.S)
+	default:
+		return NewString(u.S), nil
+	}
+}
+
+type cmpClass uint8
+
+const (
+	classNum cmpClass = iota
+	classStr
+	classBool
+	classNode
+)
+
+func valueClass(k Kind) cmpClass {
+	switch k {
+	case KInteger, KDouble:
+		return classNum
+	case KString, KUntyped:
+		return classStr
+	case KBoolean:
+		return classBool
+	default:
+		return classNode
+	}
+}
+
+func cmpFloat(a, b float64, op CmpOp) bool {
+	// NaN comparisons are false except ne, which is true when either side
+	// is NaN (per IEEE/XQuery double semantics).
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return op == CmpNe
+	}
+	switch {
+	case a < b:
+		return applyCmp(op, -1)
+	case a > b:
+		return applyCmp(op, 1)
+	default:
+		return applyCmp(op, 0)
+	}
+}
+
+func cmpString(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// OrderCompare is a total order over atomic items used for order by keys
+// and deterministic result canonicalization: items order first by type
+// class (numbers < strings < booleans < nodes), then by value. NaN sorts
+// before all other numbers.
+func OrderCompare(a, b Item) int {
+	ac, bc := valueClass(a.Kind), valueClass(b.Kind)
+	if ac != bc {
+		return int(ac) - int(bc)
+	}
+	switch ac {
+	case classNum:
+		af, _ := a.AsDouble()
+		bf, _ := b.AsDouble()
+		an, bn := math.IsNaN(af), math.IsNaN(bf)
+		switch {
+		case an && bn:
+			return 0
+		case an:
+			return -1
+		case bn:
+			return 1
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	case classStr:
+		return cmpString(a.S, b.S)
+	case classBool:
+		return cmpInt(a.I, b.I)
+	default:
+		if a.N.Frag != b.N.Frag {
+			return cmpInt(int64(a.N.Frag), int64(b.N.Frag))
+		}
+		return cmpInt(int64(a.N.Pre), int64(b.N.Pre))
+	}
+}
+
+// ArithOp enumerates XQuery's binary arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpIDiv
+	OpMod
+)
+
+// String returns the XQuery spelling of the operator.
+func (op ArithOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "div"
+	case OpIDiv:
+		return "idiv"
+	case OpMod:
+		return "mod"
+	default:
+		return "?"
+	}
+}
+
+// Arith evaluates a op b with XQuery numeric promotion: integer ops stay
+// integral (except div, which yields a double), anything involving a
+// double or untypedAtomic is computed in doubles.
+func Arith(a, b Item, op ArithOp) (Item, error) {
+	if a.Kind == KInteger && b.Kind == KInteger && op != OpDiv {
+		switch op {
+		case OpAdd:
+			return NewInt(a.I + b.I), nil
+		case OpSub:
+			return NewInt(a.I - b.I), nil
+		case OpMul:
+			return NewInt(a.I * b.I), nil
+		case OpIDiv:
+			if b.I == 0 {
+				return Item{}, fmt.Errorf("xdm: division by zero")
+			}
+			return NewInt(a.I / b.I), nil
+		case OpMod:
+			if b.I == 0 {
+				return Item{}, fmt.Errorf("xdm: division by zero")
+			}
+			return NewInt(a.I % b.I), nil
+		}
+	}
+	af, err := a.AsDouble()
+	if err != nil {
+		return Item{}, err
+	}
+	bf, err := b.AsDouble()
+	if err != nil {
+		return Item{}, err
+	}
+	switch op {
+	case OpAdd:
+		return NewDouble(af + bf), nil
+	case OpSub:
+		return NewDouble(af - bf), nil
+	case OpMul:
+		return NewDouble(af * bf), nil
+	case OpDiv:
+		return NewDouble(af / bf), nil
+	case OpIDiv:
+		if bf == 0 {
+			return Item{}, fmt.Errorf("xdm: division by zero")
+		}
+		return NewInt(int64(af / bf)), nil
+	case OpMod:
+		return NewDouble(math.Mod(af, bf)), nil
+	default:
+		return Item{}, fmt.Errorf("xdm: unknown arithmetic operator")
+	}
+}
+
+// EffectiveBooleanValue computes fn:boolean() of a sequence per XQuery:
+// empty is false; a sequence whose first item is a node is true; a
+// singleton atomic follows the per-type rules; any other case is a type
+// error.
+func EffectiveBooleanValue(seq []Item) (bool, error) {
+	if len(seq) == 0 {
+		return false, nil
+	}
+	if seq[0].IsNode() {
+		return true, nil
+	}
+	if len(seq) > 1 {
+		return false, fmt.Errorf("xdm: effective boolean value of multi-item atomic sequence")
+	}
+	it := seq[0]
+	switch it.Kind {
+	case KBoolean:
+		return it.I != 0, nil
+	case KString, KUntyped:
+		return it.S != "", nil
+	case KInteger:
+		return it.I != 0, nil
+	case KDouble:
+		return it.F != 0 && !math.IsNaN(it.F), nil
+	default:
+		return false, fmt.Errorf("xdm: no effective boolean value for %s", it.Kind)
+	}
+}

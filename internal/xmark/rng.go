@@ -1,0 +1,51 @@
+// Package xmark generates deterministic, synthetic XMark benchmark
+// documents ("auction.xml", Schmidt et al., VLDB 2002). The paper's
+// evaluation (Table 2, Figure 12) runs the 20 XMark queries over xmlgen
+// output; xmlgen is an external C program, so this package substitutes a
+// generator with the same element structure and the same entity
+// proportions, parameterized by the usual scale factor (factor 1.0 ≈
+// 25,500 persons ≈ 100 MB serialized). All randomness derives from a
+// splitmix64 stream seeded explicitly, so a (factor, seed) pair always
+// yields byte-identical documents across runs and platforms.
+package xmark
+
+// rng is a splitmix64 pseudo-random stream. We avoid math/rand so the
+// generated corpus can never drift with Go releases.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform int in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// rangeInt returns a uniform int in [lo, hi].
+func (r *rng) rangeInt(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.intn(hi-lo+1)
+}
+
+// f64 returns a uniform float64 in [0, 1).
+func (r *rng) f64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// prob flips a coin with success probability p.
+func (r *rng) prob(p float64) bool { return r.f64() < p }
+
+// pick returns a uniformly chosen element.
+func (r *rng) pick(list []string) string { return list[r.intn(len(list))] }

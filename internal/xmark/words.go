@@ -1,0 +1,80 @@
+package xmark
+
+// Vocabulary for generated prose. The original xmlgen samples Shakespeare;
+// we use a fixed word list. "gold" is present with ordinary frequency so
+// that XMark Q14 (contains(description, "gold")) selects a stable fraction
+// of items.
+var words = []string{
+	"gold", "silver", "vintage", "rare", "antique", "mint", "condition",
+	"auction", "bidder", "reserve", "shipping", "estate", "collector",
+	"original", "signed", "limited", "edition", "classic", "ornate",
+	"carved", "wooden", "brass", "copper", "velvet", "linen", "porcelain",
+	"crystal", "amber", "ivory", "jade", "pearl", "ruby", "sapphire",
+	"emerald", "bronze", "marble", "granite", "oak", "maple", "walnut",
+	"cherry", "leather", "silk", "cotton", "wool", "glass", "ceramic",
+	"painted", "etched", "engraved", "polished", "restored", "preserved",
+	"authentic", "certified", "appraised", "museum", "gallery", "private",
+	"collection", "century", "period", "style", "design", "pattern",
+	"handle", "frame", "panel", "drawer", "cabinet", "table", "chair",
+	"lamp", "clock", "watch", "ring", "necklace", "bracelet", "pendant",
+	"coin", "stamp", "print", "poster", "book", "manuscript", "letter",
+	"map", "globe", "telescope", "camera", "radio", "phonograph", "piano",
+	"violin", "guitar", "flute", "drum", "tapestry", "rug", "quilt",
+	"mirror", "vase", "bowl", "plate", "teapot", "goblet",
+}
+
+var countries = []string{
+	"United States", "Germany", "France", "Japan", "Australia",
+	"Netherlands", "Italy", "Spain", "Canada", "Brazil", "India",
+}
+
+var cities = []string{
+	"Munich", "Amsterdam", "Tokyo", "Sydney", "Paris", "Rome", "Madrid",
+	"Toronto", "Chicago", "Boston", "Seattle", "Berlin", "Lyon",
+}
+
+var firstNames = []string{
+	"Torsten", "Jan", "Jens", "Maria", "Ana", "Ken", "Yuki", "Lena",
+	"Omar", "Priya", "Sven", "Ines", "Paul", "Nora", "Ivan", "Wei",
+	"Aoife", "Luca", "Emma", "Noah", "Mia", "Liam", "Zoe", "Max",
+}
+
+var lastNames = []string{
+	"Grust", "Rittinger", "Teubner", "Schmidt", "Meyer", "Tanaka",
+	"Nguyen", "Silva", "Kumar", "Olsen", "Moreau", "Rossi", "Garcia",
+	"Novak", "Kowalski", "Chen", "Brown", "Smith", "Keller", "Weber",
+}
+
+var streets = []string{
+	"Main St", "Oak Ave", "Elm St", "Park Rd", "High St", "Lake Dr",
+	"Hill Rd", "River Ln", "Mill Ct", "Bay St",
+}
+
+var education = []string{
+	"High School", "College", "Graduate School", "Other",
+}
+
+var auctionTypes = []string{"Regular", "Featured", "Dutch"}
+
+var paymentForms = []string{
+	"Creditcard", "Money order", "Personal Check", "Cash",
+}
+
+var shipping = []string{
+	"Will ship only within country", "Will ship internationally",
+	"Buyer pays fixed shipping charges", "See description for charges",
+}
+
+var happinessLevels = []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10"}
+
+// sentence appends n words to a byte slice builder via pick.
+func (r *rng) sentence(n int) string {
+	buf := make([]byte, 0, n*8)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, r.pick(words)...)
+	}
+	return string(buf)
+}

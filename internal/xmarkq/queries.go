@@ -1,0 +1,208 @@
+// Package xmarkq contains the 20 queries of the XMark benchmark (Schmidt
+// et al., VLDB 2002) — the workload of the paper's evaluation (§5,
+// Figure 12, Table 2) — phrased in the XQuery subset this engine
+// supports. Deviations from the canonical text are noted per query.
+package xmarkq
+
+// Query is one XMark benchmark query.
+type Query struct {
+	ID   int
+	Name string
+	// What the query exercises; condensed from the XMark paper.
+	Description string
+	Text        string
+	// OrderedDeterministic is false for queries whose result order is
+	// implementation-dependent even under ordering mode ordered (Q10
+	// iterates over fn:distinct-values); differential tests compare such
+	// results as bags.
+	OrderedDeterministic bool
+}
+
+const prolog = `let $auction := doc("auction.xml") return `
+
+// All returns the 20 XMark queries in order.
+func All() []Query { return queries }
+
+// Get returns query QN (1-based).
+func Get(n int) Query { return queries[n-1] }
+
+var queries = []Query{
+	{
+		ID: 1, Name: "Q1", OrderedDeterministic: true,
+		Description: "Exact match: name of the person with id person0.",
+		Text: prolog + `for $b in $auction/site/people/person[@id = "person0"]
+return $b/name/text()`,
+	},
+	{
+		ID: 2, Name: "Q2", OrderedDeterministic: true,
+		Description: "Ordered access: initial increase of all open auctions.",
+		Text: prolog + `for $b in $auction/site/open_auctions/open_auction
+return <increase>{ $b/bidder[1]/increase/text() }</increase>`,
+	},
+	{
+		ID: 3, Name: "Q3", OrderedDeterministic: true,
+		Description: "Ordered access: auctions whose current increase is at least twice the initial.",
+		Text: prolog + `for $b in $auction/site/open_auctions/open_auction
+where zero-or-one($b/bidder[1]/increase/text()) * 2 <= $b/bidder[last()]/increase/text()
+return <increase first="{ $b/bidder[1]/increase/text() }"
+                 last="{ $b/bidder[last()]/increase/text() }"/>`,
+	},
+	{
+		ID: 4, Name: "Q4", OrderedDeterministic: true,
+		Description: "Document order: auctions where person20 bid before person51.",
+		Text: prolog + `for $b in $auction/site/open_auctions/open_auction
+where some $pr1 in $b/bidder/personref[@person = "person20"],
+      $pr2 in $b/bidder/personref[@person = "person51"]
+      satisfies $pr1 << $pr2
+return <history>{ $b/initial/text() }</history>`,
+	},
+	{
+		ID: 5, Name: "Q5", OrderedDeterministic: true,
+		Description: "Exact match with aggregation: closed auctions above 40.",
+		Text: prolog + `count(for $i in $auction/site/closed_auctions/closed_auction
+where $i/price/text() >= 40
+return $i/price)`,
+	},
+	{
+		ID: 6, Name: "Q6", OrderedDeterministic: true,
+		Description: "Regular path expressions: items per region (the paper's Figure 6 query).",
+		Text: prolog + `for $b in $auction//site/regions
+return count($b//item)`,
+	},
+	{
+		ID: 7, Name: "Q7", OrderedDeterministic: true,
+		Description: "Regular path expressions: count pieces of prose.",
+		Text: prolog + `for $p in $auction/site
+return count($p//description) + count($p//annotation) + count($p//emailaddress)`,
+	},
+	{
+		ID: 8, Name: "Q8", OrderedDeterministic: true,
+		Description: "Value join: number of items bought per person.",
+		Text: prolog + `for $p in $auction/site/people/person
+let $a := for $t in $auction/site/closed_auctions/closed_auction
+          where $t/buyer/@person = $p/@id
+          return $t
+return <item person="{ $p/name/text() }">{ count($a) }</item>`,
+	},
+	{
+		ID: 9, Name: "Q9", OrderedDeterministic: true,
+		Description: "Three-way value join: items sold in Europe per buyer.",
+		Text: prolog + `let $ca := $auction/site/closed_auctions/closed_auction
+let $ei := $auction/site/regions/europe/item
+for $p in $auction/site/people/person
+let $a := for $t in $ca
+          let $n := for $t2 in $ei
+                    where $t/itemref/@item = $t2/@id
+                    return $t2
+          where $p/@id = $t/buyer/@person
+          return <item>{ $n/name/text() }</item>
+return <person name="{ $p/name/text() }">{ $a }</person>`,
+	},
+	{
+		ID: 10, Name: "Q10",
+		Description: "Grouping by interest category (result order follows fn:distinct-values, implementation-dependent).",
+		Text: prolog + `for $i in distinct-values($auction/site/people/person/profile/interest/@category)
+let $p := for $t in $auction/site/people/person
+          where $t/profile/interest/@category = $i
+          return <personne>
+              <statistiques>
+                <sexe>{ $t/profile/gender/text() }</sexe>
+                <age>{ $t/profile/age/text() }</age>
+                <education>{ $t/profile/education/text() }</education>
+                <revenu>{ data($t/profile/@income) }</revenu>
+              </statistiques>
+              <coordonnees>
+                <nom>{ $t/name/text() }</nom>
+                <rue>{ $t/address/street/text() }</rue>
+                <ville>{ $t/address/city/text() }</ville>
+                <pays>{ $t/address/country/text() }</pays>
+                <reseau>
+                  <courrier>{ $t/emailaddress/text() }</courrier>
+                  <pagePerso>{ $t/homepage/text() }</pagePerso>
+                </reseau>
+              </coordonnees>
+              <cartePaiement>{ $t/creditcard/text() }</cartePaiement>
+            </personne>
+return <categorie>{ <id>{ $i }</id>, $p }</categorie>`,
+	},
+	{
+		ID: 11, Name: "Q11", OrderedDeterministic: true,
+		Description: "Non-equi value join with construction (the paper's Table 2 query).",
+		Text: prolog + `for $p in $auction/site/people/person
+let $l := for $i in $auction/site/open_auctions/open_auction/initial
+          where $p/profile/@income > 5000 * $i
+          return $i
+return <items name="{ $p/name }">{ count($l) }</items>`,
+	},
+	{
+		ID: 12, Name: "Q12", OrderedDeterministic: true,
+		Description: "Non-equi join restricted to wealthy sellers.",
+		Text: prolog + `for $p in $auction/site/people/person
+let $l := for $i in $auction/site/open_auctions/open_auction/initial
+          where $p/profile/@income > 5000 * $i
+          return $i
+where $p/profile/@income > 50000
+return <items person="{ data($p/profile/@income) }">{ count($l) }</items>`,
+	},
+	{
+		ID: 13, Name: "Q13", OrderedDeterministic: true,
+		Description: "Reconstruction: names and descriptions of Australian items.",
+		Text: prolog + `for $i in $auction/site/regions/australia/item
+return <item name="{ $i/name/text() }">{ $i/description }</item>`,
+	},
+	{
+		ID: 14, Name: "Q14", OrderedDeterministic: true,
+		Description: "Full text: items whose description mentions gold.",
+		Text: prolog + `for $i in $auction/site//item
+where contains(string(exactly-one($i/description)), "gold")
+return $i/name/text()`,
+	},
+	{
+		ID: 15, Name: "Q15", OrderedDeterministic: true,
+		Description: "Long path traversal into nested annotation parlists.",
+		Text: prolog + `for $a in $auction/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()
+return <text>{ $a }</text>`,
+	},
+	{
+		ID: 16, Name: "Q16", OrderedDeterministic: true,
+		Description: "Long path in a where clause.",
+		Text: prolog + `for $a in $auction/site/closed_auctions/closed_auction
+where not(empty($a/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()))
+return <person id="{ $a/seller/@person }"/>`,
+	},
+	{
+		ID: 17, Name: "Q17", OrderedDeterministic: true,
+		Description: "Missing elements: persons without a homepage.",
+		Text: prolog + `for $p in $auction/site/people/person
+where empty($p/homepage/text())
+return <person name="{ $p/name/text() }"/>`,
+	},
+	{
+		ID: 18, Name: "Q18", OrderedDeterministic: true,
+		Description: "User-defined function application (currency conversion).",
+		Text: `declare function local:convert($v as xs:decimal?) as xs:decimal? { 2.20371 * $v };
+let $auction := doc("auction.xml") return
+for $i in $auction/site/open_auctions/open_auction
+return local:convert(zero-or-one($i/reserve/text()))`,
+	},
+	{
+		ID: 19, Name: "Q19", OrderedDeterministic: true,
+		Description: "Sorting by location (order by — case (f) of the paper's context list).",
+		Text: prolog + `for $b in $auction/site/regions//item
+let $k := $b/name/text()
+order by zero-or-one($b/location) ascending
+return <item name="{ $k }">{ $b/location/text() }</item>`,
+	},
+	{
+		ID: 20, Name: "Q20", OrderedDeterministic: true,
+		Description: "Aggregation with predicates: income bands.",
+		Text: prolog + `<result>
+ <preferred>{ count($auction/site/people/person/profile[@income >= 100000]) }</preferred>
+ <standard>{ count($auction/site/people/person/profile[@income < 100000 and @income >= 30000]) }</standard>
+ <challenge>{ count($auction/site/people/person/profile[@income < 30000]) }</challenge>
+ <na>{ count(for $p in $auction/site/people/person
+             where empty($p/profile/@income)
+             return $p) }</na>
+</result>`,
+	},
+}

@@ -1,0 +1,171 @@
+package xmarkq
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/xdm"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+	"repro/internal/xquery"
+)
+
+func buildXMarkStore(t testing.TB, factor float64) (*xmltree.Store, map[string]uint32) {
+	t.Helper()
+	store := xmltree.NewStore()
+	f := xmark.Generate(xmark.Config{Factor: factor})
+	id := store.Add(f)
+	return store, map[string]uint32{"auction.xml": id}
+}
+
+func TestAllQueriesParseAndCompile(t *testing.T) {
+	if len(All()) != 20 {
+		t.Fatalf("expected 20 queries, got %d", len(All()))
+	}
+	for _, q := range All() {
+		if _, err := xquery.Parse(q.Text); err != nil {
+			t.Errorf("%s does not parse: %v", q.Name, err)
+			continue
+		}
+		for name, cfg := range map[string]core.Config{
+			"baseline":     core.BaselineConfig(),
+			"indifference": core.DefaultConfig(),
+		} {
+			if _, err := core.Prepare(q.Text, cfg); err != nil {
+				t.Errorf("%s does not compile (%s): %v", q.Name, name, err)
+			}
+		}
+	}
+}
+
+// TestDifferentialXMark runs every query on a small XMark instance and
+// compares the compiled pipeline against the reference interpreter under
+// both configurations. This is the end-to-end gate for the benchmark
+// workload itself.
+func TestDifferentialXMark(t *testing.T) {
+	store, docs := buildXMarkStore(t, 0.003)
+	ip := interp.New(store, docs)
+	for _, q := range All() {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			ref, err := ip.EvalString(q.Text)
+			if err != nil {
+				t.Fatalf("interp: %v", err)
+			}
+			want, err := ref.SerializeXML()
+			if err != nil {
+				t.Fatalf("interp serialize: %v", err)
+			}
+			for name, cfg := range map[string]core.Config{
+				"baseline":     core.BaselineConfig(),
+				"indifference": core.DefaultConfig(),
+			} {
+				p, err := core.Prepare(q.Text, cfg)
+				if err != nil {
+					t.Fatalf("%s prepare: %v", name, err)
+				}
+				res, err := p.Run(store, docs)
+				if err != nil {
+					t.Fatalf("%s run: %v", name, err)
+				}
+				got, err := res.SerializeXML()
+				if err != nil {
+					t.Fatalf("%s serialize: %v", name, err)
+				}
+				if q.OrderedDeterministic {
+					if got != want {
+						t.Errorf("%s: result mismatch\n got: %.200q\nwant: %.200q", name, got, want)
+					}
+				} else if !sameBag(t, res.Items, res.Store, ref.Items, ref.Store) {
+					t.Errorf("%s: bag mismatch", name)
+				}
+			}
+		})
+	}
+}
+
+// TestUnorderedXMarkBagEquivalence runs every query under ordering mode
+// unordered and checks permutation equivalence of the result items.
+func TestUnorderedXMarkBagEquivalence(t *testing.T) {
+	store, docs := buildXMarkStore(t, 0.003)
+	ip := interp.New(store, docs)
+	u := xquery.Unordered
+	cfg := core.DefaultConfig()
+	cfg.ForceOrdering = &u
+	for _, q := range All() {
+		q := q
+		switch q.ID {
+		case 2, 3:
+			// Q2/Q3 select bidder[1]/bidder[last()]: under ordering mode
+			// unordered, positional predicates pick from an arbitrary
+			// order — results legitimately differ from the oracle.
+			continue
+		}
+		t.Run(q.Name, func(t *testing.T) {
+			ref, err := ip.EvalString(q.Text)
+			if err != nil {
+				t.Fatalf("interp: %v", err)
+			}
+			p, err := core.Prepare(q.Text, cfg)
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			res, err := p.Run(store, docs)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !sameBag(t, res.Items, res.Store, ref.Items, ref.Store) {
+				t.Errorf("bag mismatch under unordered mode")
+			}
+		})
+	}
+}
+
+func sameBag(t *testing.T, a []xdm.Item, as *xmltree.Store, b []xdm.Item, bs *xmltree.Store) bool {
+	t.Helper()
+	ser := func(items []xdm.Item, s *xmltree.Store) []string {
+		out := make([]string, len(items))
+		for i := range items {
+			one, err := xmltree.SerializeItems(s, items[i:i+1])
+			if err != nil {
+				t.Fatalf("serialize: %v", err)
+			}
+			out[i] = one
+		}
+		sort.Strings(out)
+		return out
+	}
+	sa, sb := ser(a, as), ser(b, bs)
+	if len(sa) != len(sb) {
+		return false
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQueriesSelectivity sanity-checks that the generated documents make
+// the queries meaningful (non-trivial result sizes) at a small factor.
+func TestQueriesSelectivity(t *testing.T) {
+	store, docs := buildXMarkStore(t, 0.01)
+	ip := interp.New(store, docs)
+	for _, q := range All() {
+		res, err := ip.EvalString(q.Text)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		switch q.ID {
+		case 1, 4:
+			// Point lookups may legitimately return few or no items.
+		default:
+			if len(res.Items) == 0 {
+				t.Errorf("%s returns nothing at factor 0.01 — workload degenerate", q.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package xmltree
+
+import "fmt"
+
+// Builder constructs a Fragment in document order. It is used by the XML
+// parser, the XMark generator, and the runtime twig-construction operator
+// (element constructors copy their content into a fresh fragment, which is
+// how sequence order establishes document order — interaction 2 of the
+// paper).
+//
+// Usage: StartDoc/StartElem, then for each element optionally Attr calls
+// (before any content), child content, EndElem. Close fixes up subtree
+// sizes and returns the fragment.
+type Builder struct {
+	frag    *Fragment
+	open    []int32 // stack of open node preorder ranks
+	lastTop int32   // top-of-stack when the last text node was appended, for merging
+}
+
+// NewBuilder returns an empty builder. The fragment's ID is assigned when
+// it is added to a Store.
+func NewBuilder() *Builder {
+	return &Builder{frag: &Fragment{}, lastTop: -2}
+}
+
+func (b *Builder) push(kind NodeKind, name, value string) int32 {
+	f := b.frag
+	pre := int32(f.Len())
+	parent := int32(-1)
+	level := int32(0)
+	if n := len(b.open); n > 0 {
+		parent = b.open[n-1]
+		level = f.Level[parent] + 1
+	}
+	f.Kind = append(f.Kind, kind)
+	f.Name = append(f.Name, name)
+	f.Value = append(f.Value, value)
+	f.Size = append(f.Size, 0)
+	f.Level = append(f.Level, level)
+	f.Parent = append(f.Parent, parent)
+	return pre
+}
+
+// StartDoc opens a document node; it must be the first node if used.
+func (b *Builder) StartDoc(uri string) {
+	if b.frag.Len() != 0 {
+		panic("xmltree: StartDoc on non-empty builder")
+	}
+	b.frag.Name_ = uri
+	pre := b.push(KindDoc, "", "")
+	b.open = append(b.open, pre)
+}
+
+// StartElem opens an element node.
+func (b *Builder) StartElem(name string) {
+	pre := b.push(KindElem, name, "")
+	b.open = append(b.open, pre)
+	b.lastTop = -2
+}
+
+// Attr appends an attribute node to the currently open element. Attributes
+// must be added before any child content so that they sit directly after
+// their owner in preorder.
+func (b *Builder) Attr(name, value string) {
+	n := len(b.open)
+	if n == 0 || b.frag.Kind[b.open[n-1]] != KindElem {
+		panic("xmltree: Attr outside an open element")
+	}
+	owner := b.open[n-1]
+	if int32(b.frag.Len()) != owner+1 && b.frag.Kind[b.frag.Len()-1] != KindAttr {
+		panic("xmltree: Attr after element content")
+	}
+	b.push(KindAttr, name, value)
+}
+
+// Text appends a text node; adjacent text nodes under the same parent are
+// merged, and empty strings are dropped (XDM forbids empty text nodes).
+func (b *Builder) Text(value string) {
+	if value == "" {
+		return
+	}
+	f := b.frag
+	n := len(b.open)
+	var top int32 = -1
+	if n > 0 {
+		top = b.open[n-1]
+	}
+	last := int32(f.Len() - 1)
+	if last >= 0 && f.Kind[last] == KindText && b.lastTop == top {
+		f.Value[last] += value
+		return
+	}
+	b.push(KindText, "", value)
+	b.lastTop = top
+}
+
+// EndElem closes the current element (or document) node and fixes its
+// subtree size.
+func (b *Builder) EndElem() {
+	n := len(b.open)
+	if n == 0 {
+		panic("xmltree: EndElem with no open element")
+	}
+	v := b.open[n-1]
+	b.open = b.open[:n-1]
+	b.frag.Size[v] = int32(b.frag.Len()) - v - 1
+	b.lastTop = -2
+}
+
+// CopySubtree appends a deep copy of the subtree rooted at src:pre
+// (including attributes) as content of the currently open element. This is
+// the node-copying step of XQuery element construction.
+func (b *Builder) CopySubtree(src *Fragment, pre int32) {
+	f := b.frag
+	n := len(b.open)
+	if n == 0 {
+		panic("xmltree: CopySubtree with no open element")
+	}
+	base := int32(f.Len())
+	parentLevel := f.Level[b.open[n-1]]
+	srcLevel := src.Level[pre]
+	end := pre + src.Size[pre]
+	for c := pre; c <= end; c++ {
+		f.Kind = append(f.Kind, src.Kind[c])
+		f.Name = append(f.Name, src.Name[c])
+		f.Value = append(f.Value, src.Value[c])
+		f.Size = append(f.Size, src.Size[c])
+		f.Level = append(f.Level, src.Level[c]-srcLevel+parentLevel+1)
+		p := src.Parent[c]
+		if c == pre {
+			f.Parent = append(f.Parent, b.open[n-1])
+		} else {
+			f.Parent = append(f.Parent, p-pre+base)
+		}
+	}
+	b.lastTop = -2
+}
+
+// Close finalizes the fragment; any still-open nodes are closed. The
+// builder must not be reused afterwards.
+func (b *Builder) Close() *Fragment {
+	for len(b.open) > 0 {
+		b.EndElem()
+	}
+	f := b.frag
+	b.frag = nil
+	return f
+}
+
+// Depth returns the number of currently open nodes (used by parsers to
+// validate balance).
+func (b *Builder) Depth() int { return len(b.open) }
+
+// Validate checks the structural invariants of a fragment: sizes cover
+// exactly the subtree span, levels increase by one along parent edges, and
+// attribute nodes directly follow their owner. It is used by tests and the
+// property-based checks.
+func Validate(f *Fragment) error {
+	if f.Len() == 0 {
+		return fmt.Errorf("xmltree: empty fragment")
+	}
+	if f.Level[0] != 0 || f.Parent[0] != -1 {
+		return fmt.Errorf("xmltree: bad root encoding")
+	}
+	if int(f.Size[0]) != f.Len()-1 {
+		return fmt.Errorf("xmltree: root size %d does not span fragment of %d nodes", f.Size[0], f.Len())
+	}
+	for v := 0; v < f.Len(); v++ {
+		p := f.Parent[v]
+		if v > 0 {
+			if p < 0 || int32(v) <= p || int32(v) > p+f.Size[p] {
+				return fmt.Errorf("xmltree: node %d outside parent %d subtree", v, p)
+			}
+			if f.Level[v] != f.Level[p]+1 {
+				return fmt.Errorf("xmltree: node %d level %d, parent level %d", v, f.Level[v], f.Level[p])
+			}
+		}
+		if f.Kind[v] == KindAttr && f.Size[v] != 0 {
+			return fmt.Errorf("xmltree: attribute %d with non-empty subtree", v)
+		}
+		if f.Kind[v] == KindAttr && f.Kind[p] != KindElem {
+			return fmt.Errorf("xmltree: attribute %d owned by non-element", v)
+		}
+		end := int32(v) + f.Size[v]
+		if end >= int32(f.Len()) {
+			return fmt.Errorf("xmltree: node %d size %d exceeds fragment", v, f.Size[v])
+		}
+	}
+	return nil
+}

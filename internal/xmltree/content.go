@@ -1,0 +1,90 @@
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xdm"
+)
+
+// AppendContent implements the XQuery element-content rules while building
+// an element: attribute nodes become attributes of the element (and must
+// precede any other content), consecutive atomic values are joined by
+// single spaces into one text node, KRawText items become their own text
+// nodes, and nodes are deep-copied (constructors copy, establishing fresh
+// node identity and document order — interaction 2 of the paper).
+func AppendContent(store *Store, b *Builder, elemName string, items []xdm.Item) error {
+	sawContent := false
+	var pendingAtomics []string
+	flushAtomics := func() {
+		if len(pendingAtomics) > 0 {
+			b.Text(strings.Join(pendingAtomics, " "))
+			pendingAtomics = nil
+		}
+	}
+	for _, it := range items {
+		switch {
+		case it.IsNode():
+			f := store.Frag(it.N.Frag)
+			if f.Kind[it.N.Pre] == KindAttr {
+				if sawContent || len(pendingAtomics) > 0 {
+					return fmt.Errorf("xmltree: attribute %s after content of <%s>", f.Name[it.N.Pre], elemName)
+				}
+				b.Attr(f.Name[it.N.Pre], f.Value[it.N.Pre])
+				continue
+			}
+			flushAtomics()
+			b.CopySubtree(f, it.N.Pre)
+			sawContent = true
+		case it.Kind == xdm.KRawText:
+			flushAtomics()
+			b.Text(it.S)
+			sawContent = true
+		default:
+			pendingAtomics = append(pendingAtomics, it.StringValue())
+			sawContent = true
+		}
+	}
+	flushAtomics()
+	return nil
+}
+
+// SerializeItems renders an item sequence per the XQuery serialization
+// rules: adjacent atomic values are separated by one space, nodes are
+// serialized as XML, free-standing attribute nodes are an error.
+func SerializeItems(store *Store, items []xdm.Item) (string, error) {
+	var sb strings.Builder
+	prevAtomic := false
+	for _, it := range items {
+		if it.IsNode() {
+			f := store.Frag(it.N.Frag)
+			if f.Kind[it.N.Pre] == KindAttr {
+				return "", fmt.Errorf("xmltree: cannot serialize free-standing attribute %s", f.Name[it.N.Pre])
+			}
+			sb.WriteString(SerializeToString(f, it.N.Pre, SerializeOptions{}))
+			prevAtomic = false
+			continue
+		}
+		if prevAtomic {
+			sb.WriteString(" ")
+		}
+		sb.WriteString(EscapeText(it.StringValue()))
+		prevAtomic = true
+	}
+	return sb.String(), nil
+}
+
+// NewAttrFragment wraps a free-standing attribute node in its own
+// fragment (used by the runtime attribute-construction operator; such
+// attributes are transient — they are copied into their owner element by
+// the enclosing element constructor).
+func NewAttrFragment(name, value string) *Fragment {
+	return &Fragment{
+		Kind:   []NodeKind{KindAttr},
+		Name:   []string{name},
+		Value:  []string{value},
+		Size:   []int32{0},
+		Level:  []int32{0},
+		Parent: []int32{-1},
+	}
+}

@@ -1,0 +1,82 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseOptions controls XML parsing.
+type ParseOptions struct {
+	// KeepWhitespaceText retains text nodes consisting solely of
+	// whitespace. The default (false) strips them, which matches the
+	// boundary-whitespace handling most XQuery processors apply to
+	// data-oriented documents such as the XMark instances.
+	KeepWhitespaceText bool
+}
+
+// Parse reads an XML document from r into an order-encoded fragment with a
+// document node at preorder rank 0. Comments and processing instructions
+// are skipped (the eXrQuy algebra does not observe them).
+func Parse(r io.Reader, uri string, opts ParseOptions) (*Fragment, error) {
+	dec := xml.NewDecoder(r)
+	b := NewBuilder()
+	b.StartDoc(uri)
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse %s: %w", uri, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			b.StartElem(t.Name.Local)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				b.Attr(a.Name.Local, a.Value)
+			}
+			depth++
+		case xml.EndElement:
+			b.EndElem()
+			depth--
+		case xml.CharData:
+			if depth == 0 {
+				continue // whitespace between top-level constructs
+			}
+			s := string(t)
+			if !opts.KeepWhitespaceText && strings.TrimSpace(s) == "" {
+				continue
+			}
+			b.Text(s)
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("xmltree: parse %s: unbalanced document", uri)
+	}
+	f := b.Close()
+	if f.Len() == 1 {
+		return nil, fmt.Errorf("xmltree: parse %s: no root element", uri)
+	}
+	return f, nil
+}
+
+// ParseString is Parse over an in-memory document.
+func ParseString(doc, uri string, opts ParseOptions) (*Fragment, error) {
+	return Parse(strings.NewReader(doc), uri, opts)
+}
+
+// MustParseString parses or panics; intended for tests and examples with
+// literal documents.
+func MustParseString(doc string) *Fragment {
+	f, err := ParseString(doc, "inline", ParseOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,110 @@
+package xmltree
+
+import (
+	"io"
+	"strings"
+)
+
+// SerializeOptions controls XML serialization.
+type SerializeOptions struct {
+	// Indent, when non-empty, pretty-prints element content with the given
+	// unit of indentation. Mixed content (elements with text siblings) is
+	// never re-indented.
+	Indent string
+}
+
+// Serialize writes the subtree rooted at pre as XML text. Document nodes
+// serialize their children; attribute nodes serialize as name="value"
+// (useful only in diagnostics — XDM serialization of free-standing
+// attributes is an error, which callers enforce).
+func Serialize(w io.Writer, f *Fragment, pre int32, opts SerializeOptions) error {
+	s := serializer{w: w, f: f, indent: opts.Indent}
+	s.node(pre, 0)
+	return s.err
+}
+
+// SerializeToString renders the subtree rooted at pre as a string.
+func SerializeToString(f *Fragment, pre int32, opts SerializeOptions) string {
+	var sb strings.Builder
+	_ = Serialize(&sb, f, pre, opts)
+	return sb.String()
+}
+
+type serializer struct {
+	w      io.Writer
+	f      *Fragment
+	indent string
+	err    error
+}
+
+func (s *serializer) write(str string) {
+	if s.err == nil {
+		_, s.err = io.WriteString(s.w, str)
+	}
+}
+
+func (s *serializer) node(v int32, depth int) {
+	f := s.f
+	switch f.Kind[v] {
+	case KindDoc:
+		for _, c := range f.Children(v) {
+			s.node(c, depth)
+			if s.indent != "" {
+				s.write("\n")
+			}
+		}
+	case KindText:
+		s.write(EscapeText(f.Value[v]))
+	case KindAttr:
+		s.write(f.Name[v] + `="` + EscapeAttr(f.Value[v]) + `"`)
+	case KindElem:
+		s.write("<" + f.Name[v])
+		for _, a := range f.Attributes(v) {
+			s.write(" " + f.Name[a] + `="` + EscapeAttr(f.Value[a]) + `"`)
+		}
+		kids := f.Children(v)
+		if len(kids) == 0 {
+			s.write("/>")
+			return
+		}
+		s.write(">")
+		pretty := s.indent != "" && !hasTextChild(f, kids)
+		for _, c := range kids {
+			if pretty {
+				s.write("\n" + strings.Repeat(s.indent, depth+1))
+			}
+			s.node(c, depth+1)
+		}
+		if pretty {
+			s.write("\n" + strings.Repeat(s.indent, depth))
+		}
+		s.write("</" + f.Name[v] + ">")
+	}
+}
+
+func hasTextChild(f *Fragment, kids []int32) bool {
+	for _, c := range kids {
+		if f.Kind[c] == KindText {
+			return true
+		}
+	}
+	return false
+}
+
+// EscapeText escapes character data for XML text content.
+func EscapeText(s string) string {
+	if !strings.ContainsAny(s, "&<>") {
+		return s
+	}
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// EscapeAttr escapes character data for a double-quoted attribute value.
+func EscapeAttr(s string) string {
+	if !strings.ContainsAny(s, `&<>"`) {
+		return s
+	}
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,76 @@
+package xmltree
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/xdm"
+)
+
+// Store maps fragment IDs to fragments. An engine-level store holds the
+// loaded documents; each query execution derives a private store (Derive)
+// into which its constructed fragments are appended, so concurrent
+// executions never contend and temporary fragments are garbage after the
+// query finishes.
+type Store struct {
+	mu    sync.RWMutex
+	frags []*Fragment
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Add registers a fragment, assigns its ID, and returns it.
+func (s *Store) Add(f *Fragment) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := uint32(len(s.frags))
+	f.ID = id
+	s.frags = append(s.frags, f)
+	return id
+}
+
+// Frag returns the fragment with the given ID.
+func (s *Store) Frag(id uint32) *Fragment {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(id) >= len(s.frags) {
+		panic(fmt.Sprintf("xmltree: unknown fragment %d", id))
+	}
+	return s.frags[id]
+}
+
+// Len returns the number of registered fragments.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.frags)
+}
+
+// Derive returns a new store that shares this store's fragments (read-only)
+// and owns any fragments added afterwards.
+func (s *Store) Derive() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	frags := make([]*Fragment, len(s.frags))
+	copy(frags, s.frags)
+	return &Store{frags: frags}
+}
+
+// NodeKindOf resolves the kind of a node reference.
+func (s *Store) NodeKindOf(n xdm.NodeID) NodeKind { return s.Frag(n.Frag).Kind[n.Pre] }
+
+// StringValueOf resolves the XDM string value of a node reference.
+func (s *Store) StringValueOf(n xdm.NodeID) string { return s.Frag(n.Frag).StringValue(n.Pre) }
+
+// Atomize converts an item to its atomic value: nodes atomize to
+// xs:untypedAtomic over their string value, atomics pass through.
+func (s *Store) Atomize(it xdm.Item) xdm.Item {
+	if !it.IsNode() {
+		return it
+	}
+	return xdm.NewUntyped(s.StringValueOf(it.N))
+}
+
+// NameOf returns the node name ("" for text/document nodes).
+func (s *Store) NameOf(n xdm.NodeID) string { return s.Frag(n.Frag).NodeName(n.Pre) }

@@ -1,0 +1,553 @@
+// Package xquery contains the surface syntax of the XQuery subset the
+// eXrQuy pipeline processes: lexer, parser, and abstract syntax. The
+// subset covers everything the paper's evaluation exercises (the 20 XMark
+// queries plus the running examples of §1/§2): FLWOR with positional
+// variables and order by, quantifiers, full comparison families, path
+// expressions with predicates, node set operations, direct constructors,
+// ordered{}/unordered{} and prolog declarations.
+package xquery
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xdm"
+)
+
+// OrderingMode is XQuery's ordering mode (§2.1 of the paper).
+type OrderingMode uint8
+
+// Ordering modes. The spec calls ordered a "perceived default": engines
+// may default to unordered; we default to ordered like Pathfinder.
+const (
+	Ordered OrderingMode = iota
+	Unordered
+)
+
+// String names the mode as it appears in the prolog.
+func (m OrderingMode) String() string {
+	if m == Unordered {
+		return "unordered"
+	}
+	return "ordered"
+}
+
+// Module is a parsed query: prolog declarations plus the body expression.
+type Module struct {
+	Ordering  OrderingMode
+	Functions []*FuncDecl
+	Variables []*VarDecl
+	Body      Expr
+}
+
+// VarDecl is a prolog variable declaration: either initialized
+// (declare variable $x := e;) or external (declare variable $x external;),
+// to be bound by the host environment at execution time.
+type VarDecl struct {
+	Name     string
+	Type     string // declared type, informational
+	Init     Expr   // nil for external variables
+	External bool
+}
+
+// FuncDecl is a prolog function declaration (declare function local:f…).
+// Declared types are recorded but not enforced; functions are inlined
+// during normalization and must not be recursive.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Result string // declared result type, informational
+	Body   Expr
+}
+
+// Param is a declared function parameter.
+type Param struct {
+	Name string
+	Type string // declared type, informational
+}
+
+// Expr is any expression node.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Axis enumerates the XPath axes the engine evaluates.
+type Axis uint8
+
+// Supported axes.
+const (
+	AxisChild Axis = iota
+	AxisDescendant
+	AxisDescendantOrSelf
+	AxisSelf
+	AxisAttribute
+	AxisParent
+)
+
+// String returns the axis name.
+func (a Axis) String() string {
+	switch a {
+	case AxisChild:
+		return "child"
+	case AxisDescendant:
+		return "descendant"
+	case AxisDescendantOrSelf:
+		return "descendant-or-self"
+	case AxisSelf:
+		return "self"
+	case AxisAttribute:
+		return "attribute"
+	case AxisParent:
+		return "parent"
+	default:
+		return "?"
+	}
+}
+
+// TestKind classifies node tests.
+type TestKind uint8
+
+// Node test kinds.
+const (
+	TestName TestKind = iota // name test: foo
+	TestWild                 // *
+	TestNode                 // node()
+	TestText                 // text()
+)
+
+// NodeTest is the node test of a step.
+type NodeTest struct {
+	Kind TestKind
+	Name string // for TestName
+}
+
+// String renders the test.
+func (t NodeTest) String() string {
+	switch t.Kind {
+	case TestName:
+		return t.Name
+	case TestWild:
+		return "*"
+	case TestNode:
+		return "node()"
+	default:
+		return "text()"
+	}
+}
+
+// Step is one location step with its predicates.
+type Step struct {
+	Axis  Axis
+	Test  NodeTest
+	Preds []Expr
+}
+
+// String renders the step.
+func (s Step) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s::%s", s.Axis, s.Test)
+	for _, p := range s.Preds {
+		fmt.Fprintf(&sb, "[%s]", p)
+	}
+	return sb.String()
+}
+
+// --- Expression nodes ---
+
+// IntLit is an integer literal.
+type IntLit struct{ Val int64 }
+
+// DecLit is a decimal/double literal (both map to xs:double here).
+type DecLit struct{ Val float64 }
+
+// StrLit is a string literal.
+type StrLit struct{ Val string }
+
+// VarRef references a bound variable ($x).
+type VarRef struct{ Name string }
+
+// ContextItem is "." — the context item inside predicates.
+type ContextItem struct{}
+
+// EmptySeq is "()".
+type EmptySeq struct{}
+
+// Sequence is the comma operator (e1, e2, …), flattened at parse time.
+type Sequence struct{ Items []Expr }
+
+// Path is a (possibly rooted) path expression: Start/Step1/Step2/…
+// Start may be nil, in which case the steps apply to the context item.
+type Path struct {
+	Start Expr
+	Steps []Step
+}
+
+// Filter applies predicates to an arbitrary base expression: (e)[p].
+type Filter struct {
+	Base  Expr
+	Preds []Expr
+}
+
+// ForClause and LetClause are FLWOR clauses.
+type ForClause struct {
+	Var    string
+	PosVar string // "" if no "at $p"
+	In     Expr
+}
+
+// LetClause binds a variable without iteration.
+type LetClause struct {
+	Var  string
+	Expr Expr
+}
+
+// Clause is a for or let clause.
+type Clause interface{ clauseNode() }
+
+func (*ForClause) clauseNode() {}
+func (*LetClause) clauseNode() {}
+
+// OrderSpec is one order-by key.
+type OrderSpec struct {
+	Key           Expr
+	Descending    bool
+	EmptyGreatest bool
+}
+
+// FLWOR is a for/let/where/order by/return block.
+type FLWOR struct {
+	Clauses []Clause
+	Where   Expr // nil if absent
+	Order   []OrderSpec
+	Stable  bool // stable order by: equal keys keep binding order
+	Return  Expr
+}
+
+// QVar is one variable binding of a quantified expression.
+type QVar struct {
+	Var string
+	In  Expr
+}
+
+// Quantified is some/every $x in e satisfies p.
+type Quantified struct {
+	Every     bool
+	Vars      []QVar
+	Satisfies Expr
+}
+
+// IfExpr is if (c) then t else e.
+type IfExpr struct{ Cond, Then, Else Expr }
+
+// Arith is a binary arithmetic expression.
+type Arith struct {
+	Op   xdm.ArithOp
+	L, R Expr
+}
+
+// Neg is unary minus.
+type Neg struct{ Expr Expr }
+
+// GeneralCmp is a general comparison (existential semantics).
+type GeneralCmp struct {
+	Op   xdm.CmpOp
+	L, R Expr
+}
+
+// ValueCmp is a value comparison (eq, lt, …).
+type ValueCmp struct {
+	Op   xdm.CmpOp
+	L, R Expr
+}
+
+// NodeCmpOp enumerates node comparisons.
+type NodeCmpOp uint8
+
+// Node comparison operators.
+const (
+	NodeBefore NodeCmpOp = iota // <<
+	NodeAfter                   // >>
+	NodeIs                      // is
+)
+
+// NodeCmp compares node identity/order.
+type NodeCmp struct {
+	Op   NodeCmpOp
+	L, R Expr
+}
+
+// LogicOp enumerates boolean connectives.
+type LogicOp uint8
+
+// Boolean connectives.
+const (
+	LogicAnd LogicOp = iota
+	LogicOr
+)
+
+// Logic is and/or.
+type Logic struct {
+	Op   LogicOp
+	L, R Expr
+}
+
+// SetOpKind enumerates node set operations.
+type SetOpKind uint8
+
+// Node set operations.
+const (
+	SetUnion SetOpKind = iota
+	SetIntersect
+	SetExcept
+)
+
+// String names the operation.
+func (k SetOpKind) String() string {
+	switch k {
+	case SetUnion:
+		return "union"
+	case SetIntersect:
+		return "intersect"
+	default:
+		return "except"
+	}
+}
+
+// SetOp is union/intersect/except over node sequences.
+type SetOp struct {
+	Kind SetOpKind
+	L, R Expr
+}
+
+// RangeExpr is e1 to e2.
+type RangeExpr struct{ L, R Expr }
+
+// FuncCall is a (built-in or prolog-declared) function application; the
+// "fn:" prefix is stripped by the parser.
+type FuncCall struct {
+	Name string
+	Args []Expr
+}
+
+// OrderedExpr is ordered { e } / unordered { e }: it sets the ordering
+// mode for the lexical scope of e.
+type OrderedExpr struct {
+	Mode OrderingMode
+	Expr Expr
+}
+
+// AttrPart is one segment of an attribute value template: literal text or
+// an embedded expression.
+type AttrPart struct {
+	Literal string
+	Expr    Expr // nil for literal segments
+}
+
+// AttrCons is one attribute of a direct element constructor.
+type AttrCons struct {
+	Name  string
+	Parts []AttrPart
+}
+
+// CharContent is literal text content inside a direct constructor (it
+// constructs a text node, unlike StrLit which is an atomic string).
+type CharContent struct{ Text string }
+
+// ElemCons is a direct element constructor.
+type ElemCons struct {
+	Name    string
+	Attrs   []AttrCons
+	Content []Expr // CharContent or enclosed expressions
+}
+
+func (*IntLit) exprNode()      {}
+func (*DecLit) exprNode()      {}
+func (*StrLit) exprNode()      {}
+func (*VarRef) exprNode()      {}
+func (*ContextItem) exprNode() {}
+func (*EmptySeq) exprNode()    {}
+func (*Sequence) exprNode()    {}
+func (*Path) exprNode()        {}
+func (*Filter) exprNode()      {}
+func (*FLWOR) exprNode()       {}
+func (*Quantified) exprNode()  {}
+func (*IfExpr) exprNode()      {}
+func (*Arith) exprNode()       {}
+func (*Neg) exprNode()         {}
+func (*GeneralCmp) exprNode()  {}
+func (*ValueCmp) exprNode()    {}
+func (*NodeCmp) exprNode()     {}
+func (*Logic) exprNode()       {}
+func (*SetOp) exprNode()       {}
+func (*RangeExpr) exprNode()   {}
+func (*FuncCall) exprNode()    {}
+func (*OrderedExpr) exprNode() {}
+func (*ElemCons) exprNode()    {}
+func (*CharContent) exprNode() {}
+
+// --- String rendering (diagnostics, golden tests) ---
+
+func (e *IntLit) String() string      { return fmt.Sprintf("%d", e.Val) }
+func (e *DecLit) String() string      { return fmt.Sprintf("%g", e.Val) }
+func (e *StrLit) String() string      { return fmt.Sprintf("%q", e.Val) }
+func (e *VarRef) String() string      { return "$" + e.Name }
+func (e *ContextItem) String() string { return "." }
+func (e *EmptySeq) String() string    { return "()" }
+
+func (e *Sequence) String() string {
+	parts := make([]string, len(e.Items))
+	for i, it := range e.Items {
+		parts[i] = it.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (e *Path) String() string {
+	var sb strings.Builder
+	if e.Start != nil {
+		sb.WriteString(e.Start.String())
+	}
+	for _, s := range e.Steps {
+		sb.WriteString("/" + s.String())
+	}
+	return sb.String()
+}
+
+func (e *Filter) String() string {
+	var sb strings.Builder
+	sb.WriteString("(" + e.Base.String() + ")")
+	for _, p := range e.Preds {
+		fmt.Fprintf(&sb, "[%s]", p)
+	}
+	return sb.String()
+}
+
+func (e *FLWOR) String() string {
+	var sb strings.Builder
+	for _, c := range e.Clauses {
+		switch c := c.(type) {
+		case *ForClause:
+			fmt.Fprintf(&sb, "for $%s ", c.Var)
+			if c.PosVar != "" {
+				fmt.Fprintf(&sb, "at $%s ", c.PosVar)
+			}
+			fmt.Fprintf(&sb, "in %s ", c.In)
+		case *LetClause:
+			fmt.Fprintf(&sb, "let $%s := %s ", c.Var, c.Expr)
+		}
+	}
+	if e.Where != nil {
+		fmt.Fprintf(&sb, "where %s ", e.Where)
+	}
+	if len(e.Order) > 0 {
+		sb.WriteString("order by ")
+		for i, o := range e.Order {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Key.String())
+			if o.Descending {
+				sb.WriteString(" descending")
+			}
+		}
+		sb.WriteString(" ")
+	}
+	fmt.Fprintf(&sb, "return %s", e.Return)
+	return sb.String()
+}
+
+func (e *Quantified) String() string {
+	var sb strings.Builder
+	if e.Every {
+		sb.WriteString("every ")
+	} else {
+		sb.WriteString("some ")
+	}
+	for i, v := range e.Vars {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "$%s in %s", v.Var, v.In)
+	}
+	fmt.Fprintf(&sb, " satisfies %s", e.Satisfies)
+	return sb.String()
+}
+
+func (e *IfExpr) String() string {
+	return fmt.Sprintf("if (%s) then %s else %s", e.Cond, e.Then, e.Else)
+}
+
+func (e *Arith) String() string { return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R) }
+func (e *Neg) String() string   { return fmt.Sprintf("-(%s)", e.Expr) }
+
+func (e *GeneralCmp) String() string { return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R) }
+
+func (e *ValueCmp) String() string {
+	names := map[xdm.CmpOp]string{
+		xdm.CmpEq: "eq", xdm.CmpNe: "ne", xdm.CmpLt: "lt",
+		xdm.CmpLe: "le", xdm.CmpGt: "gt", xdm.CmpGe: "ge",
+	}
+	return fmt.Sprintf("(%s %s %s)", e.L, names[e.Op], e.R)
+}
+
+func (e *NodeCmp) String() string {
+	ops := []string{"<<", ">>", "is"}
+	return fmt.Sprintf("(%s %s %s)", e.L, ops[e.Op], e.R)
+}
+
+func (e *Logic) String() string {
+	op := "and"
+	if e.Op == LogicOr {
+		op = "or"
+	}
+	return fmt.Sprintf("(%s %s %s)", e.L, op, e.R)
+}
+
+func (e *SetOp) String() string { return fmt.Sprintf("(%s %s %s)", e.L, e.Kind, e.R) }
+
+func (e *RangeExpr) String() string { return fmt.Sprintf("(%s to %s)", e.L, e.R) }
+
+func (e *FuncCall) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+func (e *OrderedExpr) String() string {
+	return fmt.Sprintf("%s { %s }", e.Mode, e.Expr)
+}
+
+func (e *CharContent) String() string { return fmt.Sprintf("text{%q}", e.Text) }
+
+func (e *ElemCons) String() string {
+	var sb strings.Builder
+	sb.WriteString("element " + e.Name + " {")
+	for i, a := range e.Attrs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("attribute " + a.Name + " {")
+		for j, p := range a.Parts {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			if p.Expr != nil {
+				sb.WriteString(p.Expr.String())
+			} else {
+				fmt.Fprintf(&sb, "%q", p.Literal)
+			}
+		}
+		sb.WriteString("}")
+	}
+	for i, c := range e.Content {
+		if i > 0 || len(e.Attrs) > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.String())
+	}
+	sb.WriteString("}")
+	return sb.String()
+}

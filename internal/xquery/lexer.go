@@ -1,0 +1,305 @@
+package xquery
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokKind classifies lexical tokens.
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tName
+	tInt
+	tDec
+	tStr
+	tSym
+)
+
+type token struct {
+	kind tokKind
+	text string  // name text, symbol text
+	i    int64   // tInt value
+	f    float64 // tDec value
+	s    string  // tStr value
+	pos  int     // byte offset of the token start
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "<eof>"
+	case tName:
+		return t.text
+	case tInt:
+		return strconv.FormatInt(t.i, 10)
+	case tDec:
+		return strconv.FormatFloat(t.f, 'g', -1, 64)
+	case tStr:
+		return strconv.Quote(t.s)
+	default:
+		return t.text
+	}
+}
+
+// lexer produces tokens on demand. The parser can drop to raw character
+// mode (for direct element constructors) via rawSync/rawByte, which first
+// rewinds any lookahead.
+type lexer struct {
+	src    string
+	pos    int
+	peeked []token
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// errAt formats an error with line/column position info.
+func (l *lexer) errAt(pos int, format string, args ...any) error {
+	line, col := 1, 1
+	for i := 0; i < pos && i < len(l.src); i++ {
+		if l.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("xquery: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+// next returns the next token, consuming it.
+func (l *lexer) next() token {
+	if n := len(l.peeked); n > 0 {
+		t := l.peeked[0]
+		l.peeked = l.peeked[1:]
+		return t
+	}
+	return l.scan()
+}
+
+// peek returns the next token without consuming it.
+func (l *lexer) peek() token { return l.peekN(0) }
+
+// peekN looks ahead n tokens (0 = next).
+func (l *lexer) peekN(n int) token {
+	for len(l.peeked) <= n {
+		l.peeked = append(l.peeked, l.scan())
+	}
+	return l.peeked[n]
+}
+
+// rawSync rewinds the input to the start of any buffered lookahead and
+// clears the buffer, so the parser can read characters directly.
+func (l *lexer) rawSync() {
+	if len(l.peeked) > 0 {
+		l.pos = l.peeked[0].pos
+		l.peeked = l.peeked[:0]
+	}
+}
+
+// skipSpaceAndComments advances over whitespace and (nested) (: … :) comments.
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if c == '(' && l.pos+1 < len(l.src) && l.src[l.pos+1] == ':' {
+			depth := 1
+			l.pos += 2
+			for l.pos < len(l.src) && depth > 0 {
+				if strings.HasPrefix(l.src[l.pos:], "(:") {
+					depth++
+					l.pos += 2
+				} else if strings.HasPrefix(l.src[l.pos:], ":)") {
+					depth--
+					l.pos += 2
+				} else {
+					l.pos++
+				}
+			}
+			continue
+		}
+		break
+	}
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNameChar(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// scanNCName reads an NCName starting at pos; returns the name and the new
+// position, or ("", pos) if none.
+func scanNCName(src string, pos int) (string, int) {
+	r, w := utf8.DecodeRuneInString(src[pos:])
+	if !isNameStart(r) {
+		return "", pos
+	}
+	start := pos
+	pos += w
+	for pos < len(src) {
+		r, w = utf8.DecodeRuneInString(src[pos:])
+		if !isNameChar(r) {
+			break
+		}
+		pos += w
+	}
+	return src[start:pos], pos
+}
+
+func (l *lexer) scan() token {
+	l.skipSpaceAndComments()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tEOF, pos: start}
+	}
+	c := l.src[l.pos]
+
+	// Names (NCName or QName).
+	if r, _ := utf8.DecodeRuneInString(l.src[l.pos:]); isNameStart(r) {
+		name, p := scanNCName(l.src, l.pos)
+		// QName: prefix ':' local — but not '::' (axis separator).
+		if p < len(l.src) && l.src[p] == ':' && p+1 < len(l.src) && l.src[p+1] != ':' {
+			if r2, _ := utf8.DecodeRuneInString(l.src[p+1:]); isNameStart(r2) {
+				local, p2 := scanNCName(l.src, p+1)
+				l.pos = p2
+				return token{kind: tName, text: name + ":" + local, pos: start}
+			}
+		}
+		l.pos = p
+		return token{kind: tName, text: name, pos: start}
+	}
+
+	// Numbers.
+	if c >= '0' && c <= '9' || (c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9') {
+		p := l.pos
+		seenDot, seenExp := false, false
+		for p < len(l.src) {
+			ch := l.src[p]
+			switch {
+			case ch >= '0' && ch <= '9':
+				p++
+			case ch == '.' && !seenDot && !seenExp:
+				// ".." must not be consumed ("1 .. 2" is not valid anyway,
+				// but "e[1]..": keep ".." intact).
+				if p+1 < len(l.src) && l.src[p+1] == '.' {
+					goto done
+				}
+				seenDot = true
+				p++
+			case (ch == 'e' || ch == 'E') && !seenExp:
+				if p+1 < len(l.src) && (l.src[p+1] == '+' || l.src[p+1] == '-' || (l.src[p+1] >= '0' && l.src[p+1] <= '9')) {
+					seenExp = true
+					p++
+					if l.src[p] == '+' || l.src[p] == '-' {
+						p++
+					}
+				} else {
+					goto done
+				}
+			default:
+				goto done
+			}
+		}
+	done:
+		text := l.src[l.pos:p]
+		l.pos = p
+		if !seenDot && !seenExp {
+			i, err := strconv.ParseInt(text, 10, 64)
+			if err == nil {
+				return token{kind: tInt, i: i, pos: start}
+			}
+		}
+		f, _ := strconv.ParseFloat(text, 64)
+		return token{kind: tDec, f: f, pos: start}
+	}
+
+	// String literals with doubled-quote escapes and predefined entities.
+	if c == '"' || c == '\'' {
+		quote := c
+		var sb strings.Builder
+		p := l.pos + 1
+		for p < len(l.src) {
+			ch := l.src[p]
+			if ch == quote {
+				if p+1 < len(l.src) && l.src[p+1] == quote {
+					sb.WriteByte(quote)
+					p += 2
+					continue
+				}
+				l.pos = p + 1
+				return token{kind: tStr, s: sb.String(), pos: start}
+			}
+			if ch == '&' {
+				rep, np, ok := scanEntity(l.src, p)
+				if ok {
+					sb.WriteString(rep)
+					p = np
+					continue
+				}
+			}
+			sb.WriteByte(ch)
+			p++
+		}
+		l.pos = len(l.src)
+		return token{kind: tSym, text: "<unterminated string>", pos: start}
+	}
+
+	// Multi-character symbols, longest match first.
+	for _, sym := range []string{"//", "<<", ">>", "<=", ">=", "!=", "::", "..", ":="} {
+		if strings.HasPrefix(l.src[l.pos:], sym) {
+			l.pos += len(sym)
+			return token{kind: tSym, text: sym, pos: start}
+		}
+	}
+	l.pos++
+	return token{kind: tSym, text: string(c), pos: start}
+}
+
+// scanEntity decodes a predefined or character entity reference starting at
+// src[pos] == '&'. Returns the replacement, the position after ';', and
+// whether the reference was well-formed.
+func scanEntity(src string, pos int) (string, int, bool) {
+	end := strings.IndexByte(src[pos:], ';')
+	if end < 0 || end > 12 {
+		return "", pos, false
+	}
+	ref := src[pos+1 : pos+end]
+	switch ref {
+	case "amp":
+		return "&", pos + end + 1, true
+	case "lt":
+		return "<", pos + end + 1, true
+	case "gt":
+		return ">", pos + end + 1, true
+	case "quot":
+		return `"`, pos + end + 1, true
+	case "apos":
+		return "'", pos + end + 1, true
+	}
+	if strings.HasPrefix(ref, "#x") || strings.HasPrefix(ref, "#X") {
+		if n, err := strconv.ParseInt(ref[2:], 16, 32); err == nil {
+			return string(rune(n)), pos + end + 1, true
+		}
+	} else if strings.HasPrefix(ref, "#") {
+		if n, err := strconv.ParseInt(ref[1:], 10, 32); err == nil {
+			return string(rune(n)), pos + end + 1, true
+		}
+	}
+	return "", pos, false
+}
+
+// isSym reports whether t is the given symbol.
+func (t token) isSym(s string) bool { return t.kind == tSym && t.text == s }
+
+// isName reports whether t is the given name token.
+func (t token) isName(s string) bool { return t.kind == tName && t.text == s }

@@ -1,0 +1,153 @@
+package xquery
+
+import "testing"
+
+func lex(src string) []token {
+	l := newLexer(src)
+	var out []token
+	for {
+		t := l.next()
+		out = append(out, t)
+		if t.kind == tEOF {
+			return out
+		}
+	}
+}
+
+func TestLexNames(t *testing.T) {
+	toks := lex(`descendant-or-self zero-or-one fn:count local:f _x a1.b`)
+	want := []string{"descendant-or-self", "zero-or-one", "fn:count", "local:f", "_x", "a1.b"}
+	for i, w := range want {
+		if toks[i].kind != tName || toks[i].text != w {
+			t.Errorf("token %d: %v, want name %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexQNameVsAxis(t *testing.T) {
+	// "child::x" must lex as name(child) sym(::) name(x), not QName child:x.
+	toks := lex(`child::x`)
+	if !toks[0].isName("child") || !toks[1].isSym("::") || !toks[2].isName("x") {
+		t.Errorf("axis lexing: %v", toks[:3])
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]struct {
+		kind tokKind
+		i    int64
+		f    float64
+	}{
+		"42":      {tInt, 42, 0},
+		"0":       {tInt, 0, 0},
+		"2.5":     {tDec, 0, 2.5},
+		".5":      {tDec, 0, 0.5},
+		"1e3":     {tDec, 0, 1000},
+		"1.5E-2":  {tDec, 0, 0.015},
+		"2.20371": {tDec, 0, 2.20371},
+	}
+	for src, want := range cases {
+		tok := lex(src)[0]
+		if tok.kind != want.kind || tok.i != want.i || tok.f != want.f {
+			t.Errorf("lex(%q) = %+v, want %+v", src, tok, want)
+		}
+	}
+	// Large integers degrade to doubles rather than overflowing.
+	if tok := lex("99999999999999999999999")[0]; tok.kind != tDec {
+		t.Errorf("huge literal: %+v", tok)
+	}
+	// "e[1]" after a number must not eat the dots of "..".
+	toks := lex("1 .. 2")
+	if !toks[1].isSym("..") {
+		t.Errorf("dotdot: %v", toks)
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	cases := map[string]string{
+		`"plain"`:       "plain",
+		`"do""ble"`:     `do"ble`,
+		`'sin''gle'`:    "sin'gle",
+		`"&amp;&lt;"`:   "&<",
+		`"&#65;&#x42;"`: "AB",
+	}
+	for src, want := range cases {
+		tok := lex(src)[0]
+		if tok.kind != tStr || tok.s != want {
+			t.Errorf("lex(%q) = %+v, want string %q", src, tok, want)
+		}
+	}
+}
+
+func TestLexSymbols(t *testing.T) {
+	toks := lex(`// << >> <= >= != :: .. := < > = | @ $`)
+	want := []string{"//", "<<", ">>", "<=", ">=", "!=", "::", "..", ":=", "<", ">", "=", "|", "@", "$"}
+	for i, w := range want {
+		if !toks[i].isSym(w) {
+			t.Errorf("token %d: %v, want symbol %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lex(`1 (: comment :) 2 (: outer (: inner :) still :) 3`)
+	var ints []int64
+	for _, tok := range toks {
+		if tok.kind == tInt {
+			ints = append(ints, tok.i)
+		}
+	}
+	if len(ints) != 3 || ints[0] != 1 || ints[1] != 2 || ints[2] != 3 {
+		t.Errorf("comment skipping: %v", ints)
+	}
+	// Unterminated comment just consumes the rest.
+	toks = lex(`1 (: open`)
+	if toks[1].kind != tEOF {
+		t.Errorf("unterminated comment: %v", toks)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	l := newLexer("ab\ncd")
+	l.next()
+	tok := l.next()
+	err := l.errAt(tok.pos, "boom")
+	if err.Error() != "xquery: 2:1: boom" {
+		t.Errorf("position error: %v", err)
+	}
+}
+
+func TestRawSyncRewindsLookahead(t *testing.T) {
+	l := newLexer("a b c")
+	l.peekN(2) // buffer three tokens
+	l.rawSync()
+	if l.src[l.pos] != 'a' {
+		t.Errorf("rawSync should rewind to the first buffered token; pos=%d", l.pos)
+	}
+	if !l.next().isName("a") {
+		t.Error("token stream broken after rawSync")
+	}
+}
+
+func TestScanEntity(t *testing.T) {
+	for src, want := range map[string]string{
+		"&amp;x": "&",
+		"&lt;":   "<",
+		"&gt;":   ">",
+		"&quot;": `"`,
+		"&apos;": "'",
+		"&#65;":  "A",
+		"&#x4A;": "J",
+	} {
+		got, _, ok := scanEntity(src, 0)
+		if !ok || got != want {
+			t.Errorf("scanEntity(%q) = %q/%v, want %q", src, got, ok, want)
+		}
+	}
+	if _, _, ok := scanEntity("&nosemicolon", 0); ok {
+		t.Error("missing semicolon accepted")
+	}
+	if _, _, ok := scanEntity("&unknown;", 0); ok {
+		t.Error("unknown entity accepted")
+	}
+}

@@ -1,0 +1,405 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xdm"
+)
+
+func parseBody(t *testing.T, src string) Expr {
+	t.Helper()
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return m.Body
+}
+
+func TestParseLiterals(t *testing.T) {
+	if e, ok := parseBody(t, "42").(*IntLit); !ok || e.Val != 42 {
+		t.Errorf("int literal: %#v", e)
+	}
+	if e, ok := parseBody(t, "2.5").(*DecLit); !ok || e.Val != 2.5 {
+		t.Errorf("decimal literal: %#v", e)
+	}
+	if e, ok := parseBody(t, "1.5e2").(*DecLit); !ok || e.Val != 150 {
+		t.Errorf("double literal: %#v", e)
+	}
+	if e, ok := parseBody(t, `"a""b"`).(*StrLit); !ok || e.Val != `a"b` {
+		t.Errorf("string literal: %#v", e)
+	}
+	if e, ok := parseBody(t, `'it''s'`).(*StrLit); !ok || e.Val != "it's" {
+		t.Errorf("apos string: %#v", e)
+	}
+	if e, ok := parseBody(t, `"x &amp; y"`).(*StrLit); !ok || e.Val != "x & y" {
+		t.Errorf("entity in string: %#v", e)
+	}
+	if _, ok := parseBody(t, "()").(*EmptySeq); !ok {
+		t.Error("() should be EmptySeq")
+	}
+}
+
+func TestParsePaperExpression1(t *testing.T) {
+	// $t//(c|d)  — Expression (1) of the paper. Lowers to a union over a
+	// shared descendant-or-self base.
+	e := parseBody(t, "$t//(c|d)")
+	u, ok := e.(*SetOp)
+	if !ok || u.Kind != SetUnion {
+		t.Fatalf("want union, got %s", e)
+	}
+	l, ok := u.L.(*Path)
+	if !ok || len(l.Steps) != 1 || l.Steps[0].Test.Name != "c" {
+		t.Fatalf("left branch: %s", u.L)
+	}
+	r, ok := u.R.(*Path)
+	if !ok || len(r.Steps) != 1 || r.Steps[0].Test.Name != "d" {
+		t.Fatalf("right branch: %s", u.R)
+	}
+	if l.Start != r.Start {
+		t.Error("branches should share the base expression")
+	}
+	base, ok := l.Start.(*Path)
+	if !ok || len(base.Steps) != 1 || base.Steps[0].Axis != AxisDescendantOrSelf ||
+		base.Steps[0].Test.Kind != TestNode {
+		t.Fatalf("base: %s", l.Start)
+	}
+}
+
+func TestParseUnorderedScope(t *testing.T) {
+	// unordered { $t//c }, unordered { $t//d } — Expression (2).
+	e := parseBody(t, "unordered { $t//c }, unordered { $t//d }")
+	seq, ok := e.(*Sequence)
+	if !ok || len(seq.Items) != 2 {
+		t.Fatalf("want 2-item sequence, got %s", e)
+	}
+	for i, it := range seq.Items {
+		o, ok := it.(*OrderedExpr)
+		if !ok || o.Mode != Unordered {
+			t.Errorf("item %d: want unordered{}, got %s", i, it)
+		}
+	}
+}
+
+func TestParseFLWOR(t *testing.T) {
+	e := parseBody(t, `for $x at $p in ("a","b","c") return <e pos="{ $p }">{ $x }</e>`)
+	fl, ok := e.(*FLWOR)
+	if !ok {
+		t.Fatalf("want FLWOR, got %s", e)
+	}
+	fc, ok := fl.Clauses[0].(*ForClause)
+	if !ok || fc.Var != "x" || fc.PosVar != "p" {
+		t.Fatalf("for clause: %#v", fl.Clauses[0])
+	}
+	cons, ok := fl.Return.(*ElemCons)
+	if !ok || cons.Name != "e" || len(cons.Attrs) != 1 || cons.Attrs[0].Name != "pos" {
+		t.Fatalf("return: %s", fl.Return)
+	}
+	if len(cons.Attrs[0].Parts) != 1 || cons.Attrs[0].Parts[0].Expr == nil {
+		t.Fatalf("AVT parts: %#v", cons.Attrs[0].Parts)
+	}
+	if len(cons.Content) != 1 {
+		t.Fatalf("content: %#v", cons.Content)
+	}
+}
+
+func TestParseNestedFLWOR(t *testing.T) {
+	e := parseBody(t, `for $x in (1,2) for $y in (10,20) return <a>{ $x, $y }</a>`)
+	fl, ok := e.(*FLWOR)
+	if !ok || len(fl.Clauses) != 2 {
+		t.Fatalf("want FLWOR with 2 clauses, got %s", e)
+	}
+}
+
+func TestParseLetWhereOrderBy(t *testing.T) {
+	src := `for $b in $doc/site/regions//item
+	        let $k := $b/name/text()
+	        where $b/quantity > 1
+	        order by zero-or-one($b/location) ascending empty greatest
+	        return <item name="{$k}"/>`
+	fl, ok := parseBody(t, src).(*FLWOR)
+	if !ok {
+		t.Fatalf("not a FLWOR")
+	}
+	if len(fl.Clauses) != 2 {
+		t.Fatalf("clauses: %d", len(fl.Clauses))
+	}
+	if _, ok := fl.Clauses[1].(*LetClause); !ok {
+		t.Error("second clause should be let")
+	}
+	if fl.Where == nil || len(fl.Order) != 1 {
+		t.Fatal("missing where/order by")
+	}
+	if fl.Order[0].Descending || !fl.Order[0].EmptyGreatest {
+		t.Errorf("order spec: %+v", fl.Order[0])
+	}
+}
+
+func TestParseQuantified(t *testing.T) {
+	src := `some $pr1 in $b/bidder/personref[@person = "person20"],
+	             $pr2 in $b/bidder/personref[@person = "person51"]
+	        satisfies $pr1 << $pr2`
+	q, ok := parseBody(t, src).(*Quantified)
+	if !ok || q.Every || len(q.Vars) != 2 {
+		t.Fatalf("quantified: %#v", q)
+	}
+	nc, ok := q.Satisfies.(*NodeCmp)
+	if !ok || nc.Op != NodeBefore {
+		t.Fatalf("satisfies: %s", q.Satisfies)
+	}
+	p, ok := q.Vars[0].In.(*Path)
+	if !ok || len(p.Steps) != 2 || len(p.Steps[1].Preds) != 1 {
+		t.Fatalf("domain path: %s", q.Vars[0].In)
+	}
+}
+
+func TestParsePathForms(t *testing.T) {
+	for src, want := range map[string]string{
+		"$a/site/people/person":      "$a/child::site/child::people/child::person",
+		"$b//c":                      "$b/descendant-or-self::node()/child::c",
+		"$p/profile/@income":         "$p/child::profile/attribute::income",
+		"$b/descendant::item":        "$b/descendant::item",
+		"$a/text()":                  "$a/child::text()",
+		"$a/*":                       "$a/child::*",
+		"$a/..":                      "$a/parent::node()",
+		"$b/bidder[1]/increase":      "$b/child::bidder[1]/child::increase",
+		"$b/bidder[last()]":          "$b/child::bidder[last()]",
+		"$p/self::node()":            "$p/self::node()",
+		"$x/node()":                  "$x/child::node()",
+		`doc("a.xml")/site`:          `doc("a.xml")/child::site`,
+		"$a/person[@id = 'person0']": `$a/child::person[($p2 = "person0")]`, // placeholder, see below
+		"$auction/site//item":        "$auction/child::site/descendant-or-self::node()/child::item",
+	} {
+		if src == "$a/person[@id = 'person0']" {
+			// Predicate rendering differs; check structure instead.
+			p := parseBody(t, src).(*Path)
+			if len(p.Steps[0].Preds) != 1 {
+				t.Errorf("%s: predicates %v", src, p.Steps[0].Preds)
+			}
+			continue
+		}
+		got := parseBody(t, src).String()
+		if got != want {
+			t.Errorf("%s: got %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	e := parseBody(t, "1 + 2 * 3 = 7 and 2 < 3 or false()")
+	or, ok := e.(*Logic)
+	if !ok || or.Op != LogicOr {
+		t.Fatalf("top: %s", e)
+	}
+	and, ok := or.L.(*Logic)
+	if !ok || and.Op != LogicAnd {
+		t.Fatalf("or.L: %s", or.L)
+	}
+	cmp, ok := and.L.(*GeneralCmp)
+	if !ok || cmp.Op != xdm.CmpEq {
+		t.Fatalf("and.L: %s", and.L)
+	}
+	add, ok := cmp.L.(*Arith)
+	if !ok || add.Op != xdm.OpAdd {
+		t.Fatalf("cmp.L: %s", cmp.L)
+	}
+	if mul, ok := add.R.(*Arith); !ok || mul.Op != xdm.OpMul {
+		t.Fatalf("add.R: %s", add.R)
+	}
+}
+
+func TestParseComparisons(t *testing.T) {
+	if c, ok := parseBody(t, "$a eq $b").(*ValueCmp); !ok || c.Op != xdm.CmpEq {
+		t.Error("value comparison eq")
+	}
+	if c, ok := parseBody(t, "$a >= $b").(*GeneralCmp); !ok || c.Op != xdm.CmpGe {
+		t.Error("general comparison >=")
+	}
+	if c, ok := parseBody(t, "$a is $b").(*NodeCmp); !ok || c.Op != NodeIs {
+		t.Error("node comparison is")
+	}
+	if c, ok := parseBody(t, "$a >> $b").(*NodeCmp); !ok || c.Op != NodeAfter {
+		t.Error("node comparison >>")
+	}
+}
+
+func TestParseSetOps(t *testing.T) {
+	if s, ok := parseBody(t, "$a union $b").(*SetOp); !ok || s.Kind != SetUnion {
+		t.Error("union")
+	}
+	if s, ok := parseBody(t, "$a intersect $b").(*SetOp); !ok || s.Kind != SetIntersect {
+		t.Error("intersect")
+	}
+	if s, ok := parseBody(t, "$a except $b").(*SetOp); !ok || s.Kind != SetExcept {
+		t.Error("except")
+	}
+}
+
+func TestParseArithNames(t *testing.T) {
+	if a, ok := parseBody(t, "7 idiv 2").(*Arith); !ok || a.Op != xdm.OpIDiv {
+		t.Error("idiv")
+	}
+	if a, ok := parseBody(t, "7 mod 2").(*Arith); !ok || a.Op != xdm.OpMod {
+		t.Error("mod")
+	}
+	if a, ok := parseBody(t, "7 div 2").(*Arith); !ok || a.Op != xdm.OpDiv {
+		t.Error("div")
+	}
+	if n, ok := parseBody(t, "-$x").(*Neg); !ok {
+		t.Errorf("unary minus: %#v", n)
+	}
+	if r, ok := parseBody(t, "1 to 5").(*RangeExpr); !ok {
+		t.Errorf("range: %#v", r)
+	}
+}
+
+func TestParsePrologDeclarations(t *testing.T) {
+	m, err := Parse(`xquery version "1.0";
+		declare ordering unordered;
+		declare function local:convert($v as xs:decimal?) as xs:decimal? { 2.20371 * $v };
+		local:convert(5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ordering != Unordered {
+		t.Error("ordering mode not recorded")
+	}
+	if len(m.Functions) != 1 {
+		t.Fatalf("functions: %d", len(m.Functions))
+	}
+	fd := m.Functions[0]
+	if fd.Name != "local:convert" || len(fd.Params) != 1 ||
+		fd.Params[0].Name != "v" || fd.Params[0].Type != "xs:decimal?" ||
+		fd.Result != "xs:decimal?" {
+		t.Errorf("func decl: %+v", fd)
+	}
+	call, ok := m.Body.(*FuncCall)
+	if !ok || call.Name != "local:convert" {
+		t.Errorf("body: %s", m.Body)
+	}
+}
+
+func TestParseFnPrefixStripped(t *testing.T) {
+	c, ok := parseBody(t, "fn:count($x)").(*FuncCall)
+	if !ok || c.Name != "count" {
+		t.Errorf("fn: prefix should be stripped: %#v", c)
+	}
+}
+
+func TestParseIfExpr(t *testing.T) {
+	e, ok := parseBody(t, "if ($a > 1) then $b else ()").(*IfExpr)
+	if !ok {
+		t.Fatal("not an if")
+	}
+	if _, ok := e.Else.(*EmptySeq); !ok {
+		t.Error("else branch")
+	}
+}
+
+func TestParseConstructors(t *testing.T) {
+	e := parseBody(t, `<result><preferred>{ 1 }</preferred><na/></result>`)
+	c, ok := e.(*ElemCons)
+	if !ok || c.Name != "result" || len(c.Content) != 2 {
+		t.Fatalf("constructor: %s", e)
+	}
+	pref := c.Content[0].(*ElemCons)
+	if pref.Name != "preferred" || len(pref.Content) != 1 {
+		t.Fatalf("nested: %s", c.Content[0])
+	}
+	if _, ok := c.Content[1].(*ElemCons); !ok {
+		t.Fatal("empty-element constructor")
+	}
+
+	// Mixed text content, escapes and entities.
+	c2 := parseBody(t, `<e>a {{b}} &lt;c&gt;</e>`).(*ElemCons)
+	if len(c2.Content) != 1 {
+		t.Fatalf("content: %#v", c2.Content)
+	}
+	txt := c2.Content[0].(*CharContent)
+	if txt.Text != "a {b} <c>" {
+		t.Errorf("text: %q", txt.Text)
+	}
+
+	// Attribute value template with multiple parts.
+	c3 := parseBody(t, `<e a="x{1}y{2}"/>`).(*ElemCons)
+	parts := c3.Attrs[0].Parts
+	if len(parts) != 4 || parts[0].Literal != "x" || parts[1].Expr == nil ||
+		parts[2].Literal != "y" || parts[3].Expr == nil {
+		t.Errorf("AVT parts: %#v", parts)
+	}
+}
+
+func TestParseWhitespaceOnlyContentStripped(t *testing.T) {
+	c := parseBody(t, "<items>\n  { 1 }\n</items>").(*ElemCons)
+	if len(c.Content) != 1 {
+		t.Errorf("boundary whitespace kept: %#v", c.Content)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	e := parseBody(t, `(: outer (: nested :) still comment :) 42`)
+	if i, ok := e.(*IntLit); !ok || i.Val != 42 {
+		t.Errorf("comment handling: %s", e)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",                     // empty
+		"for $x in",            // truncated
+		"$a/",                  // dangling slash
+		"/site",                // absolute path
+		"<a><b></a>",           // mismatched constructor
+		"1 +",                  // missing operand
+		"some $x in (1)",       // missing satisfies
+		"if (1) then 2",        // missing else
+		"declare ordering up;", // bad mode
+		`<e a=oops/>`,          // unquoted attribute
+		"$a/following::b",      // unsupported axis
+		"1; 2",                 // stray token
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		} else if !strings.Contains(err.Error(), "xquery:") {
+			t.Errorf("Parse(%q): error %v lacks position prefix", src, err)
+		}
+	}
+}
+
+func TestParseXMarkQ11Shape(t *testing.T) {
+	src := `let $auction := doc("auction.xml")
+	for $p in $auction/site/people/person
+	let $l := for $i in $auction/site/open_auctions/open_auction/initial
+	          where $p/profile/@income > 5000 * $i
+	          return $i
+	return <items name="{ $p/name }">{ fn:count($l) }</items>`
+	fl, ok := parseBody(t, src).(*FLWOR)
+	if !ok || len(fl.Clauses) != 3 {
+		t.Fatalf("Q11 shape: %T with %d clauses", fl, len(fl.Clauses))
+	}
+	inner, ok := fl.Clauses[2].(*LetClause)
+	if !ok {
+		t.Fatal("third clause should be let $l")
+	}
+	innerFl, ok := inner.Expr.(*FLWOR)
+	if !ok || innerFl.Where == nil {
+		t.Fatal("inner FLWOR with where expected")
+	}
+}
+
+func TestStringRoundTripStability(t *testing.T) {
+	// Rendering a parsed expression and re-parsing it must be stable.
+	for _, src := range []string{
+		"$t//(c|d)",
+		"for $x in (1, 2) return ($x, $x * 10)",
+		"some $x in $s satisfies $x eq 1",
+		"count($l) + sum($m)",
+		"unordered { $t//c[2] }",
+	} {
+		first := parseBody(t, src).String()
+		second := parseBody(t, first).String()
+		if first != second {
+			t.Errorf("%s: unstable rendering %q vs %q", src, first, second)
+		}
+	}
+}
