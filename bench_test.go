@@ -184,6 +184,36 @@ func BenchmarkCompile(b *testing.B) {
 	}
 }
 
+// --- Parallel execution (beyond the paper) ---
+
+// BenchmarkParallel measures the morsel-wise parallel executor against
+// the serial engine on order-indifferent queries — the count shapes of
+// Q6/Q7/Q20 whose plans are one big order-dead descendant scan, exactly
+// the regions the parallel region analysis marks. cmd/xmarkbench
+// -parallel runs the same comparison at larger document sizes, where the
+// speedup grows with the scan.
+func BenchmarkParallel(b *testing.B) {
+	parallelCfg := func() core.Config {
+		cfg := unorderedCfg()
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+		return cfg
+	}
+	queries := []struct{ name, text string }{
+		{"Q6", xmarkq.Get(6).Text},
+		{"Q7", xmarkq.Get(7).Text},
+		{"Q20", xmarkq.Get(20).Text},
+		{"keyword-count", `count(doc("auction.xml")//keyword)`},
+	}
+	for _, q := range queries {
+		b.Run(q.name+"/serial", func(b *testing.B) {
+			runPrepared(b, q.text, unorderedCfg())
+		})
+		b.Run(q.name+"/parallel", func(b *testing.B) {
+			runPrepared(b, q.text, parallelCfg())
+		})
+	}
+}
+
 // --- Substrate microbenchmarks ---
 
 // BenchmarkStaircaseJoin isolates the step operator: a descendant step

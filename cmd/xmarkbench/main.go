@@ -4,6 +4,7 @@
 //	xmarkbench -figure12            Figure 12: speedup sweep over Q1–Q20
 //	xmarkbench -plansizes           Figure 6/9, §4.1: plan statistics
 //	xmarkbench -ablation            per-rewrite timing ablation
+//	xmarkbench -parallel            serial vs morsel-wise parallel execution
 //
 // Document sizes are scaled to in-memory Go scale; the paper's 30 s
 // cutoff convention is kept (queries that exceed it report "cutoff", as
@@ -27,7 +28,9 @@ func main() {
 		figure12  = flag.Bool("figure12", false, "reproduce Figure 12 (speedup sweep)")
 		planSizes = flag.Bool("plansizes", false, "reproduce the plan-size claims (Figure 6/9, §4.1)")
 		ablation  = flag.Bool("ablation", false, "run the optimizer ablation")
-		factor    = flag.Float64("factor", 0.05, "scale factor for -table2/-ablation")
+		parallel  = flag.Bool("parallel", false, "measure serial vs morsel-wise parallel execution")
+		workers   = flag.Int("workers", 0, "worker pool size for -parallel (0 = GOMAXPROCS)")
+		factor    = flag.Float64("factor", 0.05, "scale factor for -table2/-ablation/-parallel")
 		factorsS  = flag.String("factors", "0.002,0.01,0.05,0.2", "comma-separated factors for -figure12")
 		cutoff    = flag.Duration("cutoff", 30*time.Second, "per-run cutoff (paper: 30s)")
 		repeats   = flag.Int("repeats", 3, "measurements per point (median)")
@@ -63,6 +66,12 @@ func main() {
 		any = true
 		if _, err := bench.Ablation(*factor, *repeats, os.Stdout); err != nil {
 			fatal("ablation: %v", err)
+		}
+	}
+	if *parallel {
+		any = true
+		if _, err := bench.Parallel(*factor, *workers, *repeats, os.Stdout); err != nil {
+			fatal("parallel: %v", err)
 		}
 	}
 	if !any {

@@ -28,6 +28,8 @@ package exrquy
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -74,6 +76,7 @@ type options struct {
 	timeout      time.Duration
 	maxCells     int64
 	intOrders    bool
+	parallelism  int
 }
 
 // Option configures an Engine.
@@ -116,6 +119,23 @@ func WithMemoryLimit(cells int64) Option {
 // measurements pay every sort, and the reproduction does too.
 func WithInterestingOrders(on bool) Option {
 	return func(o *options) { o.intOrders = on }
+}
+
+// WithParallelism executes queries with the morsel-wise parallel engine:
+// plan regions whose row order is provably unobservable (no live ρ, no
+// order-sensitive aggregate — the same analysis that licenses # over ρ)
+// are partitioned and evaluated across a pool of n workers; everything
+// else runs on the serial path. n == 0 picks runtime.GOMAXPROCS(0);
+// n == 1 forces the serial engine. Results are identical to serial
+// execution. Off by default — the paper's engine is single-threaded, and
+// the reproduction's measurements should be too unless asked.
+func WithParallelism(n int) Option {
+	return func(o *options) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		o.parallelism = n
+	}
 }
 
 // Engine holds loaded documents and configuration; it is safe for
@@ -164,12 +184,13 @@ func (e *Engine) LoadXMark(name string, factor float64) {
 	e.docs[name] = e.store.Add(f)
 }
 
-// Documents lists the registered document names.
+// Documents lists the registered document names in sorted order.
 func (e *Engine) Documents() []string {
 	out := make([]string, 0, len(e.docs))
 	for n := range e.docs {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -204,6 +225,7 @@ func (e *Engine) coreConfig() core.Config {
 		Timeout:           e.opts.timeout,
 		MaxCells:          e.opts.maxCells,
 		InterestingOrders: e.opts.intOrders,
+		Parallelism:       e.opts.parallelism,
 		Opt: opt.Options{
 			ColumnAnalysis:   e.opts.optim.ColumnAnalysis,
 			RownumRelax:      e.opts.optim.RownumRelax,
@@ -265,14 +287,30 @@ func toItems(v any) ([]xdm.Item, error) {
 		return nil, nil
 	case int:
 		return []xdm.Item{xdm.NewInt(int64(v))}, nil
+	case int32:
+		return []xdm.Item{xdm.NewInt(int64(v))}, nil
 	case int64:
 		return []xdm.Item{xdm.NewInt(v)}, nil
+	case float32:
+		return []xdm.Item{xdm.NewDouble(float64(v))}, nil
 	case float64:
 		return []xdm.Item{xdm.NewDouble(v)}, nil
 	case string:
 		return []xdm.Item{xdm.NewString(v)}, nil
 	case bool:
 		return []xdm.Item{xdm.NewBool(v)}, nil
+	case []string:
+		out := make([]xdm.Item, len(v))
+		for i, s := range v {
+			out[i] = xdm.NewString(s)
+		}
+		return out, nil
+	case []int:
+		out := make([]xdm.Item, len(v))
+		for i, n := range v {
+			out[i] = xdm.NewInt(int64(n))
+		}
+		return out, nil
 	case []any:
 		var out []xdm.Item
 		for _, el := range v {

@@ -1,8 +1,10 @@
 package exrquy
 
 import (
+	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -236,5 +238,162 @@ func TestExternalVariables(t *testing.T) {
 	if _, err := eng.QueryWith(`declare variable $x external; $x`,
 		map[string]any{"x": struct{}{}}); err == nil {
 		t.Error("unsupported binding type must fail")
+	}
+}
+
+func TestDocumentsSorted(t *testing.T) {
+	eng := New()
+	for _, name := range []string{"z.xml", "a.xml", "m.xml", "b.xml"} {
+		if err := eng.LoadDocumentString(name, `<x/>`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := eng.Documents()
+	want := []string{"a.xml", "b.xml", "m.xml", "z.xml"}
+	if len(got) != len(want) {
+		t.Fatalf("documents: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("documents not sorted: %v", got)
+		}
+	}
+}
+
+func TestExternalVariableTypes(t *testing.T) {
+	eng := newTestEngine(t)
+	cases := []struct {
+		name  string
+		query string
+		vars  map[string]any
+		want  string
+	}{
+		{"int32", `declare variable $x external; $x + 1`,
+			map[string]any{"x": int32(41)}, "42"},
+		{"float32", `declare variable $x external; $x * 2`,
+			map[string]any{"x": float32(1.5)}, "3"},
+		{"string-slice", `declare variable $xs external; string-join($xs, "-")`,
+			map[string]any{"xs": []string{"a", "b", "c"}}, "a-b-c"},
+		{"int-slice", `declare variable $xs external; sum($xs)`,
+			map[string]any{"xs": []int{1, 2, 3}}, "6"},
+		{"empty-string-slice", `declare variable $xs external; count($xs)`,
+			map[string]any{"xs": []string{}}, "0"},
+		{"empty-int-slice", `declare variable $xs external; count($xs)`,
+			map[string]any{"xs": []int{}}, "0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := eng.QueryWith(tc.query, tc.vars)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if xml, _ := res.XML(); xml != tc.want {
+				t.Errorf("result: %q, want %q", xml, tc.want)
+			}
+		})
+	}
+}
+
+func TestWithParallelism(t *testing.T) {
+	serial := New()
+	par := New(WithParallelism(4))
+	serial.LoadXMark("auction.xml", 0.01)
+	par.LoadXMark("auction.xml", 0.01)
+	queries := []string{
+		`count(doc("auction.xml")//keyword)`,
+		`unordered { for $i in doc("auction.xml")//item
+			where contains(string(exactly-one($i/description)), "gold")
+			return $i/name/text() }`,
+		`doc("auction.xml")/site/people/person/name`,
+	}
+	for _, q := range queries {
+		sres, err := serial.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pres, err := par.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sx, _ := sres.XML()
+		px, _ := pres.XML()
+		if sx != px {
+			t.Errorf("parallel result differs for %q:\n got %.200q\nwant %.200q", q, px, sx)
+		}
+	}
+	// The profile still attributes work per origin under parallel execution.
+	pres, err := par.Query(`count(doc("auction.xml")//keyword)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pres.Profile()) == 0 {
+		t.Error("no profile entries from parallel execution")
+	}
+}
+
+// TestConcurrentQueries exercises concurrent use of one Engine from many
+// goroutines — mixed Query and compile-once/Execute-many, serial and
+// parallel mode — against shared documents. Run under -race in CI.
+func TestConcurrentQueries(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		opts []Option
+	}{
+		{"serial", nil},
+		{"parallel", []Option{WithParallelism(4)}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			eng := New(mode.opts...)
+			if err := eng.LoadDocumentString("t.xml", `<a><b><c/><d/></b><c/></a>`); err != nil {
+				t.Fatal(err)
+			}
+			eng.LoadXMark("auction.xml", 0.002)
+			shared, err := eng.Compile(`count(doc("auction.xml")//keyword)`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := shared.Execute()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantXML, _ := want.XML()
+
+			var wg sync.WaitGroup
+			errs := make(chan error, 64)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 4; i++ {
+						if g%2 == 0 {
+							res, err := shared.Execute()
+							if err != nil {
+								errs <- err
+								return
+							}
+							if xml, _ := res.XML(); xml != wantXML {
+								errs <- fmt.Errorf("shared query: got %q, want %q", xml, wantXML)
+								return
+							}
+						} else {
+							res, err := eng.Query(`doc("t.xml")/a//(c|d)`)
+							if err != nil {
+								errs <- err
+								return
+							}
+							if xml, _ := res.XML(); xml != "<c/><d/><c/>" {
+								errs <- fmt.Errorf("per-goroutine query: %q", xml)
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
 	}
 }

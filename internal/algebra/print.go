@@ -120,7 +120,11 @@ func Print(root *Node) string {
 		if n.Origin != "" {
 			origin = "  (" + n.Origin + ")"
 		}
-		fmt.Fprintf(&sb, "%s#%d %s%s\n", indent, n.ID, label(n), origin)
+		par := ""
+		if n.Par {
+			par = " [par]"
+		}
+		fmt.Fprintf(&sb, "%s#%d %s%s%s\n", indent, n.ID, label(n), par, origin)
 		for _, in := range n.Ins {
 			rec(in, depth+1)
 		}

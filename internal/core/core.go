@@ -12,12 +12,14 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"repro/internal/compile"
 	"repro/internal/engine"
 	"repro/internal/norm"
 	"repro/internal/opt"
+	"repro/internal/parallel"
 	"repro/internal/xdm"
 	"repro/internal/xmltree"
 	"repro/internal/xquery"
@@ -45,6 +47,11 @@ type Config struct {
 	// InterestingOrders enables the engine's physical sortedness check on
 	// ρ (§6/[15], orthogonal to the paper's technique; off by default).
 	InterestingOrders bool
+	// Parallelism switches execution to the morsel-wise parallel engine:
+	// order-dead plan regions (opt.MarkParallel) are evaluated across a
+	// worker pool of this size. 0 or 1 keeps the serial engine (the
+	// paper's configuration); negative means runtime.GOMAXPROCS(0).
+	Parallelism int
 	// Vars binds external prolog variables (declare variable $x external).
 	Vars map[string][]xdm.Item
 }
@@ -99,7 +106,23 @@ func PrepareModule(mod *xquery.Module, cfg Config) (*Prepared, error) {
 		plan.Root = opt.Optimize(plan.Root, plan.Builder, cfg.Opt)
 	}
 	p.StatsAfter = planCounts(plan)
+	if parallelWorkers(cfg.Parallelism) > 1 {
+		// Parallel region analysis: mark the order-dead regions the
+		// morsel-wise executor may partition. Runs for the baseline
+		// compiler too — order-deadness is a plan property, not an
+		// optimizer rewrite — but only when parallel execution is on, so
+		// serial Explain output matches the seed.
+		opt.MarkParallel(plan.Root)
+	}
 	return p, nil
+}
+
+// parallelWorkers resolves the Config.Parallelism knob to a pool size.
+func parallelWorkers(p int) int {
+	if p < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
 }
 
 func planCounts(plan *compile.Plan) struct{ Operators, RowNums, RowIDs int } {
@@ -107,8 +130,18 @@ func planCounts(plan *compile.Plan) struct{ Operators, RowNums, RowIDs int } {
 	return struct{ Operators, RowNums, RowIDs int }{s.Operators, s.RowNums, s.RowIDs}
 }
 
-// Run executes the prepared plan against a store and document registry.
+// Run executes the prepared plan against a store and document registry,
+// dispatching to the morsel-wise parallel executor when Config.Parallelism
+// asks for more than one worker.
 func (p *Prepared) Run(store *xmltree.Store, docs map[string]uint32) (*engine.Result, error) {
+	if w := parallelWorkers(p.cfg.Parallelism); w > 1 {
+		return parallel.Run(p.Plan.Root, store, docs, parallel.Options{
+			Workers:           w,
+			Timeout:           p.cfg.Timeout,
+			MaxCells:          p.cfg.MaxCells,
+			InterestingOrders: p.cfg.InterestingOrders,
+		})
+	}
 	return engine.Run(p.Plan.Root, store, docs, engine.Options{
 		Timeout:           p.cfg.Timeout,
 		MaxCells:          p.cfg.MaxCells,

@@ -327,6 +327,46 @@ func TestDifferentialIndifferenceOrdered(t *testing.T) {
 	}
 }
 
+// TestDifferentialParallel runs the whole corpus with the morsel-wise
+// parallel executor (Parallelism = 4). Parallel morsels merge in
+// deterministic serial-scan order, so the results must stay
+// byte-identical to the serial pipeline — and hence agree with the
+// interpreter exactly as the serial configurations do — under both the
+// default and the baseline compiler, in ordered mode.
+func TestDifferentialParallel(t *testing.T) {
+	store, docs := buildStore(t)
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"indifference", DefaultConfig()},
+		{"baseline", BaselineConfig()},
+	}
+	for _, cc := range configs {
+		pcfg := cc.cfg
+		pcfg.Parallelism = 4
+		for _, tc := range diffCases {
+			t.Run(cc.name+"/"+tc.name, func(t *testing.T) {
+				serial, _ := runPipeline(t, store, docs, tc.query, cc.cfg)
+				par, parBag := runPipeline(t, store, docs, tc.query, pcfg)
+				if par != serial {
+					t.Errorf("parallel differs from serial:\n got %q\nwant %q", par, serial)
+				}
+				want, wantBag := runInterp(t, store, docs, tc.query)
+				if tc.bagOnly {
+					if !bagsEqual(wantBag, parBag) {
+						t.Errorf("bag mismatch vs interpreter:\n got %v\nwant %v", parBag, wantBag)
+					}
+					return
+				}
+				if par != want {
+					t.Errorf("mismatch vs interpreter:\n got %q\nwant %q", par, want)
+				}
+			})
+		}
+	}
+}
+
 // TestDifferentialIndifferenceUnordered verifies that under ordering mode
 // unordered the pipeline returns a permutation-equivalent result: the same
 // multiset of items. (Element content order inside constructed nodes is

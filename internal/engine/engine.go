@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/algebra"
@@ -33,7 +34,9 @@ type Options struct {
 var ErrCutoff = fmt.Errorf("evaluation cutoff exceeded")
 
 // ProfileEntry aggregates evaluation time by operator origin; the set of
-// origins reproduces the sub-expression rows of Table 2.
+// origins reproduces the sub-expression rows of Table 2. Under parallel
+// execution Duration sums the per-worker (CPU) time spent on the origin,
+// so profiles keep accounting for the work performed, not the wall clock.
 type ProfileEntry struct {
 	Origin   string
 	Duration time.Duration
@@ -58,7 +61,35 @@ func (r *Result) SerializeXML() (string, error) {
 // Run evaluates the plan DAG rooted at root. docs maps fn:doc() URIs to
 // fragment ids in base; constructed fragments go to a derived store.
 func Run(root *algebra.Node, base *xmltree.Store, docs map[string]uint32, opts Options) (*Result, error) {
-	ex := &exec{
+	ex := NewExec(base, docs, opts)
+	start := time.Now()
+	t, err := ex.Eval(root)
+	if err != nil {
+		return nil, err
+	}
+	return ex.Finish(t, start), nil
+}
+
+// Exec is one plan execution: the derived store receiving constructed
+// fragments, the operator memo table, the per-origin profile, and the
+// shared time/memory budget. The budget counters are atomic so that a
+// parallel executor (package parallel) can charge them cooperatively from
+// several workers; the memo and profile maps are only touched from the
+// single goroutine that walks the DAG.
+type Exec struct {
+	store     *xmltree.Store
+	docs      map[string]uint32
+	memo      map[*algebra.Node]*Table
+	prof      map[string]*ProfileEntry
+	deadline  time.Time
+	maxCells  int64
+	cells     atomic.Int64
+	intOrders bool
+}
+
+// NewExec prepares an execution over a derived store.
+func NewExec(base *xmltree.Store, docs map[string]uint32, opts Options) *Exec {
+	ex := &Exec{
 		store:     base.Derive(),
 		docs:      docs,
 		memo:      make(map[*algebra.Node]*Table),
@@ -69,11 +100,49 @@ func Run(root *algebra.Node, base *xmltree.Store, docs map[string]uint32, opts O
 	if opts.Timeout > 0 {
 		ex.deadline = time.Now().Add(opts.Timeout)
 	}
-	start := time.Now()
-	t, err := ex.eval(root)
-	if err != nil {
-		return nil, err
+	return ex
+}
+
+// Store returns the execution's derived store.
+func (ex *Exec) Store() *xmltree.Store { return ex.store }
+
+// CheckDeadline reports a cutoff error once the execution's deadline has
+// passed. Safe for concurrent use (the deadline is immutable).
+func (ex *Exec) CheckDeadline() error {
+	if !ex.deadline.IsZero() && time.Now().After(ex.deadline) {
+		return fmt.Errorf("engine: time limit: %w", ErrCutoff)
 	}
+	return nil
+}
+
+// CheckCells verifies a prospective allocation of rows*cols cells against
+// the memory cutoff before materializing it (large joins and products
+// would otherwise overshoot the budget in a single operator).
+func (ex *Exec) CheckCells(rows, cols int) error {
+	if ex.maxCells > 0 && ex.cells.Load()+int64(rows)*int64(cols) > ex.maxCells {
+		return fmt.Errorf("engine: memory limit (%d cells): %w", ex.maxCells, ErrCutoff)
+	}
+	return nil
+}
+
+// ChargeCells adds n materialized cells to the shared budget and reports
+// a cutoff error on overrun. Safe for concurrent use.
+func (ex *Exec) ChargeCells(n int64) error {
+	if ex.maxCells <= 0 {
+		return nil
+	}
+	if ex.cells.Add(n) > ex.maxCells {
+		return fmt.Errorf("engine: memory limit (%d cells): %w", ex.maxCells, ErrCutoff)
+	}
+	return nil
+}
+
+// checkCells is the internal pre-check used by join and cross.
+func (ex *Exec) checkCells(rows, cols int) error { return ex.CheckCells(rows, cols) }
+
+// Finish assembles the Result from the root table: order by pos rank for
+// serialization and flatten the profile.
+func (ex *Exec) Finish(t *Table, start time.Time) *Result {
 	res := &Result{Store: ex.store, Elapsed: time.Since(start)}
 	// The root carries (pos, item): order by pos rank for serialization.
 	n := t.NumRows()
@@ -92,31 +161,16 @@ func Run(root *algebra.Node, base *xmltree.Store, docs map[string]uint32, opts O
 		res.Profile = append(res.Profile, *e)
 	}
 	sort.Slice(res.Profile, func(a, b int) bool { return res.Profile[a].Duration > res.Profile[b].Duration })
-	return res, nil
+	return res
 }
 
-// checkCells verifies a prospective allocation of rows*cols cells against
-// the memory cutoff before materializing it (large joins and products
-// would otherwise overshoot the budget in a single operator).
-func (ex *exec) checkCells(rows, cols int) error {
-	if ex.maxCells > 0 && ex.cells+int64(rows)*int64(cols) > ex.maxCells {
-		return fmt.Errorf("engine: memory limit (%d cells): %w", ex.maxCells, ErrCutoff)
-	}
-	return nil
+// Errf formats an operator-attributed evaluation error the way the
+// serial engine does, so parallel and serial runs report identically.
+func (ex *Exec) Errf(n *algebra.Node, format string, args ...any) error {
+	return ex.errf(n, format, args...)
 }
 
-type exec struct {
-	store     *xmltree.Store
-	docs      map[string]uint32
-	memo      map[*algebra.Node]*Table
-	prof      map[string]*ProfileEntry
-	deadline  time.Time
-	maxCells  int64
-	cells     int64
-	intOrders bool
-}
-
-func (ex *exec) errf(n *algebra.Node, format string, args ...any) error {
+func (ex *Exec) errf(n *algebra.Node, format string, args ...any) error {
 	origin := n.Origin
 	if origin == "" {
 		origin = n.Kind.String()
@@ -124,38 +178,49 @@ func (ex *exec) errf(n *algebra.Node, format string, args ...any) error {
 	return fmt.Errorf("engine: %s: %s", origin, fmt.Sprintf(format, args...))
 }
 
-func (ex *exec) eval(n *algebra.Node) (*Table, error) {
+// Eval evaluates the DAG rooted at n serially, memoizing shared nodes.
+func (ex *Exec) Eval(n *algebra.Node) (*Table, error) {
 	if t, ok := ex.memo[n]; ok {
 		return t, nil
 	}
-	if !ex.deadline.IsZero() && time.Now().After(ex.deadline) {
-		return nil, fmt.Errorf("engine: time limit: %w", ErrCutoff)
+	if err := ex.CheckDeadline(); err != nil {
+		return nil, err
 	}
 	ins := make([]*Table, len(n.Ins))
 	for i, in := range n.Ins {
-		t, err := ex.eval(in)
+		t, err := ex.Eval(in)
 		if err != nil {
 			return nil, err
 		}
 		ins[i] = t
 	}
 	start := time.Now()
-	t, err := ex.evalOp(n, ins)
+	t, err := ex.EvalOp(n, ins)
 	if err != nil {
 		return nil, err
 	}
-	ex.record(n, time.Since(start), t.NumRows())
-	if ex.maxCells > 0 {
-		ex.cells += int64(t.NumRows()) * int64(len(t.Cols))
-		if ex.cells > ex.maxCells {
-			return nil, fmt.Errorf("engine: memory limit (%d cells): %w", ex.maxCells, ErrCutoff)
-		}
+	ex.Record(n, time.Since(start), t.NumRows())
+	if err := ex.ChargeCells(int64(t.NumRows()) * int64(len(t.Cols))); err != nil {
+		return nil, err
 	}
-	ex.memo[n] = t
+	ex.Memoize(n, t)
 	return t, nil
 }
 
-func (ex *exec) record(n *algebra.Node, d time.Duration, rows int) {
+// Memoize stores an evaluated table for a node, so shared DAG nodes are
+// evaluated exactly once.
+func (ex *Exec) Memoize(n *algebra.Node, t *Table) { ex.memo[n] = t }
+
+// Memoized returns a previously memoized table for n, if any.
+func (ex *Exec) Memoized(n *algebra.Node) (*Table, bool) {
+	t, ok := ex.memo[n]
+	return t, ok
+}
+
+// Record attributes d of evaluation time and rows produced rows to the
+// node's origin. Not safe for concurrent use; parallel executors must
+// aggregate per-worker durations first and record once.
+func (ex *Exec) Record(n *algebra.Node, d time.Duration, rows int) {
 	origin := n.Origin
 	if origin == "" {
 		origin = "(" + n.Kind.String() + ")"
@@ -170,7 +235,8 @@ func (ex *exec) record(n *algebra.Node, d time.Duration, rows int) {
 	e.Rows += rows
 }
 
-func (ex *exec) evalOp(n *algebra.Node, ins []*Table) (*Table, error) {
+// EvalOp evaluates a single operator over already-evaluated inputs.
+func (ex *Exec) EvalOp(n *algebra.Node, ins []*Table) (*Table, error) {
 	switch n.Kind {
 	case algebra.OpLit:
 		t := NewTable(n.Cols)
@@ -302,38 +368,53 @@ func (ex *exec) evalOp(n *algebra.Node, ins []*Table) (*Table, error) {
 
 // --- Joins and products ---
 
-func (ex *exec) evalJoin(n *algebra.Node, l, r *Table) (*Table, error) {
-	lk, rk := l.Col(n.LCol), r.Col(n.RCol)
-	// Key columns in compiled plans are iteration ids (integers); fall
-	// back to generic keys otherwise.
-	intKeys := allIntegers(lk) && allIntegers(rk)
-	var lperm, rperm []int
-	if intKeys {
+// BuildJoinIndex hashes the right key column for an equi-join probe:
+// intIdx when every key is an xs:integer (the common case — keys in
+// compiled plans are iteration ids), strIdx otherwise.
+type JoinIndex struct {
+	intIdx map[int64][]int
+	strIdx map[string][]int
+}
+
+// BuildJoinIndex indexes a join's right-hand key column.
+func BuildJoinIndex(rk []xdm.Item) *JoinIndex {
+	if allIntegers(rk) {
 		idx := make(map[int64][]int, len(rk))
 		for i, it := range rk {
 			idx[it.I] = append(idx[it.I], i)
 		}
-		for i, it := range lk {
-			for _, j := range idx[it.I] {
+		return &JoinIndex{intIdx: idx}
+	}
+	idx := make(map[string][]int, len(rk))
+	for i, it := range rk {
+		idx[xdm.DistinctKey(it)] = append(idx[xdm.DistinctKey(it)], i)
+	}
+	return &JoinIndex{strIdx: idx}
+}
+
+// Probe appends the matching (left, right) row pairs for left rows
+// [lo, hi) to lperm/rperm and returns the extended slices.
+func (ix *JoinIndex) Probe(lk []xdm.Item, lo, hi int, lperm, rperm []int) ([]int, []int) {
+	if ix.intIdx != nil {
+		for i := lo; i < hi; i++ {
+			for _, j := range ix.intIdx[lk[i].I] {
 				lperm = append(lperm, i)
 				rperm = append(rperm, j)
 			}
 		}
-	} else {
-		idx := make(map[string][]int, len(rk))
-		for i, it := range rk {
-			idx[xdm.DistinctKey(it)] = append(idx[xdm.DistinctKey(it)], i)
-		}
-		for i, it := range lk {
-			for _, j := range idx[xdm.DistinctKey(it)] {
-				lperm = append(lperm, i)
-				rperm = append(rperm, j)
-			}
+		return lperm, rperm
+	}
+	for i := lo; i < hi; i++ {
+		for _, j := range ix.strIdx[xdm.DistinctKey(lk[i])] {
+			lperm = append(lperm, i)
+			rperm = append(rperm, j)
 		}
 	}
-	if err := ex.checkCells(len(lperm), len(l.Cols)+len(r.Cols)); err != nil {
-		return nil, err
-	}
+	return lperm, rperm
+}
+
+// MaterializeJoin builds the join output table from row-pair permutations.
+func MaterializeJoin(n *algebra.Node, l, r *Table, lperm, rperm []int) *Table {
 	t := NewTable(n.Schema())
 	for c, name := range l.Cols {
 		src := l.Col(name)
@@ -352,10 +433,20 @@ func (ex *exec) evalJoin(n *algebra.Node, l, r *Table) (*Table, error) {
 		}
 		t.Data[off+c] = col
 	}
-	return t, nil
+	return t
 }
 
-func (ex *exec) evalCross(n *algebra.Node, l, r *Table) (*Table, error) {
+func (ex *Exec) evalJoin(n *algebra.Node, l, r *Table) (*Table, error) {
+	lk, rk := l.Col(n.LCol), r.Col(n.RCol)
+	ix := BuildJoinIndex(rk)
+	lperm, rperm := ix.Probe(lk, 0, len(lk), nil, nil)
+	if err := ex.checkCells(len(lperm), len(l.Cols)+len(r.Cols)); err != nil {
+		return nil, err
+	}
+	return MaterializeJoin(n, l, r, lperm, rperm), nil
+}
+
+func (ex *Exec) evalCross(n *algebra.Node, l, r *Table) (*Table, error) {
 	ln, rn := l.NumRows(), r.NumRows()
 	if ln > 1 && rn > 1 {
 		if err := ex.checkCells(ln*rn, len(l.Cols)+len(r.Cols)); err != nil {
@@ -414,7 +505,7 @@ func (ex *exec) evalCross(n *algebra.Node, l, r *Table) (*Table, error) {
 	return t, nil
 }
 
-func (ex *exec) evalSemiDiff(n *algebra.Node, l, r *Table) (*Table, error) {
+func (ex *Exec) evalSemiDiff(n *algebra.Node, l, r *Table) (*Table, error) {
 	rcols := make([][]xdm.Item, len(n.Cols))
 	lcols := make([][]xdm.Item, len(n.Cols))
 	for i, c := range n.Cols {
@@ -448,7 +539,7 @@ func (ex *exec) evalSemiDiff(n *algebra.Node, l, r *Table) (*Table, error) {
 // detects it and the O(n log n) sort is skipped. The logical plan is
 // untouched; this is the orthogonal physical optimization the paper
 // defers to [15].
-func (ex *exec) evalRowNum(n *algebra.Node, in *Table) (*Table, error) {
+func (ex *Exec) evalRowNum(n *algebra.Node, in *Table) (*Table, error) {
 	rows := in.NumRows()
 	var part []xdm.Item
 	if n.Part != "" {

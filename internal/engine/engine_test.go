@@ -28,8 +28,8 @@ func testEnv(t *testing.T, doc string) (*xmltree.Store, map[string]uint32, *alge
 
 func run(t *testing.T, root *algebra.Node, store *xmltree.Store, docs map[string]uint32) *Table {
 	t.Helper()
-	ex := &exec{store: store.Derive(), docs: docs, memo: map[*algebra.Node]*Table{}, prof: map[string]*ProfileEntry{}}
-	tab, err := ex.eval(root)
+	ex := NewExec(store, docs, Options{})
+	tab, err := ex.Eval(root)
 	if err != nil {
 		t.Fatalf("eval: %v", err)
 	}
@@ -178,8 +178,8 @@ func TestAggrEbvSemantics(t *testing.T) {
 	}
 	// Multi-item atomic groups are a dynamic error.
 	bad := b.Lit([]string{"iter", "item"}, ints(1, 1), ints(1, 2))
-	ex := &exec{store: store.Derive(), docs: docs, memo: map[*algebra.Node]*Table{}, prof: map[string]*ProfileEntry{}}
-	if _, err := ex.eval(b.Aggr(bad, algebra.AggrEbv, "res", "item", "iter")); err == nil {
+	ex := NewExec(store, docs, Options{})
+	if _, err := ex.Eval(b.Aggr(bad, algebra.AggrEbv, "res", "item", "iter")); err == nil {
 		t.Error("expected EBV error for multi-item atomic group")
 	}
 }
@@ -233,15 +233,15 @@ func TestStepAxes(t *testing.T) {
 func TestCheckCardViolations(t *testing.T) {
 	store, docs, b := testEnv(t, "")
 	in := b.Lit([]string{"iter"}, ints(1), ints(1))
-	ex := &exec{store: store.Derive(), docs: docs, memo: map[*algebra.Node]*Table{}, prof: map[string]*ProfileEntry{}}
-	if _, err := ex.eval(b.CheckCard(in, nil, "iter", 0, 1, "test")); err == nil {
+	ex := NewExec(store, docs, Options{})
+	if _, err := ex.Eval(b.CheckCard(in, nil, "iter", 0, 1, "test")); err == nil {
 		t.Error("expected max-cardinality error")
 	}
 	loop := litTable(b, "iter", 1, 2)
-	if _, err := ex.eval(b.CheckCard(in, loop, "iter", 1, -1, "test")); err == nil {
+	if _, err := ex.Eval(b.CheckCard(in, loop, "iter", 1, -1, "test")); err == nil {
 		t.Error("expected min-cardinality error for missing iteration 2")
 	}
-	if _, err := ex.eval(b.CheckCard(in, nil, "iter", 0, -1, "test")); err != nil {
+	if _, err := ex.Eval(b.CheckCard(in, nil, "iter", 0, -1, "test")); err != nil {
 		t.Errorf("unbounded check failed: %v", err)
 	}
 }
@@ -262,8 +262,8 @@ func TestTimeoutCutoff(t *testing.T) {
 func TestUnknownDocument(t *testing.T) {
 	store, docs, b := testEnv(t, "")
 	d := b.Doc("missing.xml")
-	ex := &exec{store: store.Derive(), docs: docs, memo: map[*algebra.Node]*Table{}, prof: map[string]*ProfileEntry{}}
-	if _, err := ex.eval(d); err == nil {
+	ex := NewExec(store, docs, Options{})
+	if _, err := ex.Eval(d); err == nil {
 		t.Error("expected unknown-document error")
 	}
 }
@@ -275,8 +275,8 @@ func TestMemoizationSharedNodesEvaluateOnce(t *testing.T) {
 	step := b.Step(ctx, xquery.AxisDescendant, xquery.NodeTest{Kind: xquery.TestName, Name: "x"})
 	// Two consumers of the same step node.
 	u := b.Union(b.Keep(step, "iter", "item"), b.Keep(step, "iter", "item"))
-	ex := &exec{store: store.Derive(), docs: docs, memo: map[*algebra.Node]*Table{}, prof: map[string]*ProfileEntry{}}
-	if _, err := ex.eval(u); err != nil {
+	ex := NewExec(store, docs, Options{})
+	if _, err := ex.Eval(u); err != nil {
 		t.Fatal(err)
 	}
 	for origin, e := range ex.prof {

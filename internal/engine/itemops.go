@@ -23,7 +23,7 @@ func coerceArith(it xdm.Item) (xdm.Item, error) {
 	return it, nil
 }
 
-func (ex *exec) evalBinOp(n *algebra.Node, in *Table) (*Table, error) {
+func (ex *Exec) evalBinOp(n *algebra.Node, in *Table) (*Table, error) {
 	l, r := in.Col(n.LCol), in.Col(n.RCol)
 	var tc []xdm.Item
 	if n.TCol != "" {
@@ -46,8 +46,25 @@ func (ex *exec) evalBinOp(n *algebra.Node, in *Table) (*Table, error) {
 	return in.withColumn(n.Res, out), nil
 }
 
+// ApplyBin evaluates one OpBinOp row — the kernel evalBinOp maps over its
+// input, exported for morsel-wise evaluation by the parallel executor.
+// Safe for concurrent use (it only reads the store).
+func (ex *Exec) ApplyBin(n *algebra.Node, a, b xdm.Item) (xdm.Item, error) {
+	return ex.applyBinFn(n, a, b)
+}
+
+// ApplyTern is ApplyBin for ternary functions.
+func (ex *Exec) ApplyTern(n *algebra.Node, a, b, c xdm.Item) (xdm.Item, error) {
+	return ex.applyTernFn(n, a, b, c)
+}
+
+// ApplyUn evaluates one OpMap1 row; safe for concurrent use.
+func (ex *Exec) ApplyUn(n *algebra.Node, it xdm.Item) (xdm.Item, error) {
+	return ex.applyUnFn(n, it)
+}
+
 // applyTernFn evaluates ternary item functions.
-func (ex *exec) applyTernFn(n *algebra.Node, a, b, c xdm.Item) (xdm.Item, error) {
+func (ex *Exec) applyTernFn(n *algebra.Node, a, b, c xdm.Item) (xdm.Item, error) {
 	switch n.BFn {
 	case algebra.BSubstr3:
 		start, err := b.AsDouble()
@@ -64,7 +81,7 @@ func (ex *exec) applyTernFn(n *algebra.Node, a, b, c xdm.Item) (xdm.Item, error)
 	}
 }
 
-func (ex *exec) applyBinFn(n *algebra.Node, a, b xdm.Item) (xdm.Item, error) {
+func (ex *Exec) applyBinFn(n *algebra.Node, a, b xdm.Item) (xdm.Item, error) {
 	switch n.BFn {
 	case algebra.BArithAdd, algebra.BArithSub, algebra.BArithMul,
 		algebra.BArithDiv, algebra.BArithIDiv, algebra.BArithMod:
@@ -139,7 +156,7 @@ func (ex *exec) applyBinFn(n *algebra.Node, a, b xdm.Item) (xdm.Item, error) {
 	}
 }
 
-func (ex *exec) evalMap1(n *algebra.Node, in *Table) (*Table, error) {
+func (ex *Exec) evalMap1(n *algebra.Node, in *Table) (*Table, error) {
 	arg := in.Col(n.LCol)
 	out := make([]xdm.Item, in.NumRows())
 	for i, it := range arg {
@@ -152,7 +169,7 @@ func (ex *exec) evalMap1(n *algebra.Node, in *Table) (*Table, error) {
 	return in.withColumn(n.Res, out), nil
 }
 
-func (ex *exec) applyUnFn(n *algebra.Node, it xdm.Item) (xdm.Item, error) {
+func (ex *Exec) applyUnFn(n *algebra.Node, it xdm.Item) (xdm.Item, error) {
 	switch n.UFn {
 	case algebra.UnAtomize:
 		return ex.store.Atomize(it), nil
@@ -224,7 +241,7 @@ type posItem struct {
 	item xdm.Item
 }
 
-func (ex *exec) evalAggr(n *algebra.Node, in *Table) (*Table, error) {
+func (ex *Exec) evalAggr(n *algebra.Node, in *Table) (*Table, error) {
 	rows := in.NumRows()
 	var part, val, pos []xdm.Item
 	if n.Part != "" {
@@ -355,7 +372,7 @@ func (ex *exec) evalAggr(n *algebra.Node, in *Table) (*Table, error) {
 
 // --- Node construction ---
 
-func (ex *exec) evalElem(n *algebra.Node, loop, content *Table) (*Table, error) {
+func (ex *Exec) evalElem(n *algebra.Node, loop, content *Table) (*Table, error) {
 	iters := content.Col("iter")
 	poss := content.Col("pos")
 	items := content.Col("item")
@@ -390,7 +407,7 @@ func (ex *exec) evalElem(n *algebra.Node, loop, content *Table) (*Table, error) 
 	return t, nil
 }
 
-func (ex *exec) evalAttr(n *algebra.Node, in *Table) (*Table, error) {
+func (ex *Exec) evalAttr(n *algebra.Node, in *Table) (*Table, error) {
 	iters := in.Col("iter")
 	vals := in.Col(n.Col)
 	outItem := make([]xdm.Item, len(vals))
@@ -407,7 +424,7 @@ func (ex *exec) evalAttr(n *algebra.Node, in *Table) (*Table, error) {
 
 const maxRangeSize = 10_000_000
 
-func (ex *exec) evalRange(n *algebra.Node, in *Table) (*Table, error) {
+func (ex *Exec) evalRange(n *algebra.Node, in *Table) (*Table, error) {
 	iters := in.Col("iter")
 	los := in.Col(n.LCol)
 	his := in.Col(n.RCol)
@@ -441,7 +458,7 @@ func (ex *exec) evalRange(n *algebra.Node, in *Table) (*Table, error) {
 	return t, nil
 }
 
-func (ex *exec) evalCheckCard(n *algebra.Node, ins []*Table) (*Table, error) {
+func (ex *Exec) evalCheckCard(n *algebra.Node, ins []*Table) (*Table, error) {
 	in := ins[0]
 	counts := make(map[int64]int, in.NumRows())
 	for _, it := range in.Col(n.Col) {

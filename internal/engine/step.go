@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/algebra"
@@ -8,6 +9,53 @@ import (
 	"repro/internal/xmltree"
 	"repro/internal/xquery"
 )
+
+// StepGroup is the per-iteration work of one step evaluation: the
+// iteration id and, per fragment, the sorted duplicate-free context set.
+// Groups appear in first-occurrence order of their iteration and FragIDs
+// in ascending (global document) order, so concatenating per-group scan
+// results reproduces the serial operator output exactly.
+type StepGroup struct {
+	Iter    xdm.Item
+	FragIDs []uint32
+	ByFrag  map[uint32][]int32
+}
+
+// CollectStepGroups groups step context nodes by iteration (and fragment
+// within each iteration), sorting and deduplicating each context set. It
+// is the preparation phase of evalStep, shared with the parallel executor.
+func CollectStepGroups(in *Table) ([]StepGroup, error) {
+	iters := in.Col("iter")
+	items := in.Col("item")
+	idx := make(map[int64]int)
+	var groups []StepGroup
+	for r := range iters {
+		if !items[r].IsNode() {
+			return nil, fmt.Errorf("path step over atomic value %s", items[r].Kind)
+		}
+		k := iterKey(iters[r])
+		gi, ok := idx[k]
+		if !ok {
+			gi = len(groups)
+			idx[k] = gi
+			groups = append(groups, StepGroup{Iter: iters[r], ByFrag: make(map[uint32][]int32)})
+		}
+		g := &groups[gi]
+		id := items[r].N
+		if _, seen := g.ByFrag[id.Frag]; !seen {
+			g.FragIDs = append(g.FragIDs, id.Frag)
+		}
+		g.ByFrag[id.Frag] = append(g.ByFrag[id.Frag], id.Pre)
+	}
+	for gi := range groups {
+		g := &groups[gi]
+		sort.Slice(g.FragIDs, func(a, b int) bool { return g.FragIDs[a] < g.FragIDs[b] })
+		for fid, ctx := range g.ByFrag {
+			g.ByFrag[fid] = DedupSorted(ctx)
+		}
+	}
+	return groups, nil
+}
 
 // evalStep implements the XPath step operator ⤋ax::nt with a staircase
 // join over the pre/size/level encoding (Grust/van Keulen/Teubner, VLDB
@@ -17,48 +65,18 @@ import (
 // output is duplicate-free per iteration and in document order — but the
 // plan never relies on that: sequence order is (re-)established by ρ, or
 // deliberately left arbitrary by #.
-func (ex *exec) evalStep(n *algebra.Node, in *Table) (*Table, error) {
-	iters := in.Col("iter")
-	items := in.Col("item")
-
-	// Group context nodes by iteration (first-occurrence group order) and
-	// by fragment within each group.
-	type group struct {
-		iter    xdm.Item
-		byFrag  map[uint32][]int32
-		fragIDs []uint32
+func (ex *Exec) evalStep(n *algebra.Node, in *Table) (*Table, error) {
+	groups, err := CollectStepGroups(in)
+	if err != nil {
+		return nil, ex.errf(n, "%v", err)
 	}
-	groups := make(map[int64]*group)
-	var order []int64
-	for r := range iters {
-		if !items[r].IsNode() {
-			return nil, ex.errf(n, "path step over atomic value %s", items[r].Kind)
-		}
-		k := iterKey(iters[r])
-		g, ok := groups[k]
-		if !ok {
-			g = &group{iter: iters[r], byFrag: make(map[uint32][]int32)}
-			groups[k] = g
-			order = append(order, k)
-		}
-		id := items[r].N
-		if _, seen := g.byFrag[id.Frag]; !seen {
-			g.fragIDs = append(g.fragIDs, id.Frag)
-		}
-		g.byFrag[id.Frag] = append(g.byFrag[id.Frag], id.Pre)
-	}
-
 	var outIter, outItem []xdm.Item
-	for _, k := range order {
-		g := groups[k]
-		// Fragments in ascending id order = global document order.
-		sort.Slice(g.fragIDs, func(a, b int) bool { return g.fragIDs[a] < g.fragIDs[b] })
-		for _, fid := range g.fragIDs {
+	for _, g := range groups {
+		for _, fid := range g.FragIDs {
 			f := ex.store.Frag(fid)
-			ctx := dedupSorted(g.byFrag[fid])
-			res := axisScan(f, ctx, n.Axis, n.Test)
+			res := AxisScan(f, g.ByFrag[fid], n.Axis, n.Test)
 			for _, pre := range res {
-				outIter = append(outIter, g.iter)
+				outIter = append(outIter, g.Iter)
 				outItem = append(outItem, xdm.NewNode(xdm.NodeID{Frag: fid, Pre: pre}))
 			}
 		}
@@ -69,8 +87,9 @@ func (ex *exec) evalStep(n *algebra.Node, in *Table) (*Table, error) {
 	return t, nil
 }
 
-// dedupSorted sorts preorder ranks ascending and removes duplicates.
-func dedupSorted(pres []int32) []int32 {
+// DedupSorted sorts preorder ranks ascending and removes duplicates,
+// reusing the input slice's backing array.
+func DedupSorted(pres []int32) []int32 {
 	sort.Slice(pres, func(a, b int) bool { return pres[a] < pres[b] })
 	out := pres[:0]
 	var last int32 = -1
@@ -83,32 +102,63 @@ func dedupSorted(pres []int32) []int32 {
 	return out
 }
 
-// axisScan evaluates one axis over a sorted, duplicate-free context set in
+// ScanRegion is one pruned scan interval of a descendant(-or-self) axis
+// evaluation: the preorder range [Start, End] dominated by context Ctx.
+// Regions of one context set are disjoint and ascending, so they may be
+// scanned independently (and subdivided) without changing the result.
+type ScanRegion struct {
+	Ctx        int32
+	Start, End int32
+}
+
+// StaircaseRegions prunes a sorted duplicate-free context set for the
+// descendant or descendant-or-self axis, returning the disjoint scan
+// regions the staircase join walks.
+func StaircaseRegions(f *xmltree.Fragment, ctx []int32, axis xquery.Axis) []ScanRegion {
+	var out []ScanRegion
+	scanned := int32(-1)
+	for _, v := range ctx {
+		if v <= scanned {
+			continue // covered by an earlier context's subtree
+		}
+		start := v + 1
+		if axis == xquery.AxisDescendantOrSelf {
+			start = v
+		}
+		end := v + f.Size[v]
+		if start <= end {
+			out = append(out, ScanRegion{Ctx: v, Start: start, End: end})
+		}
+		scanned = end
+	}
+	return out
+}
+
+// ScanRegionRange scans the preorder subrange [lo, hi] of a descendant
+// region rooted at ctx, appending matching ranks to a fresh slice.
+// Subdividing a region into consecutive subranges and concatenating the
+// outputs yields exactly the full-region scan.
+func ScanRegionRange(f *xmltree.Fragment, ctx, lo, hi int32, test xquery.NodeTest) []int32 {
+	var out []int32
+	for c := lo; c <= hi; c++ {
+		// Attributes are not on the descendant axis, but a context node is
+		// on its own descendant-or-self axis even if it is an attribute.
+		if (c == ctx || f.Kind[c] != xmltree.KindAttr) && TestMatch(f, c, xquery.AxisDescendant, test) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// AxisScan evaluates one axis over a sorted, duplicate-free context set in
 // one fragment, returning matching preorder ranks in document order.
-func axisScan(f *xmltree.Fragment, ctx []int32, axis xquery.Axis, test xquery.NodeTest) []int32 {
+func AxisScan(f *xmltree.Fragment, ctx []int32, axis xquery.Axis, test xquery.NodeTest) []int32 {
 	var out []int32
 	switch axis {
 	case xquery.AxisDescendant, xquery.AxisDescendantOrSelf:
 		// Staircase: skip contexts subsumed by the previous scan region.
-		scanned := int32(-1)
-		for _, v := range ctx {
-			if v <= scanned {
-				continue // covered by an earlier context's subtree
-			}
-			start := v + 1
-			if axis == xquery.AxisDescendantOrSelf {
-				start = v
-			}
-			end := v + f.Size[v]
-			for c := start; c <= end; c++ {
-				// Attributes are not on the descendant axis, but a context
-				// node is on its own descendant-or-self axis even if it is
-				// an attribute.
-				if (c == v || f.Kind[c] != xmltree.KindAttr) && testMatch(f, c, axis, test) {
-					out = append(out, c)
-				}
-			}
-			scanned = end
+		for _, reg := range StaircaseRegions(f, ctx, axis) {
+			out = append(out, ScanRegionRange(f, reg.Ctx, reg.Start, reg.End, test)...)
 		}
 	case xquery.AxisChild:
 		sorted := true
@@ -120,7 +170,7 @@ func axisScan(f *xmltree.Fragment, ctx []int32, axis xquery.Axis, test xquery.No
 				if f.Kind[c] == xmltree.KindAttr {
 					continue
 				}
-				if f.Level[c] == lvl && testMatch(f, c, axis, test) {
+				if f.Level[c] == lvl && TestMatch(f, c, axis, test) {
 					if c < last {
 						sorted = false
 					}
@@ -130,37 +180,37 @@ func axisScan(f *xmltree.Fragment, ctx []int32, axis xquery.Axis, test xquery.No
 			}
 		}
 		if !sorted {
-			out = dedupSorted(out) // children of distinct contexts are disjoint; sort restores doc order
+			out = DedupSorted(out) // children of distinct contexts are disjoint; sort restores doc order
 		}
 	case xquery.AxisAttribute:
 		for _, v := range ctx {
 			end := v + f.Size[v]
 			for c := v + 1; c <= end && f.Kind[c] == xmltree.KindAttr && f.Level[c] == f.Level[v]+1; c++ {
-				if testMatch(f, c, axis, test) {
+				if TestMatch(f, c, axis, test) {
 					out = append(out, c)
 				}
 			}
 		}
 	case xquery.AxisSelf:
 		for _, v := range ctx {
-			if testMatch(f, v, axis, test) {
+			if TestMatch(f, v, axis, test) {
 				out = append(out, v)
 			}
 		}
 	case xquery.AxisParent:
 		for _, v := range ctx {
-			if p := f.Parent[v]; p >= 0 && testMatch(f, p, axis, test) {
+			if p := f.Parent[v]; p >= 0 && TestMatch(f, p, axis, test) {
 				out = append(out, p)
 			}
 		}
-		out = dedupSorted(out)
+		out = DedupSorted(out)
 	}
 	return out
 }
 
-// testMatch applies a node test; the principal node kind is attribute on
+// TestMatch applies a node test; the principal node kind is attribute on
 // the attribute axis and element elsewhere.
-func testMatch(f *xmltree.Fragment, pre int32, axis xquery.Axis, test xquery.NodeTest) bool {
+func TestMatch(f *xmltree.Fragment, pre int32, axis xquery.Axis, test xquery.NodeTest) bool {
 	kind := f.Kind[pre]
 	switch test.Kind {
 	case xquery.TestNode:

@@ -92,6 +92,17 @@ func (t *Table) withColumn(name string, data []xdm.Item) *Table {
 	return out
 }
 
+// WithColumn returns a table extended by one column (aliasing existing
+// column data) — the exported variant used by the parallel executor.
+func (t *Table) WithColumn(name string, data []xdm.Item) *Table { return t.withColumn(name, data) }
+
+// Filter returns a new table with only the rows at the given indices.
+func (t *Table) Filter(keep []int) *Table { return t.filter(keep) }
+
+// IterKey converts an iteration id item to its int64 representation;
+// iteration, position and numbering columns are always integers.
+func IterKey(it xdm.Item) int64 { return iterKey(it) }
+
 // iterKey converts an iteration id item to its int64 representation;
 // iteration, position and numbering columns are always integers.
 func iterKey(it xdm.Item) int64 {

@@ -1,0 +1,544 @@
+// Package parallel evaluates algebra plan DAGs morsel-wise across a
+// bounded worker pool, guided by the order-indifference analysis of
+// internal/opt: operators whose output row order is provably unobservable
+// (algebra.Node.Par, set by opt.MarkParallel) are partitioned into
+// morsels and evaluated concurrently; everything else — and every
+// operator below the morsel threshold — falls back to the serial engine
+// kernel, so a plan with no order-dead regions runs exactly as before.
+//
+// Although the analysis licenses arbitrary interleavings, every parallel
+// operator here merges its morsels in deterministic (morsel-index)
+// order, which is the serial scan order. Parallel results are therefore
+// byte-identical to serial results even for order-sensitive plans; the
+// Par flag decides where parallelism engages, determinism is never at
+// stake.
+//
+// The time and memory cutoffs are enforced cooperatively: all workers
+// share the engine's atomic cell budget and deadline, checking between
+// morsels and (for the big descendant scans) charging produced cells as
+// they go, so an overrun aborts the whole pool at the next morsel
+// boundary.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/engine"
+	"repro/internal/xdm"
+	"repro/internal/xmltree"
+	"repro/internal/xquery"
+)
+
+// Options configures a parallel run.
+type Options struct {
+	// Workers is the worker pool size; zero or negative means
+	// runtime.GOMAXPROCS(0). A pool of one runs the serial engine.
+	Workers int
+	// Timeout, MaxCells and InterestingOrders mirror engine.Options; the
+	// budgets are shared atomically across all workers.
+	Timeout           time.Duration
+	MaxCells          int64
+	InterestingOrders bool
+	// MinMorselRows is the smallest per-morsel work unit (rows for row
+	// kernels, contexts for axis scans); operators with less than two
+	// morsels of work stay serial. Zero means the default (256).
+	MinMorselRows int
+}
+
+const (
+	defaultMinMorselRows = 256
+	// morselsPerWorker over-partitions the work so that morsels of uneven
+	// cost still balance across the pool.
+	morselsPerWorker = 4
+	// minDescSpan is the smallest preorder span worth splitting in a
+	// descendant-axis scan region (scanning a slot is much cheaper than a
+	// row kernel, so the threshold is coarser).
+	minDescSpan = 8192
+	// minCtxChunk bounds context-set chunks for the non-recursive axes.
+	minCtxChunk = 64
+)
+
+// Run evaluates the plan DAG rooted at root with up to opts.Workers
+// workers. It mirrors engine.Run: docs maps fn:doc() URIs to fragment
+// ids in base, constructed fragments go to a derived store.
+func Run(root *algebra.Node, base *xmltree.Store, docs map[string]uint32, opts Options) (*engine.Result, error) {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	eopts := engine.Options{
+		Timeout:           opts.Timeout,
+		MaxCells:          opts.MaxCells,
+		InterestingOrders: opts.InterestingOrders,
+	}
+	if w == 1 {
+		return engine.Run(root, base, docs, eopts)
+	}
+	ex := engine.NewExec(base, docs, eopts)
+	e := &executor{ex: ex, workers: w, minRows: opts.MinMorselRows}
+	if e.minRows <= 0 {
+		e.minRows = defaultMinMorselRows
+	}
+	start := time.Now()
+	t, err := e.eval(root)
+	if err != nil {
+		return nil, err
+	}
+	return ex.Finish(t, start), nil
+}
+
+type executor struct {
+	ex      *engine.Exec
+	workers int
+	minRows int
+}
+
+// opResult is a parallel operator evaluation: the output table, the
+// summed per-worker busy time, and whether the workers already charged
+// the output cells against the shared budget.
+type opResult struct {
+	t       *engine.Table
+	busy    time.Duration
+	charged bool
+}
+
+// eval walks the DAG like engine.Eval — memoized, single-goroutine —
+// but dispatches Par-marked operators to the morsel-wise kernels. The
+// walk itself stays serial; only the work inside one operator fans out,
+// so memo and profile bookkeeping need no locks.
+func (e *executor) eval(n *algebra.Node) (*engine.Table, error) {
+	if t, ok := e.ex.Memoized(n); ok {
+		return t, nil
+	}
+	if err := e.ex.CheckDeadline(); err != nil {
+		return nil, err
+	}
+	ins := make([]*engine.Table, len(n.Ins))
+	for i, in := range n.Ins {
+		t, err := e.eval(in)
+		if err != nil {
+			return nil, err
+		}
+		ins[i] = t
+	}
+	start := time.Now()
+	var t *engine.Table
+	var busy time.Duration
+	charged := false
+	if n.Par {
+		r, err := e.parOp(n, ins)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil {
+			t, busy, charged = r.t, r.busy, r.charged
+		}
+	}
+	if t == nil {
+		var err error
+		t, err = e.ex.EvalOp(n, ins)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Attribute the summed per-worker busy time when it exceeds the
+	// coordinator's wall time (it does, on a multicore pool): the profile
+	// then reports work performed per origin, comparable to serial runs.
+	d := time.Since(start)
+	if busy > d {
+		d = busy
+	}
+	e.ex.Record(n, d, t.NumRows())
+	if !charged {
+		if err := e.ex.ChargeCells(int64(t.NumRows()) * int64(len(t.Cols))); err != nil {
+			return nil, err
+		}
+	}
+	e.ex.Memoize(n, t)
+	return t, nil
+}
+
+// parOp evaluates one Par-marked operator morsel-wise. A nil, nil return
+// means the operator (or its input size) is not worth partitioning and
+// the caller should take the serial kernel.
+func (e *executor) parOp(n *algebra.Node, ins []*engine.Table) (*opResult, error) {
+	switch n.Kind {
+	case algebra.OpStep:
+		return e.parStep(n, ins[0])
+	case algebra.OpJoin:
+		return e.parJoin(n, ins[0], ins[1])
+	case algebra.OpSelect:
+		return e.parSelect(n, ins[0])
+	case algebra.OpBinOp:
+		return e.parBinOp(n, ins[0])
+	case algebra.OpMap1:
+		return e.parMap1(n, ins[0])
+	}
+	return nil, nil
+}
+
+// runTasks drains tasks over up to e.workers goroutines (atomic index
+// pull, so uneven morsels balance). Workers check the shared deadline
+// between tasks and stop after the first error; the summed per-worker
+// busy time is returned for profile attribution.
+func (e *executor) runTasks(tasks []func() error) (time.Duration, error) {
+	w := e.workers
+	if w > len(tasks) {
+		w = len(tasks)
+	}
+	var next, busy atomic.Int64
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			defer func() { busy.Add(int64(time.Since(t0))) }()
+			for {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				err := e.ex.CheckDeadline()
+				if err == nil {
+					err = tasks[i]()
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Duration(busy.Load()), firstErr
+}
+
+// ranges splits [0, n) into roughly morselsPerWorker*workers consecutive
+// spans of at least min elements each; nil when n is too small to split.
+func (e *executor) ranges(n, min int) [][2]int {
+	if n < 2*min {
+		return nil
+	}
+	chunk := n / (morselsPerWorker * e.workers)
+	if chunk < min {
+		chunk = min
+	}
+	var out [][2]int
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// parStep partitions a staircase join. Descendant axes split each pruned
+// scan region into preorder subranges (within-group parallelism — a
+// //-path from a single document root is one giant region); the other
+// axes chunk the per-fragment context sets. Morsels merge in serial scan
+// order, so the output is identical to evalStep's.
+func (e *executor) parStep(n *algebra.Node, in *engine.Table) (*opResult, error) {
+	groups, err := engine.CollectStepGroups(in)
+	if err != nil {
+		return nil, e.ex.Errf(n, "%v", err)
+	}
+	isDesc := n.Axis == xquery.AxisDescendant || n.Axis == xquery.AxisDescendantOrSelf
+
+	// One slot per (iteration group, fragment), in serial output order.
+	type slot struct {
+		g       *engine.StepGroup
+		fid     uint32
+		frag    *xmltree.Fragment
+		ctx     []int32
+		regions []engine.ScanRegion
+		outs    [][]int32 // per-morsel results, morsel order = scan order
+	}
+	var slots []*slot
+	totalWork := 0
+	for gi := range groups {
+		g := &groups[gi]
+		for _, fid := range g.FragIDs {
+			f := e.ex.Store().Frag(fid)
+			s := &slot{g: g, fid: fid, frag: f, ctx: g.ByFrag[fid]}
+			if isDesc {
+				s.regions = engine.StaircaseRegions(f, s.ctx, n.Axis)
+				for _, reg := range s.regions {
+					totalWork += int(reg.End-reg.Start) + 1
+				}
+			} else {
+				totalWork += len(s.ctx)
+			}
+			slots = append(slots, s)
+		}
+	}
+
+	minChunk := minCtxChunk
+	if isDesc {
+		minChunk = minDescSpan
+	}
+	if totalWork < 2*minChunk {
+		return nil, nil
+	}
+	chunk := totalWork / (morselsPerWorker * e.workers)
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+
+	// Child and parent axes need a whole-slot sort/dedup after the merge,
+	// so their final row count can differ from the summed morsel outputs;
+	// only the fix-up-free axes charge the budget inside the workers.
+	chargeInWorker := n.Axis != xquery.AxisChild && n.Axis != xquery.AxisParent
+
+	var tasks []func() error
+	for _, s := range slots {
+		s := s
+		if isDesc {
+			for _, reg := range s.regions {
+				for lo := reg.Start; lo <= reg.End; lo += int32(chunk) {
+					hi := lo + int32(chunk) - 1
+					if hi > reg.End {
+						hi = reg.End
+					}
+					ui := len(s.outs)
+					s.outs = append(s.outs, nil)
+					reg, lo, hi := reg, lo, hi
+					tasks = append(tasks, func() error {
+						res := engine.ScanRegionRange(s.frag, reg.Ctx, lo, hi, n.Test)
+						s.outs[ui] = res
+						return e.ex.ChargeCells(int64(len(res)) * 2)
+					})
+				}
+			}
+		} else {
+			for lo := 0; lo < len(s.ctx); lo += chunk {
+				hi := lo + chunk
+				if hi > len(s.ctx) {
+					hi = len(s.ctx)
+				}
+				ui := len(s.outs)
+				s.outs = append(s.outs, nil)
+				lo, hi := lo, hi
+				tasks = append(tasks, func() error {
+					res := engine.AxisScan(s.frag, s.ctx[lo:hi], n.Axis, n.Test)
+					s.outs[ui] = res
+					if chargeInWorker {
+						return e.ex.ChargeCells(int64(len(res)) * 2)
+					}
+					return e.ex.CheckCells(0, 0)
+				})
+			}
+		}
+	}
+	if len(tasks) < 2 {
+		return nil, nil
+	}
+
+	busy, err := e.runTasks(tasks)
+	if err != nil {
+		return nil, err
+	}
+
+	var outIter, outItem []xdm.Item
+	for _, s := range slots {
+		var pres []int32
+		for _, u := range s.outs {
+			pres = append(pres, u...)
+		}
+		switch n.Axis {
+		case xquery.AxisChild:
+			// Children of distinct contexts are disjoint and duplicate-free;
+			// the sort only restores document order across morsels, exactly
+			// as AxisScan restores it across unsorted contexts.
+			if !sortedAsc(pres) {
+				pres = engine.DedupSorted(pres)
+			}
+		case xquery.AxisParent:
+			pres = engine.DedupSorted(pres)
+		}
+		for _, pre := range pres {
+			outIter = append(outIter, s.g.Iter)
+			outItem = append(outItem, xdm.NewNode(xdm.NodeID{Frag: s.fid, Pre: pre}))
+		}
+	}
+	t := engine.NewTable([]string{"iter", "item"})
+	t.Data[0] = outIter
+	t.Data[1] = outItem
+	return &opResult{t: t, busy: busy, charged: chargeInWorker}, nil
+}
+
+func sortedAsc(pres []int32) bool {
+	for i := 1; i < len(pres); i++ {
+		if pres[i] < pres[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// parJoin builds the hash index serially (builds don't decompose well at
+// these sizes) and probes the left side in chunks; concatenating the
+// per-chunk pair lists in chunk order reproduces the serial probe order.
+func (e *executor) parJoin(n *algebra.Node, l, r *engine.Table) (*opResult, error) {
+	lk, rk := l.Col(n.LCol), r.Col(n.RCol)
+	cs := e.ranges(len(lk), e.minRows)
+	if cs == nil {
+		return nil, nil
+	}
+	ix := engine.BuildJoinIndex(rk)
+	type part struct{ lperm, rperm []int }
+	parts := make([]part, len(cs))
+	tasks := make([]func() error, len(cs))
+	for ci, c := range cs {
+		ci, lo, hi := ci, c[0], c[1]
+		tasks[ci] = func() error {
+			lp, rp := ix.Probe(lk, lo, hi, nil, nil)
+			parts[ci] = part{lp, rp}
+			return e.ex.CheckCells(len(lp), len(l.Cols)+len(r.Cols))
+		}
+	}
+	busy, err := e.runTasks(tasks)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p.lperm)
+	}
+	if err := e.ex.CheckCells(total, len(l.Cols)+len(r.Cols)); err != nil {
+		return nil, err
+	}
+	lperm := make([]int, 0, total)
+	rperm := make([]int, 0, total)
+	for _, p := range parts {
+		lperm = append(lperm, p.lperm...)
+		rperm = append(rperm, p.rperm...)
+	}
+	return &opResult{t: engine.MaterializeJoin(n, l, r, lperm, rperm), busy: busy}, nil
+}
+
+// parSelect filters row chunks concurrently; chunk-ordered concatenation
+// of the absolute row indices is the serial keep list.
+func (e *executor) parSelect(n *algebra.Node, in *engine.Table) (*opResult, error) {
+	cond := in.Col(n.Col)
+	cs := e.ranges(len(cond), e.minRows)
+	if cs == nil {
+		return nil, nil
+	}
+	parts := make([][]int, len(cs))
+	tasks := make([]func() error, len(cs))
+	for ci, c := range cs {
+		ci, lo, hi := ci, c[0], c[1]
+		tasks[ci] = func() error {
+			var keep []int
+			for r := lo; r < hi; r++ {
+				it := cond[r]
+				if it.Kind != xdm.KBoolean {
+					return e.ex.Errf(n, "selection over non-boolean %s", it.Kind)
+				}
+				if it.I != 0 {
+					keep = append(keep, r)
+				}
+			}
+			parts[ci] = keep
+			return nil
+		}
+	}
+	busy, err := e.runTasks(tasks)
+	if err != nil {
+		return nil, err
+	}
+	var keep []int
+	for _, p := range parts {
+		keep = append(keep, p...)
+	}
+	return &opResult{t: in.Filter(keep), busy: busy}, nil
+}
+
+// parBinOp maps the binary (or ternary) item kernel over row chunks into
+// a preallocated output column.
+func (e *executor) parBinOp(n *algebra.Node, in *engine.Table) (*opResult, error) {
+	rows := in.NumRows()
+	cs := e.ranges(rows, e.minRows)
+	if cs == nil {
+		return nil, nil
+	}
+	l, r := in.Col(n.LCol), in.Col(n.RCol)
+	var tc []xdm.Item
+	if n.TCol != "" {
+		tc = in.Col(n.TCol)
+	}
+	out := make([]xdm.Item, rows)
+	tasks := make([]func() error, len(cs))
+	for ci, c := range cs {
+		lo, hi := c[0], c[1]
+		tasks[ci] = func() error {
+			for i := lo; i < hi; i++ {
+				var v xdm.Item
+				var err error
+				if tc != nil {
+					v, err = e.ex.ApplyTern(n, l[i], r[i], tc[i])
+				} else {
+					v, err = e.ex.ApplyBin(n, l[i], r[i])
+				}
+				if err != nil {
+					return e.ex.Errf(n, "%v", err)
+				}
+				out[i] = v
+			}
+			return nil
+		}
+	}
+	busy, err := e.runTasks(tasks)
+	if err != nil {
+		return nil, err
+	}
+	return &opResult{t: in.WithColumn(n.Res, out), busy: busy}, nil
+}
+
+// parMap1 maps the unary item kernel over row chunks.
+func (e *executor) parMap1(n *algebra.Node, in *engine.Table) (*opResult, error) {
+	arg := in.Col(n.LCol)
+	cs := e.ranges(len(arg), e.minRows)
+	if cs == nil {
+		return nil, nil
+	}
+	out := make([]xdm.Item, len(arg))
+	tasks := make([]func() error, len(cs))
+	for ci, c := range cs {
+		lo, hi := c[0], c[1]
+		tasks[ci] = func() error {
+			for i := lo; i < hi; i++ {
+				v, err := e.ex.ApplyUn(n, arg[i])
+				if err != nil {
+					return err
+				}
+				out[i] = v
+			}
+			return nil
+		}
+	}
+	busy, err := e.runTasks(tasks)
+	if err != nil {
+		return nil, err
+	}
+	return &opResult{t: in.WithColumn(n.Res, out), busy: busy}, nil
+}

@@ -1,0 +1,242 @@
+package parallel_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/parallel"
+	"repro/internal/xmark"
+	"repro/internal/xmarkq"
+	"repro/internal/xmltree"
+	"repro/internal/xquery"
+)
+
+func xmarkEnv(t testing.TB, factor float64) (*xmltree.Store, map[string]uint32) {
+	t.Helper()
+	store := xmltree.NewStore()
+	f := xmark.Generate(xmark.Config{Factor: factor})
+	return store, map[string]uint32{"auction.xml": store.Add(f)}
+}
+
+func serialize(t *testing.T, res *engine.Result) string {
+	t.Helper()
+	s, err := res.SerializeXML()
+	if err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	return s
+}
+
+// TestParallelMatchesSerialXMark runs the full XMark corpus with the
+// parallel executor and requires byte-identical results to the serial
+// engine — parallel morsels merge in serial scan order, so this holds
+// in ordered mode too, not just for order-indifferent queries.
+func TestParallelMatchesSerialXMark(t *testing.T) {
+	store, docs := xmarkEnv(t, 0.01)
+	u := xquery.Unordered
+	unordered := core.DefaultConfig()
+	unordered.ForceOrdering = &u
+	modes := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"ordered", core.DefaultConfig()},
+		{"unordered", unordered},
+	}
+	for _, m := range modes {
+		for _, q := range xmarkq.All() {
+			t.Run(m.name+"/"+q.Name, func(t *testing.T) {
+				scfg := m.cfg
+				sp, err := core.Prepare(q.Text, scfg)
+				if err != nil {
+					t.Fatalf("prepare serial: %v", err)
+				}
+				sres, err := sp.Run(store, docs)
+				if err != nil {
+					t.Fatalf("serial run: %v", err)
+				}
+				pcfg := m.cfg
+				pcfg.Parallelism = 4
+				pp, err := core.Prepare(q.Text, pcfg)
+				if err != nil {
+					t.Fatalf("prepare parallel: %v", err)
+				}
+				pres, err := pp.Run(store, docs)
+				if err != nil {
+					t.Fatalf("parallel run: %v", err)
+				}
+				if got, want := serialize(t, pres), serialize(t, sres); got != want {
+					t.Errorf("parallel result differs from serial\n got %.200q\nwant %.200q", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelDescendantScan uses a document large enough that the
+// descendant-axis scan regions split into preorder-range morsels (the
+// within-group parallelism Q6/Q7-shaped queries rely on: one iteration
+// group, one giant region) and checks byte equality against the serial
+// engine. Only linear-cost count queries run at this scale.
+func TestParallelDescendantScan(t *testing.T) {
+	store, docs := xmarkEnv(t, 0.1)
+	u := xquery.Unordered
+	queries := []struct{ name, text string }{
+		{"q6", xmarkq.Get(6).Text},
+		{"q7", xmarkq.Get(7).Text},
+		{"keyword-count", `count(doc("auction.xml")//keyword)`},
+	}
+	for _, q := range queries {
+		t.Run(q.name, func(t *testing.T) {
+			cfg := core.DefaultConfig()
+			cfg.ForceOrdering = &u
+			cfg.Parallelism = 4
+			p, err := core.Prepare(q.text, cfg)
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			sres, err := engine.Run(p.Plan.Root, store, docs, engine.Options{})
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			pres, err := parallel.Run(p.Plan.Root, store, docs, parallel.Options{Workers: 4})
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			if got, want := serialize(t, pres), serialize(t, sres); got != want {
+				t.Errorf("parallel result differs from serial\n got %.200q\nwant %.200q", got, want)
+			}
+		})
+	}
+}
+
+// TestRunForcedMorsels drives parallel.Run directly with MinMorselRows=1
+// so that the join/select/binop/map1 kernels engage even on a small
+// document, and checks byte equality against the serial engine.
+func TestRunForcedMorsels(t *testing.T) {
+	store, docs := xmarkEnv(t, 0.01)
+	u := xquery.Unordered
+	for _, q := range xmarkq.All() {
+		t.Run(q.Name, func(t *testing.T) {
+			cfg := core.DefaultConfig()
+			cfg.ForceOrdering = &u
+			cfg.Parallelism = 4 // marks the plan's parallel regions
+			p, err := core.Prepare(q.Text, cfg)
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			sres, err := engine.Run(p.Plan.Root, store, docs, engine.Options{})
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			pres, err := parallel.Run(p.Plan.Root, store, docs, parallel.Options{
+				Workers:       4,
+				MinMorselRows: 1,
+			})
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			if got, want := serialize(t, pres), serialize(t, sres); got != want {
+				t.Errorf("forced-morsel result differs from serial\n got %.200q\nwant %.200q", got, want)
+			}
+		})
+	}
+}
+
+// TestMarkParallelRegions checks the analysis end of the subsystem: an
+// order-indifferent aggregate query gets Par-marked steps (and the
+// marker shows up in Explain), while ρ and constructors are never marked
+// anywhere in the corpus.
+func TestMarkParallelRegions(t *testing.T) {
+	u := xquery.Unordered
+	cfg := core.DefaultConfig()
+	cfg.ForceOrdering = &u
+	cfg.Parallelism = 4
+
+	p, err := core.Prepare(`count(doc("auction.xml")//keyword)`, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked, steps := 0, 0
+	for _, n := range algebra.Nodes(p.Plan.Root) {
+		if n.Par {
+			marked++
+			if n.Kind == algebra.OpStep {
+				steps++
+			}
+		}
+	}
+	if marked == 0 {
+		t.Error("no parallel regions marked for an order-indifferent count query")
+	}
+	if steps == 0 {
+		t.Error("no Par-marked step in an order-indifferent count query")
+	}
+	if !strings.Contains(p.Explain(), "[par]") {
+		t.Error("Explain does not show [par] markers")
+	}
+
+	for _, q := range xmarkq.All() {
+		pq, err := core.Prepare(q.Text, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		for _, n := range algebra.Nodes(pq.Plan.Root) {
+			if n.Par && (n.Kind == algebra.OpRowNum || n.Kind == algebra.OpElem || n.Kind == algebra.OpAttr) {
+				t.Errorf("%s: %s marked parallel", q.Name, n.Kind)
+			}
+		}
+	}
+}
+
+// TestSerialPlansUnmarked: without Parallelism the seed behaviour is
+// untouched — no Par flags, no [par] in Explain.
+func TestSerialPlansUnmarked(t *testing.T) {
+	p, err := core.Prepare(`count(doc("auction.xml")//keyword)`, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range algebra.Nodes(p.Plan.Root) {
+		if n.Par {
+			t.Fatalf("Par set on %s without Parallelism", n.Kind)
+		}
+	}
+	if strings.Contains(p.Explain(), "[par]") {
+		t.Error("serial Explain shows [par]")
+	}
+}
+
+// TestParallelCutoffs verifies that the shared budgets abort a parallel
+// run: the atomic cell budget and the deadline are both checked
+// cooperatively by the workers.
+func TestParallelCutoffs(t *testing.T) {
+	store, docs := xmarkEnv(t, 0.02)
+	u := xquery.Unordered
+
+	cfg := core.DefaultConfig()
+	cfg.ForceOrdering = &u
+	cfg.Parallelism = 4
+	cfg.MaxCells = 64
+	p, err := core.Prepare(`count(doc("auction.xml")//keyword)`, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(store, docs); !errors.Is(err, engine.ErrCutoff) {
+		t.Errorf("memory cutoff: got %v, want ErrCutoff", err)
+	}
+
+	cfg.MaxCells = 0
+	cfg.Timeout = time.Nanosecond
+	p, err = core.Prepare(`count(doc("auction.xml")//keyword)`, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(store, docs); !errors.Is(err, engine.ErrCutoff) {
+		t.Errorf("time cutoff: got %v, want ErrCutoff", err)
+	}
+}
