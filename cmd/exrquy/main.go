@@ -8,12 +8,24 @@
 // Documents are registered under their base file names for fn:doc().
 // Use -xmark to generate and register a synthetic XMark instance as
 // auction.xml instead of (or in addition to) loading files.
+//
+// Interrupting a running query (Ctrl-C) cancels it cooperatively and
+// exits with the cutoff status. Exit codes map the error taxonomy:
+//
+//	0  success
+//	1  dynamic/evaluation error
+//	2  parse or compile error (static; position printed when known)
+//	3  cutoff (timeout, memory limit) or cancellation
+//	4  internal error (recovered engine panic; phase and plan printed)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
@@ -32,17 +44,19 @@ func main() {
 		stats      = flag.Bool("stats", false, "print plan statistics (operators, sorts, stamps)")
 		reference  = flag.Bool("reference", false, "evaluate with the reference interpreter instead of the compiled pipeline")
 		timeoutSec = flag.Float64("timeout", 0, "execution cutoff in seconds (0 = none)")
+		maxCells   = flag.Int64("maxcells", 0, "memory cutoff in intermediate table cells (0 = none)")
+		parallelN  = flag.Int("parallel", 0, "morsel-wise parallel execution with this many workers (0 = serial, -1 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	if (*queryText == "") == (*queryFile == "") {
-		fatal("exactly one of -q or -f is required")
+		fatal(nil, "exactly one of -q or -f is required")
 	}
 	query := *queryText
 	if *queryFile != "" {
 		data, err := os.ReadFile(*queryFile)
 		if err != nil {
-			fatal("read query: %v", err)
+			fatal(nil, "read query: %v", err)
 		}
 		query = string(data)
 	}
@@ -55,22 +69,28 @@ func main() {
 	case "unordered":
 		opts = append(opts, exrquy.WithOrdering(exrquy.Unordered))
 	default:
-		fatal("unknown ordering mode %q", *mode)
+		fatal(nil, "unknown ordering mode %q", *mode)
 	}
 	if *timeoutSec > 0 {
 		opts = append(opts, exrquy.WithTimeout(time.Duration(*timeoutSec*float64(time.Second))))
+	}
+	if *maxCells > 0 {
+		opts = append(opts, exrquy.WithMemoryLimit(*maxCells))
+	}
+	if *parallelN != 0 {
+		opts = append(opts, exrquy.WithParallelism(*parallelN))
 	}
 	eng := exrquy.New(opts...)
 
 	for _, path := range flag.Args() {
 		f, err := os.Open(path)
 		if err != nil {
-			fatal("open %s: %v", path, err)
+			fatal(nil, "open %s: %v", path, err)
 		}
 		err = eng.LoadDocument(filepath.Base(path), f)
 		f.Close()
 		if err != nil {
-			fatal("load %s: %v", path, err)
+			fatal(err, "load %s: %v", path, err)
 		}
 	}
 	if *xmarkF > 0 {
@@ -80,7 +100,7 @@ func main() {
 	if *reference {
 		res, err := eng.Reference(query)
 		if err != nil {
-			fatal("%v", err)
+			fatal(err, "%v", err)
 		}
 		printResult(res)
 		return
@@ -88,7 +108,7 @@ func main() {
 
 	q, err := eng.Compile(query)
 	if err != nil {
-		fatal("%v", err)
+		fatal(err, "%v", err)
 	}
 	if *stats {
 		before, after := q.PlanStats()
@@ -100,9 +120,13 @@ func main() {
 		fmt.Print(q.Explain())
 		return
 	}
-	res, err := q.Execute()
+	// Ctrl-C cancels the running query cooperatively instead of killing
+	// the process mid-execution.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := q.ExecuteContext(ctx)
 	if err != nil {
-		fatal("%v", err)
+		fatal(err, "%v", err)
 	}
 	printResult(res)
 	if *profile {
@@ -117,12 +141,42 @@ func main() {
 func printResult(res *exrquy.Result) {
 	xml, err := res.XML()
 	if err != nil {
-		fatal("serialize: %v", err)
+		fatal(err, "serialize: %v", err)
 	}
 	fmt.Println(xml)
 }
 
-func fatal(format string, args ...any) {
+// exitCode maps the error taxonomy to distinct exit statuses.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 1
+	case errors.Is(err, exrquy.ErrParse), errors.Is(err, exrquy.ErrCompile):
+		return 2
+	case errors.Is(err, exrquy.ErrCutoff), errors.Is(err, exrquy.ErrCanceled):
+		return 3
+	case errors.Is(err, exrquy.ErrInternal):
+		return 4
+	}
+	return 1
+}
+
+// fatal prints the message plus any taxonomy diagnostics (phase, source
+// position, plan dump for internal errors) and exits with the mapped
+// status code.
+func fatal(err error, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "exrquy: "+format+"\n", args...)
-	os.Exit(1)
+	var qe *exrquy.QueryError
+	if errors.As(err, &qe) {
+		if qe.Phase != "" {
+			fmt.Fprintf(os.Stderr, "exrquy:   phase: %s\n", qe.Phase)
+		}
+		if qe.Line > 0 {
+			fmt.Fprintf(os.Stderr, "exrquy:   position: line %d, column %d\n", qe.Line, qe.Col)
+		}
+		if qe.Plan != "" {
+			fmt.Fprintf(os.Stderr, "exrquy:   plan:\n%s", qe.Plan)
+		}
+	}
+	os.Exit(exitCode(err))
 }

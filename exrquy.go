@@ -26,6 +26,7 @@
 package exrquy
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -36,11 +37,52 @@ import (
 	"repro/internal/engine"
 	"repro/internal/interp"
 	"repro/internal/opt"
+	"repro/internal/qerr"
 	"repro/internal/xdm"
 	"repro/internal/xmark"
 	"repro/internal/xmltree"
 	"repro/internal/xquery"
 )
+
+// Error taxonomy. Every error returned by the Engine/Query API is
+// classified under one of these sentinels; match with errors.Is, and use
+// errors.As with *QueryError to read the pipeline phase, source position,
+// or plan dump:
+//
+//	_, err := eng.Query(q)
+//	if errors.Is(err, exrquy.ErrTimeout) { ... }
+//	var qe *exrquy.QueryError
+//	if errors.As(err, &qe) { log.Printf("phase %s: %v", qe.Phase, err) }
+var (
+	// ErrParse marks static syntax errors in queries or documents; the
+	// QueryError carries a 1-based line/column position.
+	ErrParse = qerr.ErrParse
+	// ErrCompile marks static errors past parsing (unbound variables,
+	// unsupported constructs, recursive functions).
+	ErrCompile = qerr.ErrCompile
+	// ErrCutoff groups both cutoff classes below, mirroring the paper's
+	// "did not finish" methodology (30 s timeout, Figure 12 gaps).
+	ErrCutoff = qerr.ErrCutoff
+	// ErrTimeout marks wall-clock cutoffs (WithTimeout or a context
+	// deadline); wraps ErrCutoff.
+	ErrTimeout = qerr.ErrTimeout
+	// ErrMemoryLimit marks cell-budget cutoffs (WithMemoryLimit); wraps
+	// ErrCutoff.
+	ErrMemoryLimit = qerr.ErrMemoryLimit
+	// ErrCanceled marks cooperative context cancellation; the error also
+	// wraps context.Canceled.
+	ErrCanceled = qerr.ErrCanceled
+	// ErrInternal marks recovered engine panics: the query failed, the
+	// process survived, and the QueryError carries the phase, plan dump
+	// and stack for diagnosis.
+	ErrInternal = qerr.ErrInternal
+	// ErrLimit marks tripped input guards (document size, nesting depth,
+	// node count, query nesting); wraps ErrParse.
+	ErrLimit = qerr.ErrLimit
+)
+
+// QueryError is the structured error type behind the sentinels above.
+type QueryError = qerr.Error
 
 // Ordering selects the XQuery ordering mode applied to a query.
 type Ordering int
@@ -157,9 +199,12 @@ func New(opts ...Option) *Engine {
 }
 
 // LoadDocument parses an XML document from r and registers it under name
-// for fn:doc(name).
+// for fn:doc(name). Input guards (xmltree.DefaultLimits: 1 GiB of raw
+// XML, 1024 levels of nesting, ~67M nodes) bound what a hostile document
+// can make the process materialize; violations return an error wrapping
+// ErrLimit.
 func (e *Engine) LoadDocument(name string, r io.Reader) error {
-	f, err := xmltree.Parse(r, name, xmltree.ParseOptions{})
+	f, err := xmltree.Parse(r, name, xmltree.DefaultLimits())
 	if err != nil {
 		return err
 	}
@@ -169,7 +214,7 @@ func (e *Engine) LoadDocument(name string, r io.Reader) error {
 
 // LoadDocumentString is LoadDocument over a string.
 func (e *Engine) LoadDocumentString(name, doc string) error {
-	f, err := xmltree.ParseString(doc, name, xmltree.ParseOptions{})
+	f, err := xmltree.ParseString(doc, name, xmltree.DefaultLimits())
 	if err != nil {
 		return err
 	}
@@ -328,11 +373,19 @@ func toItems(v any) ([]xdm.Item, error) {
 
 // Query compiles and executes in one call.
 func (e *Engine) Query(query string) (*Result, error) {
+	return e.QueryContext(context.Background(), query)
+}
+
+// QueryContext compiles and executes in one call under a context:
+// ctx.Done() aborts a running query cooperatively on both the serial and
+// the parallel path, returning an error wrapping ErrCanceled (or
+// ErrTimeout when the context carried a deadline) and ctx's own error.
+func (e *Engine) QueryContext(ctx context.Context, query string) (*Result, error) {
 	q, err := e.Compile(query)
 	if err != nil {
 		return nil, err
 	}
-	return q.Execute()
+	return q.ExecuteContext(ctx)
 }
 
 // Reference evaluates a query with the reference tree-walking interpreter
@@ -356,7 +409,13 @@ type Query struct {
 
 // Execute runs the plan against the engine's documents.
 func (q *Query) Execute() (*Result, error) {
-	res, err := q.prepared.Run(q.eng.store, q.eng.docs)
+	return q.ExecuteContext(context.Background())
+}
+
+// ExecuteContext runs the plan under a context; see QueryContext for the
+// cancellation contract.
+func (q *Query) ExecuteContext(ctx context.Context) (*Result, error) {
+	res, err := q.prepared.RunContext(ctx, q.eng.store, q.eng.docs)
 	if err != nil {
 		return nil, err
 	}

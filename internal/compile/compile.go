@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"repro/internal/algebra"
+	"repro/internal/qerr"
 	"repro/internal/xdm"
 	"repro/internal/xquery"
 )
@@ -59,7 +60,7 @@ func Compile(m *xquery.Module, opts Options) (plan *Plan, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if ce, ok := r.(compileError); ok {
-				plan, err = nil, error(ce.err)
+				plan, err = nil, qerr.New(qerr.ErrCompile, "compile", ce.err)
 				return
 			}
 			panic(r)

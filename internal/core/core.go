@@ -12,6 +12,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"time"
 
@@ -20,6 +22,7 @@ import (
 	"repro/internal/norm"
 	"repro/internal/opt"
 	"repro/internal/parallel"
+	"repro/internal/qerr"
 	"repro/internal/xdm"
 	"repro/internal/xmltree"
 	"repro/internal/xquery"
@@ -78,43 +81,87 @@ type Prepared struct {
 	cfg Config
 }
 
-// Prepare parses, normalizes, compiles and optimizes a query.
+// Prepare parses, normalizes, compiles and optimizes a query. Every
+// static-phase failure comes back classified in the qerr taxonomy
+// (ErrParse with position, ErrCompile) and every phase is panic-isolated:
+// a pipeline bug tripped by a hostile query surfaces as qerr.ErrInternal
+// naming the phase, never as a process crash.
 func Prepare(src string, cfg Config) (*Prepared, error) {
 	mod, err := xquery.Parse(src)
 	if err != nil {
-		return nil, err
+		return nil, qerr.Ensure(qerr.ErrParse, "parse", err)
 	}
 	return PrepareModule(mod, cfg)
 }
 
 // PrepareModule is Prepare over an already-parsed module.
-func PrepareModule(mod *xquery.Module, cfg Config) (*Prepared, error) {
+func PrepareModule(mod *xquery.Module, cfg Config) (p *Prepared, err error) {
 	if cfg.ForceOrdering != nil {
 		mod = &xquery.Module{Ordering: *cfg.ForceOrdering, Functions: mod.Functions, Body: mod.Body}
 	}
-	nm, err := norm.Normalize(mod, norm.Options{InsertUnordered: cfg.Indifference})
+	nm, err := normalize(mod, cfg)
 	if err != nil {
 		return nil, err
 	}
-	plan, err := compile.Compile(nm, compile.Options{Indifference: cfg.Indifference, Vars: cfg.Vars})
+	plan, err := compilePlan(nm, cfg)
 	if err != nil {
 		return nil, err
 	}
-	p := &Prepared{Module: nm, Plan: plan, cfg: cfg}
+	p = &Prepared{Module: nm, Plan: plan, cfg: cfg}
 	p.StatsBefore = planCounts(plan)
-	if cfg.Indifference {
-		plan.Root = opt.Optimize(plan.Root, plan.Builder, cfg.Opt)
+	if err := optimize(p, cfg); err != nil {
+		return nil, err
 	}
-	p.StatsAfter = planCounts(plan)
+	return p, nil
+}
+
+// normalize runs the normalization phase with panic isolation and error
+// classification (normalization failures are static query errors, so
+// they class as ErrCompile in phase "normalize").
+func normalize(mod *xquery.Module, cfg Config) (nm *xquery.Module, err error) {
+	defer qerr.RecoverInto("normalize", &err)
+	nm, err = norm.Normalize(mod, norm.Options{InsertUnordered: cfg.Indifference})
+	if err != nil {
+		return nil, qerr.Ensure(qerr.ErrCompile, "normalize", err)
+	}
+	return nm, nil
+}
+
+// compilePlan runs the loop-lifting compiler with panic isolation. The
+// compiler converts its own user-facing failures already; anything else
+// escaping it (builder schema violations are deliberate panics) becomes
+// ErrInternal here.
+func compilePlan(nm *xquery.Module, cfg Config) (plan *compile.Plan, err error) {
+	defer qerr.RecoverInto("compile", &err)
+	plan, err = compile.Compile(nm, compile.Options{Indifference: cfg.Indifference, Vars: cfg.Vars})
+	if err != nil {
+		return nil, qerr.Ensure(qerr.ErrCompile, "compile", err)
+	}
+	return plan, nil
+}
+
+// optimize runs the plan rewrites and the parallel region analysis with
+// panic isolation; a failing rewrite reports the pre-optimization plan.
+func optimize(p *Prepared, cfg Config) (err error) {
+	defer func() {
+		if err != nil {
+			qerr.AttachPlan(err, opt.Explain(p.Plan.Root))
+		}
+	}()
+	defer qerr.RecoverInto("optimize", &err)
+	if cfg.Indifference {
+		p.Plan.Root = opt.Optimize(p.Plan.Root, p.Plan.Builder, cfg.Opt)
+	}
+	p.StatsAfter = planCounts(p.Plan)
 	if parallelWorkers(cfg.Parallelism) > 1 {
 		// Parallel region analysis: mark the order-dead regions the
 		// morsel-wise executor may partition. Runs for the baseline
 		// compiler too — order-deadness is a plan property, not an
 		// optimizer rewrite — but only when parallel execution is on, so
 		// serial Explain output matches the seed.
-		opt.MarkParallel(plan.Root)
+		opt.MarkParallel(p.Plan.Root)
 	}
-	return p, nil
+	return nil
 }
 
 // parallelWorkers resolves the Config.Parallelism knob to a pool size.
@@ -134,19 +181,41 @@ func planCounts(plan *compile.Plan) struct{ Operators, RowNums, RowIDs int } {
 // dispatching to the morsel-wise parallel executor when Config.Parallelism
 // asks for more than one worker.
 func (p *Prepared) Run(store *xmltree.Store, docs map[string]uint32) (*engine.Result, error) {
+	return p.RunContext(context.Background(), store, docs)
+}
+
+// RunContext is Run under a context: ctx.Done() aborts the execution
+// cooperatively on both the serial and the parallel path, returning an
+// error that wraps qerr.ErrCanceled (or qerr.ErrTimeout for a context
+// deadline) and the context's own error. Internal failures during
+// execution come back as qerr.ErrInternal carrying the optimized plan's
+// Explain() dump.
+func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs map[string]uint32) (*engine.Result, error) {
+	var res *engine.Result
+	var err error
 	if w := parallelWorkers(p.cfg.Parallelism); w > 1 {
-		return parallel.Run(p.Plan.Root, store, docs, parallel.Options{
+		res, err = parallel.Run(p.Plan.Root, store, docs, parallel.Options{
+			Context:           ctx,
 			Workers:           w,
 			Timeout:           p.cfg.Timeout,
 			MaxCells:          p.cfg.MaxCells,
 			InterestingOrders: p.cfg.InterestingOrders,
 		})
+	} else {
+		res, err = engine.Run(p.Plan.Root, store, docs, engine.Options{
+			Context:           ctx,
+			Timeout:           p.cfg.Timeout,
+			MaxCells:          p.cfg.MaxCells,
+			InterestingOrders: p.cfg.InterestingOrders,
+		})
 	}
-	return engine.Run(p.Plan.Root, store, docs, engine.Options{
-		Timeout:           p.cfg.Timeout,
-		MaxCells:          p.cfg.MaxCells,
-		InterestingOrders: p.cfg.InterestingOrders,
-	})
+	if err != nil {
+		if errors.Is(err, qerr.ErrInternal) {
+			qerr.AttachPlan(err, p.Explain())
+		}
+		return nil, err
+	}
+	return res, nil
 }
 
 // Explain renders the (optimized) plan DAG as text.

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/engine"
+	"repro/internal/qerr"
+	"repro/internal/xmark"
+	"repro/internal/xmarkq"
+	"repro/internal/xmltree"
+)
+
+// lifecycleConfigs are the two execution paths every lifecycle guarantee
+// must hold on: the serial engine and the morsel-wise parallel engine.
+func lifecycleConfigs() map[string]Config {
+	serial := DefaultConfig()
+	par := DefaultConfig()
+	par.Parallelism = 4
+	return map[string]Config{"serial": serial, "parallel": par}
+}
+
+// TestCutoffTaxonomy checks that both cutoff classes surface through
+// errors.Is on the serial and the parallel engine, and that the legacy
+// engine.ErrCutoff identity still holds.
+func TestCutoffTaxonomy(t *testing.T) {
+	store, docs := buildStoreWith(t, map[string]string{"f.xml": fuzzDoc})
+	const q = `for $a in doc("f.xml")//e, $b in doc("f.xml")//e, $c in doc("f.xml")//e return $a/@k + $b/@k + $c/@k`
+	for name, cfg := range lifecycleConfigs() {
+		t.Run("timeout/"+name, func(t *testing.T) {
+			c := cfg
+			c.Timeout = time.Nanosecond
+			p, err := Prepare(q, c)
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			_, err = p.Run(store, docs)
+			if err == nil {
+				t.Fatal("1ns timeout did not fire")
+			}
+			for _, sentinel := range []error{qerr.ErrTimeout, qerr.ErrCutoff, engine.ErrCutoff} {
+				if !errors.Is(err, sentinel) {
+					t.Errorf("errors.Is(%v, %v) = false", err, sentinel)
+				}
+			}
+			if errors.Is(err, qerr.ErrMemoryLimit) {
+				t.Errorf("timeout misclassified as memory limit: %v", err)
+			}
+		})
+		t.Run("memory/"+name, func(t *testing.T) {
+			c := cfg
+			c.MaxCells = 64
+			p, err := Prepare(q, c)
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			_, err = p.Run(store, docs)
+			if err == nil {
+				t.Fatal("64-cell memory limit did not fire")
+			}
+			for _, sentinel := range []error{qerr.ErrMemoryLimit, qerr.ErrCutoff, engine.ErrCutoff} {
+				if !errors.Is(err, sentinel) {
+					t.Errorf("errors.Is(%v, %v) = false", err, sentinel)
+				}
+			}
+			if errors.Is(err, qerr.ErrTimeout) {
+				t.Errorf("memory limit misclassified as timeout: %v", err)
+			}
+		})
+	}
+}
+
+// TestPreCanceledContext: a context canceled before execution aborts
+// immediately with both the taxonomy sentinel and the context cause.
+func TestPreCanceledContext(t *testing.T) {
+	store, docs := buildStoreWith(t, map[string]string{"f.xml": fuzzDoc})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, cfg := range lifecycleConfigs() {
+		t.Run(name, func(t *testing.T) {
+			p, err := Prepare(`doc("f.xml")//e`, cfg)
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			_, err = p.RunContext(ctx, store, docs)
+			if !errors.Is(err, qerr.ErrCanceled) {
+				t.Errorf("not ErrCanceled: %v", err)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("context cause lost: %v", err)
+			}
+		})
+	}
+}
+
+// TestContextDeadline: a context deadline is reported as a timeout (the
+// cutoff taxonomy), not as a plain cancellation, and carries the
+// context's DeadlineExceeded cause.
+func TestContextDeadline(t *testing.T) {
+	store, docs := buildStoreWith(t, map[string]string{"f.xml": fuzzDoc})
+	const q = `for $a in doc("f.xml")//e, $b in doc("f.xml")//e return $a/@k + $b/@k`
+	for name, cfg := range lifecycleConfigs() {
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+			defer cancel()
+			p, err := Prepare(q, cfg)
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			_, err = p.RunContext(ctx, store, docs)
+			if err == nil {
+				t.Fatal("expired deadline did not abort")
+			}
+			if !errors.Is(err, qerr.ErrTimeout) || !errors.Is(err, qerr.ErrCutoff) {
+				t.Errorf("deadline not classified as timeout cutoff: %v", err)
+			}
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("context cause lost: %v", err)
+			}
+		})
+	}
+}
+
+// TestCancelMidFlight is the headline robustness guarantee: canceling a
+// long-running XMark join mid-execution returns promptly (well under the
+// 100ms bound) on both engines, the error wraps context.Canceled, and no
+// worker goroutines are left behind.
+func TestCancelMidFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second XMark instance")
+	}
+	store := xmltree.NewStore()
+	frag := xmark.Generate(xmark.Config{Factor: 0.1})
+	docs := map[string]uint32{"auction.xml": store.Add(frag)}
+	// Q11 is a non-equi join that runs for multiple seconds at factor
+	// 0.1 — long enough that a 250ms cancellation is genuinely mid-flight.
+	q := xmarkq.Get(11).Text
+	// The 100ms acceptance bound assumes production kernel speed; the
+	// race detector stretches the distance between cancellation polls.
+	bound := 100 * time.Millisecond
+	if raceEnabled {
+		bound = time.Second
+	}
+
+	for name, cfg := range lifecycleConfigs() {
+		t.Run(name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			p, err := Prepare(q, cfg)
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			type outcome struct {
+				err     error
+				settled time.Time
+			}
+			done := make(chan outcome, 1)
+			go func() {
+				_, err := p.RunContext(ctx, store, docs)
+				done <- outcome{err, time.Now()}
+			}()
+			time.Sleep(250 * time.Millisecond)
+			canceledAt := time.Now()
+			cancel()
+			select {
+			case o := <-done:
+				latency := o.settled.Sub(canceledAt)
+				if o.err == nil {
+					t.Fatal("canceled query returned a result")
+				}
+				if !errors.Is(o.err, context.Canceled) {
+					t.Errorf("error does not wrap context.Canceled: %v", o.err)
+				}
+				if !errors.Is(o.err, qerr.ErrCanceled) {
+					t.Errorf("error does not wrap qerr.ErrCanceled: %v", o.err)
+				}
+				if latency > bound {
+					t.Errorf("cancellation latency %v exceeds the %v bound", latency, bound)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("query did not return within 10s of cancellation")
+			}
+			// All morsel workers must drain; poll because goroutine exit
+			// is asynchronous with the error delivery.
+			deadline := time.Now().Add(2 * time.Second)
+			for {
+				if runtime.NumGoroutine() <= before {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("goroutine leak after cancel: %d before, %d after",
+						before, runtime.NumGoroutine())
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}
+
+// TestPanicIsolation injects a panic into the engine's operator loop and
+// requires it to surface as a diagnostic qerr.ErrInternal — with the
+// pipeline phase and the optimized plan dump — instead of crashing.
+func TestPanicIsolation(t *testing.T) {
+	store, docs := buildStoreWith(t, map[string]string{"f.xml": fuzzDoc})
+	engine.EvalHook = func(n *algebra.Node) {
+		panic("injected kernel fault")
+	}
+	defer func() { engine.EvalHook = nil }()
+	for name, cfg := range lifecycleConfigs() {
+		t.Run(name, func(t *testing.T) {
+			p, err := Prepare(`doc("f.xml")//e`, cfg)
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			_, err = p.Run(store, docs)
+			if err == nil {
+				t.Fatal("injected panic produced a result")
+			}
+			if !errors.Is(err, qerr.ErrInternal) {
+				t.Fatalf("panic not classified internal: %v", err)
+			}
+			var qe *qerr.Error
+			if !errors.As(err, &qe) {
+				t.Fatalf("no *qerr.Error in chain: %v", err)
+			}
+			if qe.Phase == "" {
+				t.Error("recovered panic lost its pipeline phase")
+			}
+			if qe.Plan == "" {
+				t.Error("internal error carries no plan dump")
+			}
+			if len(qe.Stack) == 0 {
+				t.Error("recovered panic carries no stack trace")
+			}
+		})
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled relaxes wall-clock bounds in tests: the race detector
+// slows the kernels (and thus the distance between cancellation polls)
+// by an order of magnitude.
+const raceEnabled = true

@@ -1,18 +1,28 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/algebra"
+	"repro/internal/qerr"
 	"repro/internal/xdm"
 	"repro/internal/xmltree"
 )
 
 // Options configures an execution.
 type Options struct {
+	// Context, when non-nil, cancels evaluation cooperatively: workers and
+	// the serial evaluator poll ctx.Done() at the deadline/cell-budget
+	// check sites and inside the heavy operator loops, so cancellation
+	// aborts a running query promptly. The resulting error wraps
+	// qerr.ErrCanceled (or qerr.ErrTimeout for a context deadline) and
+	// the context's own cause, so errors.Is(err, context.Canceled) holds.
+	Context context.Context
 	// Timeout aborts evaluation (checked between operators); zero means
 	// no limit. The paper's experiments used a 30 s cutoff.
 	Timeout time.Duration
@@ -30,8 +40,16 @@ type Options struct {
 }
 
 // ErrCutoff is returned (wrapped) when an execution exceeds its time or
-// memory cutoff.
-var ErrCutoff = fmt.Errorf("evaluation cutoff exceeded")
+// memory cutoff. It aliases qerr.ErrCutoff: both qerr.ErrTimeout and
+// qerr.ErrMemoryLimit wrap it, so errors.Is(err, ErrCutoff) keeps
+// matching either cutoff class as it always has.
+var ErrCutoff = qerr.ErrCutoff
+
+// EvalHook, when non-nil, runs before every operator kernel evaluation
+// (EvalOp), on the serial engine and on the parallel coordinator alike.
+// It exists for fault injection in tests (panicking kernels, artificial
+// latency) and must not be set while queries are running.
+var EvalHook func(n *algebra.Node)
 
 // ProfileEntry aggregates evaluation time by operator origin; the set of
 // origins reproduces the sub-expression rows of Table 2. Under parallel
@@ -60,7 +78,10 @@ func (r *Result) SerializeXML() (string, error) {
 
 // Run evaluates the plan DAG rooted at root. docs maps fn:doc() URIs to
 // fragment ids in base; constructed fragments go to a derived store.
-func Run(root *algebra.Node, base *xmltree.Store, docs map[string]uint32, opts Options) (*Result, error) {
+// Run never panics: engine invariant violations tripped at runtime are
+// recovered and surface as qerr.ErrInternal.
+func Run(root *algebra.Node, base *xmltree.Store, docs map[string]uint32, opts Options) (res *Result, err error) {
+	defer qerr.RecoverInto("execute", &err)
 	ex := NewExec(base, docs, opts)
 	start := time.Now()
 	t, err := ex.Eval(root)
@@ -81,6 +102,8 @@ type Exec struct {
 	docs      map[string]uint32
 	memo      map[*algebra.Node]*Table
 	prof      map[string]*ProfileEntry
+	ctx       context.Context
+	done      <-chan struct{}
 	deadline  time.Time
 	maxCells  int64
 	cells     atomic.Int64
@@ -94,8 +117,12 @@ func NewExec(base *xmltree.Store, docs map[string]uint32, opts Options) *Exec {
 		docs:      docs,
 		memo:      make(map[*algebra.Node]*Table),
 		prof:      make(map[string]*ProfileEntry),
+		ctx:       opts.Context,
 		maxCells:  opts.MaxCells,
 		intOrders: opts.InterestingOrders,
+	}
+	if ex.ctx != nil {
+		ex.done = ex.ctx.Done()
 	}
 	if opts.Timeout > 0 {
 		ex.deadline = time.Now().Add(opts.Timeout)
@@ -106,33 +133,73 @@ func NewExec(base *xmltree.Store, docs map[string]uint32, opts Options) *Exec {
 // Store returns the execution's derived store.
 func (ex *Exec) Store() *xmltree.Store { return ex.store }
 
+// CheckCancel reports a cancellation error once the execution's context
+// is done. Safe for concurrent use (the done channel is immutable); a
+// single select on a cached channel, cheap enough for per-chunk polling
+// inside operator kernels.
+func (ex *Exec) CheckCancel() error {
+	if ex.done == nil {
+		return nil
+	}
+	select {
+	case <-ex.done:
+		cause := ex.ctx.Err()
+		kind := qerr.ErrCanceled
+		if errors.Is(cause, context.DeadlineExceeded) {
+			kind = qerr.ErrTimeout
+		}
+		return qerr.New(kind, "execute", fmt.Errorf("engine: query aborted: %w", cause))
+	default:
+		return nil
+	}
+}
+
 // CheckDeadline reports a cutoff error once the execution's deadline has
-// passed. Safe for concurrent use (the deadline is immutable).
+// passed or its context is canceled. Safe for concurrent use (deadline
+// and done channel are immutable).
 func (ex *Exec) CheckDeadline() error {
+	if err := ex.CheckCancel(); err != nil {
+		return err
+	}
 	if !ex.deadline.IsZero() && time.Now().After(ex.deadline) {
-		return fmt.Errorf("engine: time limit: %w", ErrCutoff)
+		return qerr.New(qerr.ErrTimeout, "execute", fmt.Errorf("engine: time limit: %w", ErrCutoff))
 	}
 	return nil
 }
 
+// memoryLimitErr classifies a cell-budget overrun.
+func (ex *Exec) memoryLimitErr() error {
+	return qerr.New(qerr.ErrMemoryLimit, "execute",
+		fmt.Errorf("engine: memory limit (%d cells): %w", ex.maxCells, ErrCutoff))
+}
+
 // CheckCells verifies a prospective allocation of rows*cols cells against
 // the memory cutoff before materializing it (large joins and products
-// would otherwise overshoot the budget in a single operator).
+// would otherwise overshoot the budget in a single operator). It also
+// polls for cancellation, so the budget-check sites double as the
+// cooperative cancellation points.
 func (ex *Exec) CheckCells(rows, cols int) error {
+	if err := ex.CheckCancel(); err != nil {
+		return err
+	}
 	if ex.maxCells > 0 && ex.cells.Load()+int64(rows)*int64(cols) > ex.maxCells {
-		return fmt.Errorf("engine: memory limit (%d cells): %w", ex.maxCells, ErrCutoff)
+		return ex.memoryLimitErr()
 	}
 	return nil
 }
 
 // ChargeCells adds n materialized cells to the shared budget and reports
-// a cutoff error on overrun. Safe for concurrent use.
+// a cutoff error on overrun. Safe for concurrent use. Like CheckCells it
+// polls for cancellation first.
 func (ex *Exec) ChargeCells(n int64) error {
+	if err := ex.CheckCancel(); err != nil {
+		return err
+	}
 	if ex.maxCells <= 0 {
 		return nil
 	}
 	if ex.cells.Add(n) > ex.maxCells {
-		return fmt.Errorf("engine: memory limit (%d cells): %w", ex.maxCells, ErrCutoff)
+		return ex.memoryLimitErr()
 	}
 	return nil
 }
@@ -237,6 +304,9 @@ func (ex *Exec) Record(n *algebra.Node, d time.Duration, rows int) {
 
 // EvalOp evaluates a single operator over already-evaluated inputs.
 func (ex *Exec) EvalOp(n *algebra.Node, ins []*Table) (*Table, error) {
+	if EvalHook != nil {
+		EvalHook(n)
+	}
 	switch n.Kind {
 	case algebra.OpLit:
 		t := NewTable(n.Cols)
@@ -413,37 +483,64 @@ func (ix *JoinIndex) Probe(lk []xdm.Item, lo, hi int, lperm, rperm []int) ([]int
 	return lperm, rperm
 }
 
-// MaterializeJoin builds the join output table from row-pair permutations.
-func MaterializeJoin(n *algebra.Node, l, r *Table, lperm, rperm []int) *Table {
+// MaterializeJoin builds the join output table from row-pair
+// permutations, polling for cancellation between column chunks — a
+// multi-million-row join output is otherwise a cancellation blind spot.
+func (ex *Exec) MaterializeJoin(n *algebra.Node, l, r *Table, lperm, rperm []int) (*Table, error) {
 	t := NewTable(n.Schema())
-	for c, name := range l.Cols {
-		src := l.Col(name)
-		col := make([]xdm.Item, len(lperm))
-		for i, p := range lperm {
+	copyCol := func(src []xdm.Item, perm []int) ([]xdm.Item, error) {
+		col := make([]xdm.Item, len(perm))
+		for i, p := range perm {
+			if i&(probeChunk-1) == 0 {
+				if err := ex.CheckCancel(); err != nil {
+					return nil, err
+				}
+			}
 			col[i] = src[p]
+		}
+		return col, nil
+	}
+	for c, name := range l.Cols {
+		col, err := copyCol(l.Col(name), lperm)
+		if err != nil {
+			return nil, err
 		}
 		t.Data[c] = col
 	}
 	off := len(l.Cols)
 	for c, name := range r.Cols {
-		src := r.Col(name)
-		col := make([]xdm.Item, len(rperm))
-		for i, p := range rperm {
-			col[i] = src[p]
+		col, err := copyCol(r.Col(name), rperm)
+		if err != nil {
+			return nil, err
 		}
 		t.Data[off+c] = col
 	}
-	return t
+	return t, nil
 }
+
+// probeChunk bounds the left-hand rows probed between cancellation and
+// budget polls in the serial join, keeping cancellation latency low even
+// when a single join is the whole query.
+const probeChunk = 1 << 15
 
 func (ex *Exec) evalJoin(n *algebra.Node, l, r *Table) (*Table, error) {
 	lk, rk := l.Col(n.LCol), r.Col(n.RCol)
 	ix := BuildJoinIndex(rk)
-	lperm, rperm := ix.Probe(lk, 0, len(lk), nil, nil)
+	var lperm, rperm []int
+	for lo := 0; lo < len(lk); lo += probeChunk {
+		hi := lo + probeChunk
+		if hi > len(lk) {
+			hi = len(lk)
+		}
+		lperm, rperm = ix.Probe(lk, lo, hi, lperm, rperm)
+		if err := ex.checkCells(len(lperm), len(l.Cols)+len(r.Cols)); err != nil {
+			return nil, err
+		}
+	}
 	if err := ex.checkCells(len(lperm), len(l.Cols)+len(r.Cols)); err != nil {
 		return nil, err
 	}
-	return MaterializeJoin(n, l, r, lperm, rperm), nil
+	return ex.MaterializeJoin(n, l, r, lperm, rperm)
 }
 
 func (ex *Exec) evalCross(n *algebra.Node, l, r *Table) (*Table, error) {
@@ -483,9 +580,17 @@ func (ex *Exec) evalCross(n *algebra.Node, l, r *Table) (*Table, error) {
 		}
 	default:
 		total := ln * rn
+		// Poll for cancellation roughly every probeChunk emitted rows; a
+		// large cross product is otherwise a multi-second blind spot.
+		stride := probeChunk/rn + 1
 		for c := range l.Cols {
 			col := make([]xdm.Item, 0, total)
 			for i := 0; i < ln; i++ {
+				if i%stride == 0 {
+					if err := ex.CheckCancel(); err != nil {
+						return nil, err
+					}
+				}
 				v := l.Data[c][i]
 				for j := 0; j < rn; j++ {
 					col = append(col, v)
@@ -497,6 +602,11 @@ func (ex *Exec) evalCross(n *algebra.Node, l, r *Table) (*Table, error) {
 		for c := range r.Cols {
 			col := make([]xdm.Item, 0, total)
 			for i := 0; i < ln; i++ {
+				if i%stride == 0 {
+					if err := ex.CheckCancel(); err != nil {
+						return nil, err
+					}
+				}
 				col = append(col, r.Data[c]...)
 			}
 			t.Data[off+c] = col
@@ -514,11 +624,21 @@ func (ex *Exec) evalSemiDiff(n *algebra.Node, l, r *Table) (*Table, error) {
 	}
 	set := make(map[string]bool, r.NumRows())
 	for i := 0; i < r.NumRows(); i++ {
+		if i&(probeChunk-1) == 0 {
+			if err := ex.CheckCancel(); err != nil {
+				return nil, err
+			}
+		}
 		set[rowKey(rcols, i)] = true
 	}
 	want := n.Kind == algebra.OpSemi
 	var keep []int
 	for i := 0; i < l.NumRows(); i++ {
+		if i&(probeChunk-1) == 0 {
+			if err := ex.CheckCancel(); err != nil {
+				return nil, err
+			}
+		}
 		if set[rowKey(lcols, i)] == want {
 			keep = append(keep, i)
 		}
@@ -582,7 +702,9 @@ func (ex *Exec) evalRowNum(n *algebra.Node, in *Table) (*Table, error) {
 		for i := range perm {
 			perm[i] = i
 		}
-		sort.SliceStable(perm, func(a, b int) bool { return less(perm[a], perm[b]) < 0 })
+		if err := ex.sortStable(perm, func(a, b int) bool { return less(perm[a], perm[b]) < 0 }); err != nil {
+			return nil, err
+		}
 		out = in.permute(perm)
 	}
 	num := make([]xdm.Item, rows)
@@ -604,6 +726,35 @@ func (ex *Exec) evalRowNum(n *algebra.Node, in *Table) (*Table, error) {
 		num[i] = xdm.NewInt(k)
 	}
 	return out.withColumn(n.Res, num), nil
+}
+
+// abortSort carries a cancellation error out of a sort comparator; the
+// standard library offers no other way to stop a running sort.
+type abortSort struct{ err error }
+
+// sortStable is sort.SliceStable with cooperative cancellation: the
+// comparator polls CheckCancel periodically and unwinds via a private
+// panic, so multi-second ρ sorts stop within the cancellation bound.
+func (ex *Exec) sortStable(perm []int, less func(a, b int) bool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if a, ok := r.(abortSort); ok {
+				err = a.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	calls := 0
+	sort.SliceStable(perm, func(a, b int) bool {
+		if calls++; calls&(1<<16-1) == 0 {
+			if cerr := ex.CheckCancel(); cerr != nil {
+				panic(abortSort{cerr})
+			}
+		}
+		return less(a, b)
+	})
+	return nil
 }
 
 // allIntegers reports whether every item in the column is an xs:integer.

@@ -31,6 +31,11 @@ func (ex *Exec) evalBinOp(n *algebra.Node, in *Table) (*Table, error) {
 	}
 	out := make([]xdm.Item, in.NumRows())
 	for i := range out {
+		if i&(probeChunk-1) == 0 {
+			if err := ex.CheckCancel(); err != nil {
+				return nil, err
+			}
+		}
 		var v xdm.Item
 		var err error
 		if tc != nil {
@@ -160,6 +165,11 @@ func (ex *Exec) evalMap1(n *algebra.Node, in *Table) (*Table, error) {
 	arg := in.Col(n.LCol)
 	out := make([]xdm.Item, in.NumRows())
 	for i, it := range arg {
+		if i&(probeChunk-1) == 0 {
+			if err := ex.CheckCancel(); err != nil {
+				return nil, err
+			}
+		}
 		v, err := ex.applyUnFn(n, it)
 		if err != nil {
 			return nil, err
@@ -265,6 +275,11 @@ func (ex *Exec) evalAggr(n *algebra.Node, in *Table) (*Table, error) {
 		return g
 	}
 	for r := 0; r < rows; r++ {
+		if r&(probeChunk-1) == 0 {
+			if err := ex.CheckCancel(); err != nil {
+				return nil, err
+			}
+		}
 		k := int64(0)
 		if part != nil {
 			k = iterKey(part[r])

@@ -71,7 +71,12 @@ func (ex *Exec) evalStep(n *algebra.Node, in *Table) (*Table, error) {
 		return nil, ex.errf(n, "%v", err)
 	}
 	var outIter, outItem []xdm.Item
-	for _, g := range groups {
+	for gi, g := range groups {
+		if gi&(probeChunk-1) == 0 {
+			if err := ex.CheckCancel(); err != nil {
+				return nil, err
+			}
+		}
 		for _, fid := range g.FragIDs {
 			f := ex.store.Frag(fid)
 			res := AxisScan(f, g.ByFrag[fid], n.Axis, n.Test)

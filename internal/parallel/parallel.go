@@ -21,6 +21,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/engine"
+	"repro/internal/qerr"
 	"repro/internal/xdm"
 	"repro/internal/xmltree"
 	"repro/internal/xquery"
@@ -35,6 +37,10 @@ import (
 
 // Options configures a parallel run.
 type Options struct {
+	// Context, when non-nil, cancels the run cooperatively: every worker
+	// polls it between morsels (via the shared engine budget checks), so
+	// ctx.Done() drains the pool promptly. Mirrors engine.Options.Context.
+	Context context.Context
 	// Workers is the worker pool size; zero or negative means
 	// runtime.GOMAXPROCS(0). A pool of one runs the serial engine.
 	Workers int
@@ -48,6 +54,12 @@ type Options struct {
 	// morsels of work stay serial. Zero means the default (256).
 	MinMorselRows int
 }
+
+// MorselHook, when non-nil, runs at the start of every morsel task inside
+// a worker goroutine. It exists for fault injection in tests (a panicking
+// kernel must surface as an error from Run, not crash the process) and
+// must not be set while queries are running.
+var MorselHook func()
 
 const (
 	defaultMinMorselRows = 256
@@ -65,12 +77,18 @@ const (
 // Run evaluates the plan DAG rooted at root with up to opts.Workers
 // workers. It mirrors engine.Run: docs maps fn:doc() URIs to fragment
 // ids in base, constructed fragments go to a derived store.
-func Run(root *algebra.Node, base *xmltree.Store, docs map[string]uint32, opts Options) (*engine.Result, error) {
+// Run never panics: a panic on the coordinator path is recovered here,
+// and a panic inside a worker goroutine is recovered in the worker and
+// propagated as an error through the merge path (see runTasks), so a
+// poisoned morsel kernel fails the query instead of killing the process.
+func Run(root *algebra.Node, base *xmltree.Store, docs map[string]uint32, opts Options) (res *engine.Result, err error) {
+	defer qerr.RecoverInto("execute", &err)
 	w := opts.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
 	eopts := engine.Options{
+		Context:           opts.Context,
 		Timeout:           opts.Timeout,
 		MaxCells:          opts.MaxCells,
 		InterestingOrders: opts.InterestingOrders,
@@ -213,7 +231,7 @@ func (e *executor) runTasks(tasks []func() error) (time.Duration, error) {
 				}
 				err := e.ex.CheckDeadline()
 				if err == nil {
-					err = tasks[i]()
+					err = runMorsel(tasks[i])
 				}
 				if err != nil {
 					mu.Lock()
@@ -228,6 +246,18 @@ func (e *executor) runTasks(tasks []func() error) (time.Duration, error) {
 	}
 	wg.Wait()
 	return time.Duration(busy.Load()), firstErr
+}
+
+// runMorsel executes one morsel task with panic isolation: a panicking
+// kernel converts to a qerr.ErrInternal error that propagates through
+// runTasks' first-error merge path exactly like an ordinary morsel
+// failure, draining the pool instead of crashing the process.
+func runMorsel(task func() error) (err error) {
+	defer qerr.RecoverInto("execute (parallel worker)", &err)
+	if MorselHook != nil {
+		MorselHook()
+	}
+	return task()
 }
 
 // ranges splits [0, n) into roughly morselsPerWorker*workers consecutive
@@ -432,7 +462,11 @@ func (e *executor) parJoin(n *algebra.Node, l, r *engine.Table) (*opResult, erro
 		lperm = append(lperm, p.lperm...)
 		rperm = append(rperm, p.rperm...)
 	}
-	return &opResult{t: engine.MaterializeJoin(n, l, r, lperm, rperm), busy: busy}, nil
+	t, err := e.ex.MaterializeJoin(n, l, r, lperm, rperm)
+	if err != nil {
+		return nil, err
+	}
+	return &opResult{t: t, busy: busy}, nil
 }
 
 // parSelect filters row chunks concurrently; chunk-ordered concatenation

@@ -2,6 +2,7 @@ package parallel_test
 
 import (
 	"errors"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/parallel"
+	"repro/internal/qerr"
 	"repro/internal/xmark"
 	"repro/internal/xmarkq"
 	"repro/internal/xmltree"
@@ -238,5 +240,53 @@ func TestParallelCutoffs(t *testing.T) {
 	}
 	if _, err := p.Run(store, docs); !errors.Is(err, engine.ErrCutoff) {
 		t.Errorf("time cutoff: got %v, want ErrCutoff", err)
+	}
+}
+
+// TestWorkerPanicIsolated injects a panic into every morsel task via the
+// fault hook and requires the query to fail with a diagnostic internal
+// error — the worker pool must recover the panic, propagate it through
+// the merge path, and drain, instead of crashing the process.
+func TestWorkerPanicIsolated(t *testing.T) {
+	store, docs := xmarkEnv(t, 0.01)
+	u := xquery.Unordered
+	cfg := core.DefaultConfig()
+	cfg.ForceOrdering = &u
+	cfg.Parallelism = 4
+	p, err := core.Prepare(xmarkq.Get(8).Text, cfg)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	parallel.MorselHook = func() { panic("poisoned morsel kernel") }
+	defer func() { parallel.MorselHook = nil }()
+	before := runtime.NumGoroutine()
+	_, err = parallel.Run(p.Plan.Root, store, docs, parallel.Options{
+		Workers:       4,
+		MinMorselRows: 1, // every parallel operator engages its morsel kernel
+	})
+	if err == nil {
+		t.Fatal("worker panic produced a result")
+	}
+	if !errors.Is(err, qerr.ErrInternal) {
+		t.Fatalf("worker panic not classified internal: %v", err)
+	}
+	var qe *qerr.Error
+	if !errors.As(err, &qe) {
+		t.Fatalf("no *qerr.Error in chain: %v", err)
+	}
+	if !strings.Contains(qe.Phase, "parallel worker") {
+		t.Errorf("phase %q does not identify the parallel worker", qe.Phase)
+	}
+	if !strings.Contains(err.Error(), "poisoned morsel kernel") {
+		t.Errorf("panic value lost from message: %v", err)
+	}
+	// The pool must drain even though every task panicked.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after worker panic: %d before, %d after",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -1,0 +1,194 @@
+// Package qerr defines the structured error taxonomy of the query
+// lifecycle. Every failure the pipeline can produce is classified into a
+// small set of sentinel kinds so that callers can dispatch with
+// errors.Is/errors.As across the public API without string matching:
+//
+//	ErrParse        static error in the query or document text (has position)
+//	ErrCompile      static error past parsing (normalize/compile)
+//	ErrTimeout      wall-clock cutoff (wraps ErrCutoff)
+//	ErrMemoryLimit  cell-budget cutoff (wraps ErrCutoff)
+//	ErrCanceled     cooperative context cancellation
+//	ErrInternal     engine invariant violation (a recovered panic)
+//	ErrLimit        input guard tripped during parsing (wraps ErrParse)
+//
+// The carrier type Error attaches the pipeline phase, a source position
+// when one is known, and — for internal errors — the optimized plan dump
+// and the recovered panic's stack, so a failing production query can be
+// diagnosed from the error value alone.
+package qerr
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// Sentinel kinds. ErrTimeout and ErrMemoryLimit both wrap ErrCutoff (the
+// paper's cutoff methodology groups them: the 30 s timeout and the
+// memory gaps of Figure 12 are one "did not finish" class); ErrLimit
+// wraps ErrParse (a guarded input is a rejected input).
+var (
+	ErrParse       = errors.New("parse error")
+	ErrCompile     = errors.New("compile error")
+	ErrCutoff      = errors.New("evaluation cutoff exceeded")
+	ErrTimeout     = fmt.Errorf("time limit: %w", ErrCutoff)
+	ErrMemoryLimit = fmt.Errorf("memory limit: %w", ErrCutoff)
+	ErrCanceled    = errors.New("query canceled")
+	ErrInternal    = errors.New("internal error")
+	ErrLimit       = fmt.Errorf("input limit: %w", ErrParse)
+)
+
+// Error is the taxonomy's carrier: a classified, phase-attributed error.
+type Error struct {
+	// Kind is one of the package sentinels; errors.Is(e, kind) matches it.
+	Kind error
+	// Phase names the pipeline stage that failed: "parse", "normalize",
+	// "compile", "optimize", "execute".
+	Phase string
+	// Line and Col locate parse errors in the source (1-based; zero when
+	// unknown).
+	Line, Col int
+	// Plan carries the Explain() dump of the optimized plan for errors
+	// raised during execution, when available.
+	Plan string
+	// Stack is the goroutine stack of a recovered panic (internal errors).
+	Stack []byte
+	// Err is the underlying cause; its message is the user-facing text.
+	Err error
+}
+
+// Error returns the cause's message when one is present (constructors
+// bake phase/position into it at the raise site), otherwise a generic
+// phase-prefixed classification.
+func (e *Error) Error() string {
+	if e.Err != nil {
+		return e.Err.Error()
+	}
+	if e.Phase != "" {
+		return e.Phase + ": " + e.Kind.Error()
+	}
+	return e.Kind.Error()
+}
+
+// Unwrap exposes both the classification sentinel and the cause, so
+// errors.Is works against either chain (e.g. ErrTimeout and ErrCutoff and
+// context.DeadlineExceeded for one deadline error).
+func (e *Error) Unwrap() []error {
+	out := make([]error, 0, 2)
+	if e.Kind != nil {
+		out = append(out, e.Kind)
+	}
+	if e.Err != nil {
+		out = append(out, e.Err)
+	}
+	return out
+}
+
+// New classifies err under kind and phase.
+func New(kind error, phase string, err error) *Error {
+	return &Error{Kind: kind, Phase: phase, Err: err}
+}
+
+// Newf is New over a formatted message.
+func Newf(kind error, phase, format string, args ...any) *Error {
+	return &Error{Kind: kind, Phase: phase, Err: fmt.Errorf(format, args...)}
+}
+
+// At classifies a positioned (parse) error.
+func At(kind error, phase string, line, col int, err error) *Error {
+	return &Error{Kind: kind, Phase: phase, Line: line, Col: col, Err: err}
+}
+
+// Ensure returns err unchanged when it is already classified (an *Error
+// anywhere in its chain), and otherwise wraps it under kind and phase.
+func Ensure(kind error, phase string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var qe *Error
+	if errors.As(err, &qe) {
+		return err
+	}
+	return New(kind, phase, err)
+}
+
+// FromPanic converts a recovered panic value into an ErrInternal Error
+// carrying the phase and stack. A panic whose value is already an error
+// is preserved in the chain (errors.Is still sees it).
+func FromPanic(phase string, v any, stack []byte) *Error {
+	var cause error
+	if err, ok := v.(error); ok {
+		cause = fmt.Errorf("%s: panic: %w", phase, err)
+	} else {
+		cause = fmt.Errorf("%s: panic: %v", phase, v)
+	}
+	return &Error{Kind: ErrInternal, Phase: phase, Stack: stack, Err: cause}
+}
+
+// RecoverInto converts an in-flight panic into an ErrInternal Error and
+// stores it in *errp. Use directly as a deferred call:
+//
+//	defer qerr.RecoverInto("execute", &err)
+func RecoverInto(phase string, errp *error) {
+	if r := recover(); r != nil {
+		*errp = FromPanic(phase, r, debug.Stack())
+	}
+}
+
+// AttachPlan adds a plan dump to the classified error in err's chain, if
+// there is one and it does not already carry a plan. It returns err.
+func AttachPlan(err error, plan string) error {
+	var qe *Error
+	if errors.As(err, &qe) && qe.Plan == "" {
+		qe.Plan = plan
+	}
+	return err
+}
+
+// PhaseOf returns the pipeline phase recorded in err's chain ("" if
+// unclassified).
+func PhaseOf(err error) string {
+	var qe *Error
+	if errors.As(err, &qe) {
+		return qe.Phase
+	}
+	return ""
+}
+
+// PositionOf returns the 1-based line/column recorded in err's chain, and
+// whether one was recorded.
+func PositionOf(err error) (line, col int, ok bool) {
+	var qe *Error
+	if errors.As(err, &qe) && qe.Line > 0 {
+		return qe.Line, qe.Col, true
+	}
+	return 0, 0, false
+}
+
+// Describe renders a one-line diagnostic for err: classification, phase,
+// position. For internal errors the plan dump (when attached) follows on
+// subsequent lines; the stack is deliberately omitted (log it separately).
+func Describe(err error) string {
+	var qe *Error
+	if !errors.As(err, &qe) {
+		return err.Error()
+	}
+	var b strings.Builder
+	b.WriteString(err.Error())
+	if qe.Phase != "" {
+		fmt.Fprintf(&b, "\n  phase: %s", qe.Phase)
+	}
+	if qe.Line > 0 {
+		fmt.Fprintf(&b, "\n  position: line %d, column %d", qe.Line, qe.Col)
+	}
+	if qe.Plan != "" {
+		b.WriteString("\n  plan:\n")
+		for _, ln := range strings.Split(strings.TrimRight(qe.Plan, "\n"), "\n") {
+			b.WriteString("    ")
+			b.WriteString(ln)
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

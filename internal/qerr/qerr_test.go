@@ -1,0 +1,116 @@
+package qerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTaxonomyIs(t *testing.T) {
+	// Both cutoff classes group under ErrCutoff; ErrLimit under ErrParse.
+	for _, tc := range []struct {
+		kind   error
+		parent error
+	}{
+		{ErrTimeout, ErrCutoff},
+		{ErrMemoryLimit, ErrCutoff},
+		{ErrLimit, ErrParse},
+	} {
+		err := New(tc.kind, "execute", fmt.Errorf("boom"))
+		if !errors.Is(err, tc.kind) {
+			t.Errorf("errors.Is(%v, kind) = false", err)
+		}
+		if !errors.Is(err, tc.parent) {
+			t.Errorf("errors.Is(%v, parent %v) = false", err, tc.parent)
+		}
+	}
+}
+
+func TestUnwrapExposesCause(t *testing.T) {
+	cause := fmt.Errorf("aborted: %w", context.Canceled)
+	err := New(ErrCanceled, "execute", cause)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cause chain lost: %v", err)
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("kind chain lost: %v", err)
+	}
+	if got := err.Error(); got != cause.Error() {
+		t.Errorf("Error() = %q, want cause message %q", got, cause.Error())
+	}
+}
+
+func TestEnsureIdempotent(t *testing.T) {
+	inner := At(ErrParse, "parse", 3, 7, fmt.Errorf("xquery: 3:7: bad"))
+	wrapped := fmt.Errorf("outer: %w", inner)
+	if got := Ensure(ErrCompile, "compile", wrapped); got != wrapped {
+		t.Errorf("Ensure reclassified an already-classified error: %v", got)
+	}
+	plain := fmt.Errorf("plain")
+	got := Ensure(ErrCompile, "compile", plain)
+	if !errors.Is(got, ErrCompile) || !errors.Is(got, plain) {
+		t.Errorf("Ensure(%v) = %v", plain, got)
+	}
+	if Ensure(ErrCompile, "compile", nil) != nil {
+		t.Error("Ensure(nil) != nil")
+	}
+}
+
+func TestFromPanic(t *testing.T) {
+	cause := errors.New("invariant violated")
+	err := FromPanic("execute", cause, []byte("stack"))
+	if !errors.Is(err, ErrInternal) {
+		t.Errorf("panic not classified internal: %v", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("error-valued panic lost from chain: %v", err)
+	}
+	if err.Phase != "execute" || len(err.Stack) == 0 {
+		t.Errorf("phase/stack not carried: %+v", err)
+	}
+	// Non-error panic values stringify.
+	err2 := FromPanic("parse", 42, nil)
+	if !strings.Contains(err2.Error(), "42") {
+		t.Errorf("panic value lost: %v", err2)
+	}
+}
+
+func TestRecoverInto(t *testing.T) {
+	f := func() (err error) {
+		defer RecoverInto("compile", &err)
+		panic("kaboom")
+	}
+	err := f()
+	if !errors.Is(err, ErrInternal) || PhaseOf(err) != "compile" {
+		t.Errorf("RecoverInto: got %v (phase %q)", err, PhaseOf(err))
+	}
+}
+
+func TestPositionAndPlan(t *testing.T) {
+	err := At(ErrParse, "parse", 2, 9, fmt.Errorf("xquery: 2:9: unexpected"))
+	if l, c, ok := PositionOf(err); !ok || l != 2 || c != 9 {
+		t.Errorf("PositionOf = %d:%d,%v", l, c, ok)
+	}
+	if _, _, ok := PositionOf(fmt.Errorf("plain")); ok {
+		t.Error("PositionOf(plain) reported a position")
+	}
+
+	inner := New(ErrInternal, "execute", fmt.Errorf("boom"))
+	wrapped := fmt.Errorf("outer: %w", inner)
+	AttachPlan(wrapped, "PLAN")
+	if inner.Plan != "PLAN" {
+		t.Errorf("AttachPlan missed the carrier: %+v", inner)
+	}
+	AttachPlan(wrapped, "OTHER")
+	if inner.Plan != "PLAN" {
+		t.Error("AttachPlan overwrote an existing plan")
+	}
+	d := Describe(wrapped)
+	for _, want := range []string{"phase: execute", "plan:", "PLAN"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q:\n%s", want, d)
+		}
+	}
+}

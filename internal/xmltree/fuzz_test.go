@@ -1,0 +1,104 @@
+package xmltree
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/qerr"
+)
+
+// FuzzParseXML asserts the document parser's total-function contract
+// under the default input guards: arbitrary bytes either build a valid
+// fragment or return a classified error — never a panic, never an
+// unbounded allocation. Successfully parsed fragments must round-trip
+// through the serializer.
+func FuzzParseXML(f *testing.F) {
+	for _, seed := range []string{
+		`<a><b><c/><d/></b><c/></a>`,
+		`<r><e k="1" g="a"><v>10</v></e></r>`,
+		`<a xmlns:x="u" x:b="1">t &amp; &#65; tail</a>`,
+		`<a>` + strings.Repeat("<b>", 40) + strings.Repeat("</b>", 40) + `</a>`,
+		`<!-- comment --><a/><?pi data?>`,
+		`<a`, `</a>`, `<a></b>`, `text only`, ``,
+		`<a b="unterminated><c/></a>`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		opts := DefaultLimits()
+		// Tighten the guards so the fuzzer explores them instead of OOMing
+		// first.
+		opts.MaxBytes = 1 << 20
+		opts.MaxDepth = 256
+		opts.MaxNodes = 1 << 16
+		frag, err := Parse(strings.NewReader(string(data)), "fuzz", opts)
+		if err != nil {
+			if !errors.Is(err, qerr.ErrParse) {
+				t.Fatalf("unclassified parse failure: %v", err)
+			}
+			return
+		}
+		if frag.Len() < 2 {
+			t.Fatalf("parsed fragment with %d nodes", frag.Len())
+		}
+		_ = SerializeToString(frag, 0, SerializeOptions{})
+	})
+}
+
+func TestParseLimits(t *testing.T) {
+	deep := strings.Repeat("<a>", 50) + "x" + strings.Repeat("</a>", 50)
+	t.Run("depth", func(t *testing.T) {
+		opts := ParseOptions{MaxDepth: 10}
+		_, err := ParseString(deep, "d.xml", opts)
+		if !errors.Is(err, qerr.ErrLimit) || !errors.Is(err, qerr.ErrParse) {
+			t.Fatalf("depth guard: %v", err)
+		}
+		if _, err := ParseString(deep, "d.xml", ParseOptions{MaxDepth: 50}); err != nil {
+			t.Fatalf("depth at the limit rejected: %v", err)
+		}
+	})
+	t.Run("bytes", func(t *testing.T) {
+		opts := ParseOptions{MaxBytes: 16}
+		_, err := ParseString(deep, "d.xml", opts)
+		if !errors.Is(err, qerr.ErrLimit) {
+			t.Fatalf("byte guard: %v", err)
+		}
+	})
+	t.Run("nodes", func(t *testing.T) {
+		var sb strings.Builder
+		sb.WriteString("<r>")
+		for i := 0; i < 100; i++ {
+			sb.WriteString("<e>t</e>")
+		}
+		sb.WriteString("</r>")
+		_, err := ParseString(sb.String(), "n.xml", ParseOptions{MaxNodes: 50})
+		if !errors.Is(err, qerr.ErrLimit) {
+			t.Fatalf("node guard: %v", err)
+		}
+	})
+	t.Run("unlimited-zero-value", func(t *testing.T) {
+		if _, err := ParseString(deep, "d.xml", ParseOptions{}); err != nil {
+			t.Fatalf("zero-value options rejected input: %v", err)
+		}
+	})
+	t.Run("defaults-pass-normal-docs", func(t *testing.T) {
+		if _, err := ParseString(deep, "d.xml", DefaultLimits()); err != nil {
+			t.Fatalf("default limits rejected a 50-deep document: %v", err)
+		}
+	})
+}
+
+// TestParseErrorClassified pins the taxonomy on malformed documents.
+func TestParseErrorClassified(t *testing.T) {
+	for _, src := range []string{`<a><b></a>`, `<a`, ``, `plain text`} {
+		_, err := ParseString(src, "bad.xml", ParseOptions{})
+		if err == nil {
+			t.Errorf("%q parsed", src)
+			continue
+		}
+		if !errors.Is(err, qerr.ErrParse) {
+			t.Errorf("%q: unclassified error %v", src, err)
+		}
+	}
+}

@@ -19,6 +19,10 @@ func (p *parser) parseDirectConstructor() (Expr, error) {
 // parseElemAfterLT parses an element constructor whose "<" has already
 // been consumed; the lexer must be raw-synced.
 func (p *parser) parseElemAfterLT() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	l := p.lex
 	name, pos := scanNCName(l.src, l.pos)
 	if name == "" {

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"unicode"
 	"unicode/utf8"
+
+	"repro/internal/qerr"
 )
 
 // tokKind classifies lexical tokens.
@@ -57,7 +59,9 @@ type lexer struct {
 
 func newLexer(src string) *lexer { return &lexer{src: src} }
 
-// errAt formats an error with line/column position info.
+// errAt formats an error with line/column position info, classified as a
+// parse error in the qerr taxonomy (errors.Is(err, qerr.ErrParse), with
+// the position recoverable via qerr.PositionOf).
 func (l *lexer) errAt(pos int, format string, args ...any) error {
 	line, col := 1, 1
 	for i := 0; i < pos && i < len(l.src); i++ {
@@ -68,7 +72,8 @@ func (l *lexer) errAt(pos int, format string, args ...any) error {
 			col++
 		}
 	}
-	return fmt.Errorf("xquery: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+	return qerr.At(qerr.ErrParse, "parse", line, col,
+		fmt.Errorf("xquery: %d:%d: %s", line, col, fmt.Sprintf(format, args...)))
 }
 
 // next returns the next token, consuming it.

@@ -3,13 +3,17 @@ package xquery
 import (
 	"strings"
 
+	"repro/internal/qerr"
 	"repro/internal/xdm"
 )
 
-// Parse parses a complete query (prolog + body) into a Module.
-func Parse(src string) (*Module, error) {
+// Parse parses a complete query (prolog + body) into a Module. Parse
+// never panics: parser bugs tripped by hostile input surface as
+// qerr.ErrInternal, syntax errors as positioned qerr.ErrParse values.
+func Parse(src string) (m *Module, err error) {
+	defer qerr.RecoverInto("parse", &err)
 	p := &parser{lex: newLexer(src)}
-	m, err := p.parseModule()
+	m, err = p.parseModule()
 	if err != nil {
 		return nil, err
 	}
@@ -25,9 +29,29 @@ func MustParse(src string) *Module {
 	return m
 }
 
+// maxParseDepth bounds expression nesting. Every recursive descent into a
+// sub-expression passes through parseExprSingle or the direct element
+// constructor, so bounding those two sites bounds the parser's (and every
+// later phase's) stack: a hostile query of 100k open parentheses is a
+// parse error, not a fatal stack exhaustion no recover() could catch.
+const maxParseDepth = 500
+
 type parser struct {
-	lex *lexer
+	lex   *lexer
+	depth int
 }
+
+// enter guards one level of expression nesting; callers must pair it with
+// leave. It returns a positioned parse error past maxParseDepth.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return p.lex.errAt(p.lex.pos, "expression nesting exceeds %d levels", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) err(t token, format string, args ...any) error {
 	return p.lex.errAt(t.pos, format, args...)
@@ -253,6 +277,10 @@ func (p *parser) parseExpr() (Expr, error) {
 }
 
 func (p *parser) parseExprSingle() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.lex.peek()
 	switch {
 	case (t.isName("for") || t.isName("let")) && p.lex.peekN(1).isSym("$"):
