@@ -1,0 +1,35 @@
+package exrquy
+
+// End-to-end allocation regression bound: XMark Q1 under the unordered
+// configuration at factor 0.01 measures ~3.0k allocs per run with the
+// typed column layer and ~4.6k with boxed []Item storage, so the bound
+// of 4.0k trips on a regression back to per-row boxing while leaving
+// ~30% headroom for incidental churn.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xmarkq"
+)
+
+func TestAllocXMarkQ1EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation bound needs the factor-0.01 instance")
+	}
+	env := benv()
+	p, err := core.Prepare(xmarkq.Get(1).Text, unorderedCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		if _, err := p.Run(env.Store, env.Docs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm-up: buffer pools, GC heap target
+	avg := testing.AllocsPerRun(5, run)
+	if avg > 4000 {
+		t.Errorf("XMark Q1 end-to-end: %.0f allocs/run, want <= 4000 (typed columns: ~3.0k, boxed: ~4.6k)", avg)
+	}
+}

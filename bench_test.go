@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/xdm"
 	"repro/internal/xmarkq"
 	"repro/internal/xquery"
 )
@@ -210,6 +211,35 @@ func BenchmarkParallel(b *testing.B) {
 		})
 		b.Run(q.name+"/parallel", func(b *testing.B) {
 			runPrepared(b, q.text, parallelCfg())
+		})
+	}
+}
+
+// --- Benchmark trajectory (BENCH_PR3.json) ---
+
+// BenchmarkXMark is the benchmark-trajectory anchor: representative XMark
+// queries under the unordered configuration, serial and parallel, with the
+// typed column layer on (default) and forced off (boxed — the pre-typed
+// storage model). `go test -bench=XMark -benchtime=1x` is the CI smoke
+// run; cmd/xmarkbench -json writes the same measurements to a file.
+func BenchmarkXMark(b *testing.B) {
+	parallelCfg := func() core.Config {
+		cfg := unorderedCfg()
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+		return cfg
+	}
+	for _, id := range []int{1, 8, 9, 11} {
+		q := xmarkq.Get(id)
+		b.Run(q.Name+"/serial", func(b *testing.B) {
+			runPrepared(b, q.Text, unorderedCfg())
+		})
+		b.Run(q.Name+"/parallel", func(b *testing.B) {
+			runPrepared(b, q.Text, parallelCfg())
+		})
+		b.Run(q.Name+"/serial-boxed", func(b *testing.B) {
+			xdm.ForceBoxed = true
+			defer func() { xdm.ForceBoxed = false }()
+			runPrepared(b, q.Text, unorderedCfg())
 		})
 	}
 }

@@ -27,6 +27,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	exrquy "repro"
@@ -46,6 +48,8 @@ func main() {
 		timeoutSec = flag.Float64("timeout", 0, "execution cutoff in seconds (0 = none)")
 		maxCells   = flag.Int64("maxcells", 0, "memory cutoff in intermediate table cells (0 = none)")
 		parallelN  = flag.Int("parallel", 0, "morsel-wise parallel execution with this many workers (0 = serial, -1 = GOMAXPROCS)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of query execution to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (after execution) to this file")
 	)
 	flag.Parse()
 
@@ -124,7 +128,32 @@ func main() {
 	// the process mid-execution.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	// Profiling brackets execution only: compilation and document loading
+	// are done, so the profile shows engine kernels, not setup.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(nil, "cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(nil, "cpuprofile: %v", err)
+		}
+	}
 	res, err := q.ExecuteContext(ctx)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, ferr := os.Create(*memProfile)
+		if ferr != nil {
+			fatal(nil, "memprofile: %v", ferr)
+		}
+		runtime.GC() // flush freed intermediates so the profile shows live data
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			fatal(nil, "memprofile: %v", werr)
+		}
+		f.Close()
+	}
 	if err != nil {
 		fatal(err, "%v", err)
 	}

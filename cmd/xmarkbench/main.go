@@ -5,6 +5,8 @@
 //	xmarkbench -plansizes           Figure 6/9, §4.1: plan statistics
 //	xmarkbench -ablation            per-rewrite timing ablation
 //	xmarkbench -parallel            serial vs morsel-wise parallel execution
+//	xmarkbench -json FILE           benchmark trajectory (typed vs boxed,
+//	                                serial vs parallel) as JSON
 //
 // Document sizes are scaled to in-memory Go scale; the paper's 30 s
 // cutoff convention is kept (queries that exceed it report "cutoff", as
@@ -29,7 +31,9 @@ func main() {
 		planSizes = flag.Bool("plansizes", false, "reproduce the plan-size claims (Figure 6/9, §4.1)")
 		ablation  = flag.Bool("ablation", false, "run the optimizer ablation")
 		parallel  = flag.Bool("parallel", false, "measure serial vs morsel-wise parallel execution")
-		workers   = flag.Int("workers", 0, "worker pool size for -parallel (0 = GOMAXPROCS)")
+		jsonPath  = flag.String("json", "", "write a benchmark-trajectory JSON report to this file")
+		queriesS  = flag.String("queries", "1,8,9,11", "comma-separated XMark query numbers for -json")
+		workers   = flag.Int("workers", 0, "worker pool size for -parallel/-json (0 = GOMAXPROCS)")
 		factor    = flag.Float64("factor", 0.05, "scale factor for -table2/-ablation/-parallel")
 		factorsS  = flag.String("factors", "0.002,0.01,0.05,0.2", "comma-separated factors for -figure12")
 		cutoff    = flag.Duration("cutoff", 30*time.Second, "per-run cutoff (paper: 30s)")
@@ -72,6 +76,20 @@ func main() {
 		any = true
 		if _, err := bench.Parallel(*factor, *workers, *repeats, os.Stdout); err != nil {
 			fatal("parallel: %v", err)
+		}
+	}
+	if *jsonPath != "" {
+		any = true
+		var ids []int
+		for _, s := range strings.Split(*queriesS, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatal("bad query number %q", s)
+			}
+			ids = append(ids, id)
+		}
+		if err := bench.WriteTrajectoryJSON(*jsonPath, *factor, ids, *workers, *repeats, os.Stdout); err != nil {
+			fatal("json: %v", err)
 		}
 	}
 	if !any {

@@ -326,10 +326,22 @@ func (e *Engine) QueryWith(query string, vars map[string]any) (*Result, error) {
 }
 
 // toItems converts a Go value to an XDM item sequence.
+//
+// Ownership: a []xdm.Item argument is adopted as-is, not copied — the
+// engine takes ownership and the caller must not mutate it afterwards.
+// This is the same convention the typed column constructors
+// (xdm.IntColumn, xdm.FromItemsOwned, ...) use: the one party that built
+// the slice hands it over, and no layer pays a defensive copy. All other
+// slice types ([]string, []int, []any) are converted element-wise into a
+// fresh slice, so those callers keep ownership of their input.
 func toItems(v any) ([]xdm.Item, error) {
 	switch v := v.(type) {
 	case nil:
 		return nil, nil
+	case []xdm.Item:
+		return v, nil
+	case xdm.Item:
+		return []xdm.Item{v}, nil
 	case int:
 		return []xdm.Item{xdm.NewInt(int64(v))}, nil
 	case int32:

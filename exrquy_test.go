@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/xdm"
 )
 
 func newTestEngine(t *testing.T, opts ...Option) *Engine {
@@ -238,6 +240,24 @@ func TestExternalVariables(t *testing.T) {
 	if _, err := eng.QueryWith(`declare variable $x external; $x`,
 		map[string]any{"x": struct{}{}}); err == nil {
 		t.Error("unsupported binding type must fail")
+	}
+	// A []xdm.Item binding is adopted without copying (and a single Item
+	// binds as a one-item sequence).
+	res, err = eng.QueryWith(`declare variable $xs external; sum($xs)`,
+		map[string]any{"xs": []xdm.Item{xdm.NewInt(10), xdm.NewInt(32)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xml, _ := res.XML(); xml != "42" {
+		t.Errorf("item-slice binding: %q", xml)
+	}
+	res, err = eng.QueryWith(`declare variable $x external; $x + 1`,
+		map[string]any{"x": xdm.NewInt(41)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xml, _ := res.XML(); xml != "42" {
+		t.Errorf("single-item binding: %q", xml)
 	}
 }
 

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/xdm"
+	"repro/internal/xmarkq"
+)
+
+// TrajectoryRow is one measured (query, execution mode, storage model)
+// point: wall time and allocation counts per query execution, in the
+// units `go test -benchmem` reports so the trajectory file is directly
+// comparable with benchmark output across PRs.
+type TrajectoryRow struct {
+	Query       string `json:"query"`
+	Mode        string `json:"mode"`  // "serial" or "parallel"
+	Typed       bool   `json:"typed"` // false = boxed []Item storage (xdm.ForceBoxed)
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+}
+
+// TrajectorySummary compares the typed column layer against the boxed
+// storage model for one query and mode: Speedup is boxed-ns / typed-ns,
+// AllocsRatio is boxed-allocs / typed-allocs (both >1 when typed wins).
+type TrajectorySummary struct {
+	Query       string  `json:"query"`
+	Mode        string  `json:"mode"`
+	Speedup     float64 `json:"speedup_typed_vs_boxed"`
+	AllocsRatio float64 `json:"allocs_ratio_boxed_vs_typed"`
+}
+
+// TrajectoryReport is the benchmark-trajectory file (BENCH_PR<n>.json):
+// per-query cost of the current engine in both storage models, serial and
+// parallel, plus the typed-versus-boxed summary. Successive PRs append
+// new files rather than rewriting old ones, so the sequence of files is
+// the performance trajectory of the repository.
+type TrajectoryReport struct {
+	Factor     float64             `json:"factor"`
+	Workers    int                 `json:"workers"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	Repeats    int                 `json:"repeats"`
+	Rows       []TrajectoryRow     `json:"rows"`
+	Summaries  []TrajectorySummary `json:"summaries"`
+}
+
+// measureOne runs a prepared query repeats times and reports the median
+// wall time and the mean allocation counts per run (allocation counts are
+// deterministic up to pool reuse; the mean smooths warm-up effects).
+func measureOne(env *Env, query string, cfg core.Config, repeats int) (TrajectoryRow, error) {
+	var row TrajectoryRow
+	p, err := core.Prepare(query, cfg)
+	if err != nil {
+		return row, err
+	}
+	// Warm-up run: page cache, GC heap target, buffer pools.
+	if _, err := p.Run(env.Store, env.Docs); err != nil {
+		return row, err
+	}
+	times := make([]time.Duration, 0, repeats)
+	var mallocs, bytes uint64
+	var ms0, ms1 runtime.MemStats
+	for i := 0; i < repeats; i++ {
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		if _, err := p.Run(env.Store, env.Docs); err != nil {
+			return row, err
+		}
+		times = append(times, time.Since(start))
+		runtime.ReadMemStats(&ms1)
+		mallocs += ms1.Mallocs - ms0.Mallocs
+		bytes += ms1.TotalAlloc - ms0.TotalAlloc
+	}
+	row.NsPerOp = median(times).Nanoseconds()
+	row.AllocsPerOp = mallocs / uint64(repeats)
+	row.BytesPerOp = bytes / uint64(repeats)
+	return row, nil
+}
+
+// Trajectory measures the given XMark queries (by number) at one scale
+// factor: serial and parallel execution, typed and boxed column storage.
+// The boxed rows flip xdm.ForceBoxed for the duration of their runs, so
+// Trajectory must not run concurrently with other queries.
+func Trajectory(factor float64, queryIDs []int, workers, repeats int, w io.Writer) (*TrajectoryReport, error) {
+	env := NewEnv(factor)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if repeats < 1 {
+		repeats = 3
+	}
+	rep := &TrajectoryReport{
+		Factor:     factor,
+		Workers:    workers,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Repeats:    repeats,
+	}
+	scfg := indifferenceCfg(0)
+	pcfg := indifferenceCfg(0)
+	pcfg.Parallelism = workers
+	modes := []struct {
+		name string
+		cfg  core.Config
+	}{{"serial", scfg}, {"parallel", pcfg}}
+	if w != nil {
+		fmt.Fprintf(w, "benchmark trajectory at factor %g (~%.1f MB, %d nodes), %d workers, %d repeats\n",
+			factor, float64(env.Bytes)/(1<<20), env.Nodes, workers, repeats)
+		fmt.Fprintf(w, "%-6s %-9s %-6s %14s %14s %14s\n", "query", "mode", "cols", "ns/op", "allocs/op", "B/op")
+	}
+	for _, id := range queryIDs {
+		q := xmarkq.Get(id)
+		for _, m := range modes {
+			for _, typed := range []bool{true, false} {
+				xdm.ForceBoxed = !typed
+				row, err := measureOne(env, q.Text, m.cfg, repeats)
+				xdm.ForceBoxed = false
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s: %w", q.Name, m.name, err)
+				}
+				row.Query, row.Mode, row.Typed = q.Name, m.name, typed
+				rep.Rows = append(rep.Rows, row)
+				if w != nil {
+					cols := "typed"
+					if !typed {
+						cols = "boxed"
+					}
+					fmt.Fprintf(w, "%-6s %-9s %-6s %14d %14d %14d\n",
+						row.Query, row.Mode, cols, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp)
+				}
+			}
+		}
+	}
+	// Typed-versus-boxed summaries per (query, mode).
+	byKey := map[[2]string]map[bool]TrajectoryRow{}
+	for _, r := range rep.Rows {
+		k := [2]string{r.Query, r.Mode}
+		if byKey[k] == nil {
+			byKey[k] = map[bool]TrajectoryRow{}
+		}
+		byKey[k][r.Typed] = r
+	}
+	for _, id := range queryIDs {
+		q := xmarkq.Get(id)
+		for _, m := range modes {
+			pair := byKey[[2]string{q.Name, m.name}]
+			t, b := pair[true], pair[false]
+			if t.NsPerOp == 0 || t.AllocsPerOp == 0 {
+				continue
+			}
+			s := TrajectorySummary{
+				Query:       q.Name,
+				Mode:        m.name,
+				Speedup:     float64(b.NsPerOp) / float64(t.NsPerOp),
+				AllocsRatio: float64(b.AllocsPerOp) / float64(t.AllocsPerOp),
+			}
+			rep.Summaries = append(rep.Summaries, s)
+			if w != nil {
+				fmt.Fprintf(w, "%-6s %-9s typed vs boxed: %.2fx faster, %.2fx fewer allocs\n",
+					s.Query, s.Mode, s.Speedup, s.AllocsRatio)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// WriteTrajectoryJSON measures a trajectory and writes it as indented
+// JSON to path (the BENCH_PR<n>.json convention).
+func WriteTrajectoryJSON(path string, factor float64, queryIDs []int, workers, repeats int, w io.Writer) error {
+	rep, err := Trajectory(factor, queryIDs, workers, repeats, w)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -83,6 +84,7 @@ func (r *Result) SerializeXML() (string, error) {
 func Run(root *algebra.Node, base *xmltree.Store, docs map[string]uint32, opts Options) (res *Result, err error) {
 	defer qerr.RecoverInto("execute", &err)
 	ex := NewExec(base, docs, opts)
+	ex.EnableRecycling(root)
 	start := time.Now()
 	t, err := ex.Eval(root)
 	if err != nil {
@@ -108,6 +110,13 @@ type Exec struct {
 	maxCells  int64
 	cells     atomic.Int64
 	intOrders bool
+	// Buffer recycling (EnableRecycling): uses counts the not-yet-evaluated
+	// consumers of each DAG node, colRefs counts the memoized tables each
+	// column appears in. When a node's last consumer finishes, its table's
+	// columns drop a reference; a column at zero references provably has no
+	// surviving alias and its backing buffer returns to the xdm pool.
+	uses    map[*algebra.Node]int
+	colRefs map[*xdm.Column]int
 }
 
 // NewExec prepares an execution over a derived store.
@@ -132,6 +141,71 @@ func NewExec(base *xmltree.Store, docs map[string]uint32, opts Options) *Exec {
 
 // Store returns the execution's derived store.
 func (ex *Exec) Store() *xmltree.Store { return ex.store }
+
+// EnableRecycling turns on column-buffer recycling for an execution that
+// will evaluate exactly the DAG under root, once. It counts each node's
+// consumers so Eval can release a memoized intermediate the moment its
+// last consumer has run. It must not be used on an Exec whose Eval is
+// called for multiple roots (tests do this): a table released under one
+// root may be a live memo hit under the next.
+func (ex *Exec) EnableRecycling(root *algebra.Node) {
+	ex.uses = make(map[*algebra.Node]int)
+	ex.colRefs = make(map[*xdm.Column]int)
+	seen := make(map[*algebra.Node]bool)
+	var visit func(n *algebra.Node)
+	visit = func(n *algebra.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, in := range n.Ins {
+			ex.uses[in]++
+			visit(in)
+		}
+	}
+	visit(root)
+	ex.uses[root]++ // Finish reads the root table after the walk
+}
+
+// ReleaseInputs records that n's evaluation has consumed its inputs,
+// releasing any input table whose last consumer n was. Must be called
+// after Memoize(n, ...): an output that aliases input columns has then
+// already taken its own references. No-op unless recycling is enabled.
+func (ex *Exec) ReleaseInputs(n *algebra.Node) {
+	if ex.uses == nil {
+		return
+	}
+	for _, in := range n.Ins {
+		c, ok := ex.uses[in]
+		if !ok {
+			continue
+		}
+		if c--; c > 0 {
+			ex.uses[in] = c
+			continue
+		}
+		delete(ex.uses, in)
+		t, ok := ex.memo[in]
+		if !ok {
+			continue
+		}
+		// Deleting the memo entry makes any reference-count bug fail safe:
+		// an unexpected later consumer re-evaluates instead of reading a
+		// recycled buffer.
+		delete(ex.memo, in)
+		for _, col := range t.Data {
+			r := ex.colRefs[col] - 1
+			if r > 0 {
+				ex.colRefs[col] = r
+				continue
+			}
+			delete(ex.colRefs, col)
+			if r == 0 {
+				xdm.RecycleColumn(col)
+			}
+		}
+	}
+}
 
 // CheckCancel reports a cancellation error once the execution's context
 // is done. Safe for concurrent use (the done channel is immutable); a
@@ -213,16 +287,16 @@ func (ex *Exec) Finish(t *Table, start time.Time) *Result {
 	res := &Result{Store: ex.store, Elapsed: time.Since(start)}
 	// The root carries (pos, item): order by pos rank for serialization.
 	n := t.NumRows()
-	perm := make([]int, n)
+	perm := make([]int32, n)
 	for i := range perm {
-		perm[i] = i
+		perm[i] = int32(i)
 	}
-	pos := t.Col("pos")
-	sort.SliceStable(perm, func(a, b int) bool { return iterKey(pos[perm[a]]) < iterKey(pos[perm[b]]) })
+	pos := iterInts(t.Col("pos"))
+	sort.SliceStable(perm, func(a, b int) bool { return pos[perm[a]] < pos[perm[b]] })
 	items := t.Col("item")
 	res.Items = make([]xdm.Item, n)
 	for i, p := range perm {
-		res.Items[i] = items[p]
+		res.Items[i] = items.Get(int(p))
 	}
 	for _, e := range ex.prof {
 		res.Profile = append(res.Profile, *e)
@@ -271,12 +345,21 @@ func (ex *Exec) Eval(n *algebra.Node) (*Table, error) {
 		return nil, err
 	}
 	ex.Memoize(n, t)
+	ex.ReleaseInputs(n)
 	return t, nil
 }
 
 // Memoize stores an evaluated table for a node, so shared DAG nodes are
-// evaluated exactly once.
-func (ex *Exec) Memoize(n *algebra.Node, t *Table) { ex.memo[n] = t }
+// evaluated exactly once. Under recycling it also references the table's
+// columns, keeping aliased buffers alive until every holding table dies.
+func (ex *Exec) Memoize(n *algebra.Node, t *Table) {
+	ex.memo[n] = t
+	if ex.colRefs != nil {
+		for _, c := range t.Data {
+			ex.colRefs[c]++
+		}
+	}
+}
 
 // Memoized returns a previously memoized table for n, if any.
 func (ex *Exec) Memoized(n *algebra.Node) (*Table, bool) {
@@ -311,11 +394,11 @@ func (ex *Exec) EvalOp(n *algebra.Node, ins []*Table) (*Table, error) {
 	case algebra.OpLit:
 		t := NewTable(n.Cols)
 		for c := range n.Cols {
-			col := make([]xdm.Item, len(n.Rows))
-			for r, row := range n.Rows {
-				col[r] = row[c]
+			var b xdm.ColumnBuilder
+			for _, row := range n.Rows {
+				b.Append(row[c])
 			}
-			t.Data[c] = col
+			t.Data[c] = b.Finish()
 		}
 		return t, nil
 
@@ -328,18 +411,7 @@ func (ex *Exec) EvalOp(n *algebra.Node, ins []*Table) (*Table, error) {
 		return t, nil
 
 	case algebra.OpSelect:
-		in := ins[0]
-		cond := in.Col(n.Col)
-		var keep []int
-		for r, it := range cond {
-			if it.Kind != xdm.KBoolean {
-				return nil, ex.errf(n, "selection over non-boolean %s", it.Kind)
-			}
-			if it.I != 0 {
-				keep = append(keep, r)
-			}
-		}
-		return in.filter(keep), nil
+		return ex.evalSelect(n, ins[0])
 
 	case algebra.OpJoin:
 		return ex.evalJoin(n, ins[0], ins[1])
@@ -351,12 +423,14 @@ func (ex *Exec) EvalOp(n *algebra.Node, ins []*Table) (*Table, error) {
 		return ex.evalRowNum(n, ins[0])
 
 	case algebra.OpRowID:
+		// The # stamp: one flat integer buffer, no sort, no boxing — the
+		// near-free half of the paper's ρ/# asymmetry.
 		in := ins[0]
-		col := make([]xdm.Item, in.NumRows())
-		for i := range col {
-			col[i] = xdm.NewInt(int64(i + 1))
+		num := xdm.GetInts(in.NumRows())
+		for i := range num {
+			num[i] = int64(i + 1)
 		}
-		return in.withColumn(n.Col, col), nil
+		return in.withColumn(n.Col, xdm.IntColumn(num)), nil
 
 	case algebra.OpBinOp:
 		return ex.evalBinOp(n, ins[0])
@@ -368,11 +442,10 @@ func (ex *Exec) EvalOp(n *algebra.Node, ins []*Table) (*Table, error) {
 		l, r := ins[0], ins[1]
 		t := NewTable(l.Cols)
 		for c, name := range l.Cols {
-			lc, rc := l.Col(name), r.Col(name)
-			col := make([]xdm.Item, 0, len(lc)+len(rc))
-			col = append(col, lc...)
-			col = append(col, rc...)
-			t.Data[c] = col
+			var b xdm.ColumnBuilder
+			b.AppendColumn(l.Col(name))
+			b.AppendColumn(r.Col(name))
+			t.Data[c] = b.Finish()
 		}
 		return t, nil
 
@@ -380,29 +453,7 @@ func (ex *Exec) EvalOp(n *algebra.Node, ins []*Table) (*Table, error) {
 		return ex.evalSemiDiff(n, ins[0], ins[1])
 
 	case algebra.OpDistinct:
-		in := ins[0]
-		cols := make([][]xdm.Item, len(n.Cols))
-		for i, c := range n.Cols {
-			cols[i] = in.Col(c)
-		}
-		seen := make(map[string]bool, in.NumRows())
-		var keep []int
-		for r := 0; r < in.NumRows(); r++ {
-			k := rowKey(cols, r)
-			if !seen[k] {
-				seen[k] = true
-				keep = append(keep, r)
-			}
-		}
-		t := NewTable(n.Cols)
-		for i := range cols {
-			col := make([]xdm.Item, len(keep))
-			for j, r := range keep {
-				col[j] = cols[i][r]
-			}
-			t.Data[i] = col
-		}
-		return t, nil
+		return ex.evalDistinct(n, ins[0])
 
 	case algebra.OpAggr:
 		return ex.evalAggr(n, ins[0])
@@ -416,7 +467,7 @@ func (ex *Exec) EvalOp(n *algebra.Node, ins []*Table) (*Table, error) {
 			return nil, ex.errf(n, "unknown document %q", n.URI)
 		}
 		t := NewTable([]string{"item"})
-		t.Data[0] = []xdm.Item{xdm.NewNode(xdm.NodeID{Frag: id, Pre: 0})}
+		t.Data[0] = xdm.NodeColumn([]xdm.NodeID{{Frag: id, Pre: 0}})
 		return t, nil
 
 	case algebra.OpElem:
@@ -436,47 +487,118 @@ func (ex *Exec) EvalOp(n *algebra.Node, ins []*Table) (*Table, error) {
 	}
 }
 
+// evalSelect filters by a boolean column: a flat 0/1 scan on typed
+// columns, per-item kind checks on the boxed fallback.
+func (ex *Exec) evalSelect(n *algebra.Node, in *Table) (*Table, error) {
+	cond := in.Col(n.Col)
+	rows := cond.Len()
+	buf := xdm.GetInt32s(rows)
+	keep := buf[:0]
+	if bs, ok := cond.Bools(); ok {
+		for r, v := range bs {
+			if v != 0 {
+				keep = append(keep, int32(r))
+			}
+		}
+	} else if items, ok := cond.RawItems(); ok {
+		for r, it := range items {
+			if it.Kind != xdm.KBoolean {
+				xdm.PutInt32s(buf)
+				return nil, ex.errf(n, "selection over non-boolean %s", it.Kind)
+			}
+			if it.I != 0 {
+				keep = append(keep, int32(r))
+			}
+		}
+	} else if rows > 0 {
+		xdm.PutInt32s(buf)
+		return nil, ex.errf(n, "selection over non-boolean %s", cond.Get(0).Kind)
+	}
+	out := in.filter(keep)
+	xdm.PutInt32s(buf)
+	return out, nil
+}
+
 // --- Joins and products ---
 
-// BuildJoinIndex hashes the right key column for an equi-join probe:
-// intIdx when every key is an xs:integer (the common case — keys in
-// compiled plans are iteration ids), strIdx otherwise.
+// JoinIndex hashes the right key column for an equi-join probe: intIdx
+// when every key is an xs:integer (the common case — keys in compiled
+// plans are iteration ids), strIdx otherwise. Flat integer key columns
+// skip per-item inspection entirely.
 type JoinIndex struct {
-	intIdx map[int64][]int
-	strIdx map[string][]int
+	intIdx map[int64][]int32
+	strIdx map[string][]int32
 }
 
 // BuildJoinIndex indexes a join's right-hand key column.
-func BuildJoinIndex(rk []xdm.Item) *JoinIndex {
-	if allIntegers(rk) {
-		idx := make(map[int64][]int, len(rk))
-		for i, it := range rk {
-			idx[it.I] = append(idx[it.I], i)
+func BuildJoinIndex(rk *xdm.Column) *JoinIndex {
+	if ints, ok := rk.Ints(); ok {
+		idx := make(map[int64][]int32, len(ints))
+		for i, v := range ints {
+			idx[v] = append(idx[v], int32(i))
 		}
 		return &JoinIndex{intIdx: idx}
 	}
-	idx := make(map[string][]int, len(rk))
-	for i, it := range rk {
-		idx[xdm.DistinctKey(it)] = append(idx[xdm.DistinctKey(it)], i)
+	if items, ok := rk.RawItems(); ok && allIntegers(items) {
+		idx := make(map[int64][]int32, len(items))
+		for i, it := range items {
+			idx[it.I] = append(idx[it.I], int32(i))
+		}
+		return &JoinIndex{intIdx: idx}
+	}
+	nr := rk.Len()
+	idx := make(map[string][]int32, nr)
+	for i := 0; i < nr; i++ {
+		k := xdm.DistinctKey(rk.Get(i))
+		idx[k] = append(idx[k], int32(i))
 	}
 	return &JoinIndex{strIdx: idx}
 }
 
 // Probe appends the matching (left, right) row pairs for left rows
-// [lo, hi) to lperm/rperm and returns the extended slices.
-func (ix *JoinIndex) Probe(lk []xdm.Item, lo, hi int, lperm, rperm []int) ([]int, []int) {
+// [lo, hi) to lperm/rperm and returns the extended slices. Against an
+// integer index the probe key is the item's integer payload, whatever the
+// left column's type — exactly the boxed engine's behavior (non-integer
+// items carry payload 0).
+func (ix *JoinIndex) Probe(lk *xdm.Column, lo, hi int, lperm, rperm []int32) ([]int32, []int32) {
 	if ix.intIdx != nil {
-		for i := lo; i < hi; i++ {
-			for _, j := range ix.intIdx[lk[i].I] {
-				lperm = append(lperm, i)
-				rperm = append(rperm, j)
+		var ints []int64
+		if v, ok := lk.Ints(); ok {
+			ints = v
+		} else if v, ok := lk.Bools(); ok {
+			ints = v
+		}
+		switch {
+		case ints != nil:
+			for i := lo; i < hi; i++ {
+				for _, j := range ix.intIdx[ints[i]] {
+					lperm = append(lperm, int32(i))
+					rperm = append(rperm, j)
+				}
+			}
+		default:
+			if items, ok := lk.RawItems(); ok {
+				for i := lo; i < hi; i++ {
+					for _, j := range ix.intIdx[items[i].I] {
+						lperm = append(lperm, int32(i))
+						rperm = append(rperm, j)
+					}
+				}
+			} else {
+				// Typed double/string/node columns have integer payload 0.
+				for i := lo; i < hi; i++ {
+					for _, j := range ix.intIdx[0] {
+						lperm = append(lperm, int32(i))
+						rperm = append(rperm, j)
+					}
+				}
 			}
 		}
 		return lperm, rperm
 	}
 	for i := lo; i < hi; i++ {
-		for _, j := range ix.strIdx[xdm.DistinctKey(lk[i])] {
-			lperm = append(lperm, i)
+		for _, j := range ix.strIdx[xdm.DistinctKey(lk.Get(i))] {
+			lperm = append(lperm, int32(i))
 			rperm = append(rperm, j)
 		}
 	}
@@ -484,24 +606,13 @@ func (ix *JoinIndex) Probe(lk []xdm.Item, lo, hi int, lperm, rperm []int) ([]int
 }
 
 // MaterializeJoin builds the join output table from row-pair
-// permutations, polling for cancellation between column chunks — a
-// multi-million-row join output is otherwise a cancellation blind spot.
-func (ex *Exec) MaterializeJoin(n *algebra.Node, l, r *Table, lperm, rperm []int) (*Table, error) {
+// permutations via typed gathers, polling for cancellation between
+// column chunks — a multi-million-row join output is otherwise a
+// cancellation blind spot.
+func (ex *Exec) MaterializeJoin(n *algebra.Node, l, r *Table, lperm, rperm []int32) (*Table, error) {
 	t := NewTable(n.Schema())
-	copyCol := func(src []xdm.Item, perm []int) ([]xdm.Item, error) {
-		col := make([]xdm.Item, len(perm))
-		for i, p := range perm {
-			if i&(probeChunk-1) == 0 {
-				if err := ex.CheckCancel(); err != nil {
-					return nil, err
-				}
-			}
-			col[i] = src[p]
-		}
-		return col, nil
-	}
 	for c, name := range l.Cols {
-		col, err := copyCol(l.Col(name), lperm)
+		col, err := l.Col(name).GatherChunked(lperm, probeChunk, ex.CheckCancel)
 		if err != nil {
 			return nil, err
 		}
@@ -509,7 +620,7 @@ func (ex *Exec) MaterializeJoin(n *algebra.Node, l, r *Table, lperm, rperm []int
 	}
 	off := len(l.Cols)
 	for c, name := range r.Cols {
-		col, err := copyCol(r.Col(name), rperm)
+		col, err := r.Col(name).GatherChunked(rperm, probeChunk, ex.CheckCancel)
 		if err != nil {
 			return nil, err
 		}
@@ -526,11 +637,12 @@ const probeChunk = 1 << 15
 func (ex *Exec) evalJoin(n *algebra.Node, l, r *Table) (*Table, error) {
 	lk, rk := l.Col(n.LCol), r.Col(n.RCol)
 	ix := BuildJoinIndex(rk)
-	var lperm, rperm []int
-	for lo := 0; lo < len(lk); lo += probeChunk {
+	nl := lk.Len()
+	var lperm, rperm []int32
+	for lo := 0; lo < nl; lo += probeChunk {
 		hi := lo + probeChunk
-		if hi > len(lk) {
-			hi = len(lk)
+		if hi > nl {
+			hi = nl
 		}
 		lperm, rperm = ix.Probe(lk, lo, hi, lperm, rperm)
 		if err := ex.checkCells(len(lperm), len(l.Cols)+len(r.Cols)); err != nil {
@@ -540,7 +652,13 @@ func (ex *Exec) evalJoin(n *algebra.Node, l, r *Table) (*Table, error) {
 	if err := ex.checkCells(len(lperm), len(l.Cols)+len(r.Cols)); err != nil {
 		return nil, err
 	}
-	return ex.MaterializeJoin(n, l, r, lperm, rperm)
+	t, err := ex.MaterializeJoin(n, l, r, lperm, rperm)
+	if err != nil {
+		return nil, err
+	}
+	xdm.PutInt32s(lperm)
+	xdm.PutInt32s(rperm)
+	return t, nil
 }
 
 func (ex *Exec) evalCross(n *algebra.Node, l, r *Table) (*Table, error) {
@@ -558,21 +676,11 @@ func (ex *Exec) evalCross(n *algebra.Node, l, r *Table) (*Table, error) {
 		}
 		off := len(l.Cols)
 		for c := range r.Cols {
-			col := make([]xdm.Item, ln)
-			v := r.Data[c][0]
-			for i := range col {
-				col[i] = v
-			}
-			t.Data[off+c] = col
+			t.Data[off+c] = xdm.RepeatOf(r.Data[c], 0, ln)
 		}
 	case ln == 1:
 		for c := range l.Cols {
-			col := make([]xdm.Item, rn)
-			v := l.Data[c][0]
-			for i := range col {
-				col[i] = v
-			}
-			t.Data[c] = col
+			t.Data[c] = xdm.RepeatOf(l.Data[c], 0, rn)
 		}
 		off := len(l.Cols)
 		for c := range r.Cols {
@@ -583,70 +691,400 @@ func (ex *Exec) evalCross(n *algebra.Node, l, r *Table) (*Table, error) {
 		// Poll for cancellation roughly every probeChunk emitted rows; a
 		// large cross product is otherwise a multi-second blind spot.
 		stride := probeChunk/rn + 1
+		lperm := xdm.GetInt32s(total)
+		rperm := xdm.GetInt32s(total)
+		k := 0
+		for i := 0; i < ln; i++ {
+			if i%stride == 0 {
+				if err := ex.CheckCancel(); err != nil {
+					xdm.PutInt32s(lperm)
+					xdm.PutInt32s(rperm)
+					return nil, err
+				}
+			}
+			for j := 0; j < rn; j++ {
+				lperm[k] = int32(i)
+				rperm[k] = int32(j)
+				k++
+			}
+		}
 		for c := range l.Cols {
-			col := make([]xdm.Item, 0, total)
-			for i := 0; i < ln; i++ {
-				if i%stride == 0 {
-					if err := ex.CheckCancel(); err != nil {
-						return nil, err
-					}
-				}
-				v := l.Data[c][i]
-				for j := 0; j < rn; j++ {
-					col = append(col, v)
-				}
+			col, err := l.Data[c].GatherChunked(lperm, probeChunk, ex.CheckCancel)
+			if err != nil {
+				return nil, err
 			}
 			t.Data[c] = col
 		}
 		off := len(l.Cols)
 		for c := range r.Cols {
-			col := make([]xdm.Item, 0, total)
-			for i := 0; i < ln; i++ {
-				if i%stride == 0 {
-					if err := ex.CheckCancel(); err != nil {
-						return nil, err
-					}
-				}
-				col = append(col, r.Data[c]...)
+			col, err := r.Data[c].GatherChunked(rperm, probeChunk, ex.CheckCancel)
+			if err != nil {
+				return nil, err
 			}
 			t.Data[off+c] = col
 		}
+		xdm.PutInt32s(lperm)
+		xdm.PutInt32s(rperm)
 	}
 	return t, nil
 }
 
+// --- Distinct and semijoin: typed word keys ---
+
+// nanWord is the canonical NaN key: the boxed engine formatted every NaN
+// to the same "NaN" string, so all NaN payloads must collide.
+var nanWord = math.Float64bits(math.NaN())
+
+// wordClass classifies a column for machine-word grouping keys. Numeric
+// columns share a class (the boxed keys made xs:integer 5 and xs:double
+// 5.0 collide); booleans, nodes and the string-class kinds each key their
+// own class, and word keys must never be compared across classes (the
+// boxed keys carried a class prefix).
+type wordClass uint8
+
+const (
+	wordNone wordClass = iota // boxed fallback — not wordable
+	wordNum
+	wordBool
+	wordNode
+	wordStr // string-class: raw string keys instead of words
+)
+
+func classOf(c *xdm.Column) wordClass {
+	switch c.Kind() {
+	case xdm.ColInt, xdm.ColDouble:
+		return wordNum
+	case xdm.ColBool:
+		return wordBool
+	case xdm.ColNode:
+		return wordNode
+	case xdm.ColString, xdm.ColUntyped:
+		return wordStr
+	default:
+		return wordNone
+	}
+}
+
+// wordsOf encodes a wordable (non-string) column as one uint64 key per
+// cell, under the same equivalence as xdm.DistinctKey within the column's
+// class: numerics key their double projection (NaNs canonicalized, -0
+// distinct from +0 just like the formatted keys), booleans 0/1, nodes
+// (frag, pre).
+func wordsOf(c *xdm.Column) []uint64 {
+	n := c.Len()
+	out := make([]uint64, n)
+	switch c.Kind() {
+	case xdm.ColInt:
+		v, _ := c.Ints()
+		for i, x := range v {
+			out[i] = math.Float64bits(float64(x))
+		}
+	case xdm.ColDouble:
+		fs, _ := c.Floats()
+		for i, f := range fs {
+			if f != f {
+				out[i] = nanWord
+			} else {
+				out[i] = math.Float64bits(f)
+			}
+		}
+	case xdm.ColBool:
+		v, _ := c.Bools()
+		for i, x := range v {
+			out[i] = uint64(x)
+		}
+	case xdm.ColNode:
+		ns, _ := c.Nodes()
+		for i, id := range ns {
+			out[i] = uint64(id.Frag)<<32 | uint64(uint32(id.Pre))
+		}
+	}
+	return out
+}
+
+// evalDistinct deduplicates rows over n.Cols. Typed columns hash machine
+// words (one or two columns — the compiled plans' distincts are over
+// (iter) or (iter, item)); anything else falls back to the boxed string
+// keys, which define the same equivalence.
+func (ex *Exec) evalDistinct(n *algebra.Node, in *Table) (*Table, error) {
+	cols := make([]*xdm.Column, len(n.Cols))
+	for i, c := range n.Cols {
+		cols[i] = in.Col(c)
+	}
+	rows := in.NumRows()
+	buf := xdm.GetInt32s(rows)
+	keep := buf[:0]
+
+	classes := make([]wordClass, len(cols))
+	wordable := true
+	for i, c := range cols {
+		classes[i] = classOf(c)
+		if classes[i] == wordNone {
+			wordable = false
+		}
+	}
+	switch {
+	case wordable && len(cols) == 1 && classes[0] != wordStr:
+		ws := wordsOf(cols[0])
+		seen := make(map[uint64]struct{}, rows)
+		for r, w := range ws {
+			if _, ok := seen[w]; !ok {
+				seen[w] = struct{}{}
+				keep = append(keep, int32(r))
+			}
+		}
+	case wordable && len(cols) == 1: // single string-class column
+		ss, _, _ := cols[0].Strings()
+		seen := make(map[string]struct{}, rows)
+		for r, s := range ss {
+			if _, ok := seen[s]; !ok {
+				seen[s] = struct{}{}
+				keep = append(keep, int32(r))
+			}
+		}
+	case wordable && len(cols) == 2 && classes[0] != wordStr && classes[1] != wordStr:
+		w0, w1 := wordsOf(cols[0]), wordsOf(cols[1])
+		seen := make(map[[2]uint64]struct{}, rows)
+		for r := 0; r < rows; r++ {
+			k := [2]uint64{w0[r], w1[r]}
+			if _, ok := seen[k]; !ok {
+				seen[k] = struct{}{}
+				keep = append(keep, int32(r))
+			}
+		}
+	default:
+		seen := make(map[string]bool, rows)
+		for r := 0; r < rows; r++ {
+			k := rowKey(cols, r)
+			if !seen[k] {
+				seen[k] = true
+				keep = append(keep, int32(r))
+			}
+		}
+	}
+	t := NewTable(n.Cols)
+	for i := range cols {
+		t.Data[i] = cols[i].Gather(keep)
+	}
+	xdm.PutInt32s(buf)
+	return t, nil
+}
+
 func (ex *Exec) evalSemiDiff(n *algebra.Node, l, r *Table) (*Table, error) {
-	rcols := make([][]xdm.Item, len(n.Cols))
-	lcols := make([][]xdm.Item, len(n.Cols))
+	rcols := make([]*xdm.Column, len(n.Cols))
+	lcols := make([]*xdm.Column, len(n.Cols))
 	for i, c := range n.Cols {
 		rcols[i] = r.Col(c)
 		lcols[i] = l.Col(c)
 	}
-	set := make(map[string]bool, r.NumRows())
-	for i := 0; i < r.NumRows(); i++ {
-		if i&(probeChunk-1) == 0 {
-			if err := ex.CheckCancel(); err != nil {
-				return nil, err
-			}
-		}
-		set[rowKey(rcols, i)] = true
-	}
 	want := n.Kind == algebra.OpSemi
-	var keep []int
-	for i := 0; i < l.NumRows(); i++ {
-		if i&(probeChunk-1) == 0 {
-			if err := ex.CheckCancel(); err != nil {
-				return nil, err
-			}
+	lrows, rrows := l.NumRows(), r.NumRows()
+	buf := xdm.GetInt32s(lrows)
+	keep := buf[:0]
+
+	// The word path needs each (left, right) column pair to key the same
+	// class: word keys carry no class tag, and the boxed keys never
+	// matched across classes (e.g. boolean true vs integer 1).
+	wordable := true
+	stringy := false
+	for i := range lcols {
+		lc, rc := classOf(lcols[i]), classOf(rcols[i])
+		if lc != rc || lc == wordNone {
+			wordable = false
+			break
 		}
-		if set[rowKey(lcols, i)] == want {
-			keep = append(keep, i)
+		if lc == wordStr {
+			stringy = true
 		}
 	}
-	return l.filter(keep), nil
+	switch {
+	case wordable && len(lcols) == 1 && !stringy:
+		rw := wordsOf(rcols[0])
+		set := make(map[uint64]struct{}, rrows)
+		for i, w := range rw {
+			if i&(probeChunk-1) == 0 {
+				if err := ex.CheckCancel(); err != nil {
+					xdm.PutInt32s(buf)
+					return nil, err
+				}
+			}
+			set[w] = struct{}{}
+		}
+		lw := wordsOf(lcols[0])
+		for i, w := range lw {
+			if i&(probeChunk-1) == 0 {
+				if err := ex.CheckCancel(); err != nil {
+					xdm.PutInt32s(buf)
+					return nil, err
+				}
+			}
+			if _, ok := set[w]; ok == want {
+				keep = append(keep, int32(i))
+			}
+		}
+	case wordable && len(lcols) == 1: // single string-class pair
+		rs, _, _ := rcols[0].Strings()
+		set := make(map[string]struct{}, rrows)
+		for i, s := range rs {
+			if i&(probeChunk-1) == 0 {
+				if err := ex.CheckCancel(); err != nil {
+					xdm.PutInt32s(buf)
+					return nil, err
+				}
+			}
+			set[s] = struct{}{}
+		}
+		ls, _, _ := lcols[0].Strings()
+		for i, s := range ls {
+			if i&(probeChunk-1) == 0 {
+				if err := ex.CheckCancel(); err != nil {
+					xdm.PutInt32s(buf)
+					return nil, err
+				}
+			}
+			if _, ok := set[s]; ok == want {
+				keep = append(keep, int32(i))
+			}
+		}
+	case wordable && len(lcols) == 2 && !stringy:
+		r0, r1 := wordsOf(rcols[0]), wordsOf(rcols[1])
+		set := make(map[[2]uint64]struct{}, rrows)
+		for i := 0; i < rrows; i++ {
+			if i&(probeChunk-1) == 0 {
+				if err := ex.CheckCancel(); err != nil {
+					xdm.PutInt32s(buf)
+					return nil, err
+				}
+			}
+			set[[2]uint64{r0[i], r1[i]}] = struct{}{}
+		}
+		l0, l1 := wordsOf(lcols[0]), wordsOf(lcols[1])
+		for i := 0; i < lrows; i++ {
+			if i&(probeChunk-1) == 0 {
+				if err := ex.CheckCancel(); err != nil {
+					xdm.PutInt32s(buf)
+					return nil, err
+				}
+			}
+			if _, ok := set[[2]uint64{l0[i], l1[i]}]; ok == want {
+				keep = append(keep, int32(i))
+			}
+		}
+	default:
+		set := make(map[string]bool, rrows)
+		for i := 0; i < rrows; i++ {
+			if i&(probeChunk-1) == 0 {
+				if err := ex.CheckCancel(); err != nil {
+					xdm.PutInt32s(buf)
+					return nil, err
+				}
+			}
+			set[rowKey(rcols, i)] = true
+		}
+		for i := 0; i < lrows; i++ {
+			if i&(probeChunk-1) == 0 {
+				if err := ex.CheckCancel(); err != nil {
+					xdm.PutInt32s(buf)
+					return nil, err
+				}
+			}
+			if set[rowKey(lcols, i)] == want {
+				keep = append(keep, int32(i))
+			}
+		}
+	}
+	out := l.filter(keep)
+	xdm.PutInt32s(buf)
+	return out, nil
 }
 
 // --- Row numbering: the ρ/# cost asymmetry ---
+
+// cellCompare builds a comparator over one column's cells under exactly
+// compareSortItems' semantics: typed columns compare raw payloads (ints
+// through their double projection, as xdm.OrderCompare does), the boxed
+// fallback dispatches per item and handles the KNull markers.
+func cellCompare(c *xdm.Column, emptyGreatest bool) func(a, b int32) int {
+	switch c.Kind() {
+	case xdm.ColInt:
+		v, _ := c.Ints()
+		return func(a, b int32) int {
+			af, bf := float64(v[a]), float64(v[b])
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			default:
+				return 0
+			}
+		}
+	case xdm.ColDouble:
+		fs, _ := c.Floats()
+		return func(a, b int32) int {
+			af, bf := fs[a], fs[b]
+			an, bn := af != af, bf != bf // NaN sorts first
+			switch {
+			case an && bn:
+				return 0
+			case an:
+				return -1
+			case bn:
+				return 1
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			default:
+				return 0
+			}
+		}
+	case xdm.ColBool:
+		v, _ := c.Bools()
+		return func(a, b int32) int {
+			switch {
+			case v[a] < v[b]:
+				return -1
+			case v[a] > v[b]:
+				return 1
+			default:
+				return 0
+			}
+		}
+	case xdm.ColString, xdm.ColUntyped:
+		ss, _, _ := c.Strings()
+		return func(a, b int32) int {
+			switch {
+			case ss[a] < ss[b]:
+				return -1
+			case ss[a] > ss[b]:
+				return 1
+			default:
+				return 0
+			}
+		}
+	case xdm.ColNode:
+		ns, _ := c.Nodes()
+		return func(a, b int32) int {
+			x, y := ns[a], ns[b]
+			switch {
+			case x.Frag < y.Frag:
+				return -1
+			case x.Frag > y.Frag:
+				return 1
+			case x.Pre < y.Pre:
+				return -1
+			case x.Pre > y.Pre:
+				return 1
+			default:
+				return 0
+			}
+		}
+	default:
+		items, _ := c.RawItems()
+		return func(a, b int32) int { return compareSortItems(items[a], items[b], emptyGreatest) }
+	}
+}
 
 // evalRowNum implements ρ: a stable sort of the full table by
 // (part, sort criteria) followed by dense per-group numbering. The
@@ -661,22 +1099,22 @@ func (ex *Exec) evalSemiDiff(n *algebra.Node, l, r *Table) (*Table, error) {
 // defers to [15].
 func (ex *Exec) evalRowNum(n *algebra.Node, in *Table) (*Table, error) {
 	rows := in.NumRows()
-	var part []xdm.Item
+	var partCmp func(a, b int32) int
 	if n.Part != "" {
-		part = in.Col(n.Part)
+		partCmp = cellCompare(in.Col(n.Part), false)
 	}
-	keys := make([][]xdm.Item, len(n.Sort))
+	keyCmps := make([]func(a, b int32) int, len(n.Sort))
 	for i, s := range n.Sort {
-		keys[i] = in.Col(s.Col)
+		keyCmps[i] = cellCompare(in.Col(s.Col), s.EmptyGreatest)
 	}
-	less := func(ra, rb int) int {
-		if part != nil {
-			if c := compareSortItems(part[ra], part[rb], false); c != 0 {
+	less := func(ra, rb int32) int {
+		if partCmp != nil {
+			if c := partCmp(ra, rb); c != 0 {
 				return c
 			}
 		}
 		for i, s := range n.Sort {
-			c := compareSortItems(keys[i][ra], keys[i][rb], s.EmptyGreatest)
+			c := keyCmps[i](ra, rb)
 			if s.Desc {
 				c = -c
 			}
@@ -690,7 +1128,7 @@ func (ex *Exec) evalRowNum(n *algebra.Node, in *Table) (*Table, error) {
 	if ex.intOrders {
 		sorted = true
 		for i := 1; i < rows; i++ {
-			if less(i-1, i) > 0 {
+			if less(int32(i-1), int32(i)) > 0 {
 				sorted = false
 				break
 			}
@@ -698,34 +1136,34 @@ func (ex *Exec) evalRowNum(n *algebra.Node, in *Table) (*Table, error) {
 	}
 	out := in
 	if !sorted {
-		perm := make([]int, rows)
+		perm := xdm.GetInt32s(rows)
 		for i := range perm {
-			perm[i] = i
+			perm[i] = int32(i)
 		}
 		if err := ex.sortStable(perm, func(a, b int) bool { return less(perm[a], perm[b]) < 0 }); err != nil {
+			xdm.PutInt32s(perm)
 			return nil, err
 		}
 		out = in.permute(perm)
+		xdm.PutInt32s(perm)
 	}
-	num := make([]xdm.Item, rows)
-	var prevPart *xdm.Item
-	k := int64(0)
-	var partOut []xdm.Item
-	if part != nil {
-		partOut = out.Col(n.Part)
-	}
-	for i := 0; i < rows; i++ {
-		if part != nil {
-			cur := partOut[i]
-			if prevPart == nil || compareSortItems(*prevPart, cur, false) != 0 {
+	num := xdm.GetInts(rows)
+	if n.Part != "" {
+		cmp := cellCompare(out.Col(n.Part), false)
+		k := int64(0)
+		for i := 0; i < rows; i++ {
+			if i > 0 && cmp(int32(i-1), int32(i)) != 0 {
 				k = 0
 			}
-			prevPart = &partOut[i]
+			k++
+			num[i] = k
 		}
-		k++
-		num[i] = xdm.NewInt(k)
+	} else {
+		for i := range num {
+			num[i] = int64(i + 1)
+		}
 	}
-	return out.withColumn(n.Res, num), nil
+	return out.withColumn(n.Res, xdm.IntColumn(num)), nil
 }
 
 // abortSort carries a cancellation error out of a sort comparator; the
@@ -735,7 +1173,7 @@ type abortSort struct{ err error }
 // sortStable is sort.SliceStable with cooperative cancellation: the
 // comparator polls CheckCancel periodically and unwinds via a private
 // panic, so multi-second ρ sorts stop within the cancellation bound.
-func (ex *Exec) sortStable(perm []int, less func(a, b int) bool) (err error) {
+func (ex *Exec) sortStable(perm []int32, less func(a, b int) bool) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if a, ok := r.(abortSort); ok {

@@ -46,10 +46,10 @@ func ints(vals ...int64) []xdm.Item {
 
 func colInts(t *testing.T, tab *Table, col string) []int64 {
 	t.Helper()
-	items := tab.Col(col)
-	out := make([]int64, len(items))
-	for i, it := range items {
-		out[i] = it.I
+	c := tab.Col(col)
+	out := make([]int64, c.Len())
+	for i := range out {
+		out[i] = c.Get(i).I
 	}
 	return out
 }
@@ -88,13 +88,13 @@ func TestRowNumDescendingAndNullPlacement(t *testing.T) {
 	// Null (absent order key) sorts below everything by default…
 	rn := b.RowNum(lit, "r", []algebra.SortSpec{{Col: "k"}}, "")
 	tab := run(t, rn, store, docs)
-	if k := tab.Col("k"); k[0].Kind != xdm.KNull || k[1].I != 1 || k[2].I != 3 {
+	if k := tab.Col("k"); k.Get(0).Kind != xdm.KNull || k.Get(1).I != 1 || k.Get(2).I != 3 {
 		t.Errorf("empty-least order: %v", k)
 	}
 	// …and above everything with EmptyGreatest; Desc flips values only.
 	rn2 := b.RowNum(lit, "r", []algebra.SortSpec{{Col: "k", Desc: true, EmptyGreatest: true}}, "")
 	tab2 := run(t, rn2, store, docs)
-	if k := tab2.Col("k"); k[0].Kind != xdm.KNull || k[1].I != 3 || k[2].I != 1 {
+	if k := tab2.Col("k"); k.Get(0).Kind != xdm.KNull || k.Get(1).I != 3 || k.Get(2).I != 1 {
 		t.Errorf("desc empty-greatest order: %v", k)
 	}
 }
@@ -173,7 +173,7 @@ func TestAggrEbvSemantics(t *testing.T) {
 		[]xdm.Item{xdm.NewInt(3), xdm.NewString("")})
 	tab := run(t, b.Aggr(in, algebra.AggrEbv, "res", "item", "iter"), store, docs)
 	res := tab.Col("res")
-	if !res[0].Bool() || !res[1].Bool() || res[2].Bool() {
+	if !res.Get(0).Bool() || !res.Get(1).Bool() || res.Get(2).Bool() {
 		t.Errorf("ebv results: %v", res)
 	}
 	// Multi-item atomic groups are a dynamic error.
@@ -198,7 +198,7 @@ func TestStepStaircasePruning(t *testing.T) {
 		t.Fatalf("descendant x from nested s contexts: %d rows, want 2", tab.NumRows())
 	}
 	items := tab.Col("item")
-	if !items[0].N.Before(items[1].N) {
+	if !items.Get(0).N.Before(items.Get(1).N) {
 		t.Error("step output not in document order")
 	}
 }

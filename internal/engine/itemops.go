@@ -25,30 +25,179 @@ func coerceArith(it xdm.Item) (xdm.Item, error) {
 
 func (ex *Exec) evalBinOp(n *algebra.Node, in *Table) (*Table, error) {
 	l, r := in.Col(n.LCol), in.Col(n.RCol)
-	var tc []xdm.Item
+	var tc *xdm.Column
 	if n.TCol != "" {
 		tc = in.Col(n.TCol)
 	}
-	out := make([]xdm.Item, in.NumRows())
-	for i := range out {
+	rows := in.NumRows()
+	if tc == nil {
+		if col, ok, err := ex.typedBinOp(n, l, r); ok {
+			if err != nil {
+				return nil, err
+			}
+			return in.withColumn(n.Res, col), nil
+		}
+	}
+	out := xdm.GetItems(rows)
+	for i := 0; i < rows; i++ {
 		if i&(probeChunk-1) == 0 {
 			if err := ex.CheckCancel(); err != nil {
+				xdm.PutItems(out)
 				return nil, err
 			}
 		}
 		var v xdm.Item
 		var err error
 		if tc != nil {
-			v, err = ex.applyTernFn(n, l[i], r[i], tc[i])
+			v, err = ex.applyTernFn(n, l.Get(i), r.Get(i), tc.Get(i))
 		} else {
-			v, err = ex.applyBinFn(n, l[i], r[i])
+			v, err = ex.applyBinFn(n, l.Get(i), r.Get(i))
 		}
 		if err != nil {
+			xdm.PutItems(out)
 			return nil, ex.errf(n, "%v", err)
 		}
 		out[i] = v
 	}
-	return in.withColumn(n.Res, out), nil
+	return in.withColumn(n.Res, xdm.FromItemsOwned(out)), nil
+}
+
+// typedBinOp evaluates the arithmetic/comparison kernels over flat
+// columns without boxing a single Item: integer×integer arithmetic and
+// comparisons (the value-join enumeration kernels of Q8/Q9-class plans),
+// and boolean×boolean conjunction/disjunction. ok=false means no typed
+// kernel applies and the caller should run the boxed loop. The kernels
+// replicate xdm.Arith/CompareValue exactly: integer comparisons go
+// through the double projection, div yields a double, idiv/mod report
+// the xdm division-by-zero error.
+func (ex *Exec) typedBinOp(n *algebra.Node, l, r *xdm.Column) (*xdm.Column, bool, error) {
+	if lb, ok := l.Bools(); ok {
+		rb, ok := r.Bools()
+		if !ok {
+			return nil, false, nil
+		}
+		var word func(a, b int64) int64
+		switch n.BFn {
+		case algebra.BAnd:
+			word = func(a, b int64) int64 { return a & b }
+		case algebra.BOr:
+			word = func(a, b int64) int64 { return a | b }
+		default:
+			return nil, false, nil
+		}
+		out := xdm.GetInts(len(lb))
+		for i := range lb {
+			if i&(probeChunk-1) == 0 {
+				if err := ex.CheckCancel(); err != nil {
+					xdm.PutInts(out)
+					return nil, true, err
+				}
+			}
+			out[i] = word(lb[i], rb[i])
+		}
+		return xdm.BoolColumn(out), true, nil
+	}
+	li, ok := l.Ints()
+	if !ok {
+		return nil, false, nil
+	}
+	ri, ok := r.Ints()
+	if !ok {
+		return nil, false, nil
+	}
+	poll := func(i int) error {
+		if i&(probeChunk-1) == 0 {
+			return ex.CheckCancel()
+		}
+		return nil
+	}
+	switch n.BFn {
+	case algebra.BArithAdd, algebra.BArithSub, algebra.BArithMul:
+		out := xdm.GetInts(len(li))
+		for i := range li {
+			if err := poll(i); err != nil {
+				xdm.PutInts(out)
+				return nil, true, err
+			}
+			switch n.BFn {
+			case algebra.BArithAdd:
+				out[i] = li[i] + ri[i]
+			case algebra.BArithSub:
+				out[i] = li[i] - ri[i]
+			default:
+				out[i] = li[i] * ri[i]
+			}
+		}
+		return xdm.IntColumn(out), true, nil
+	case algebra.BArithIDiv, algebra.BArithMod:
+		out := xdm.GetInts(len(li))
+		for i := range li {
+			if err := poll(i); err != nil {
+				xdm.PutInts(out)
+				return nil, true, err
+			}
+			if ri[i] == 0 {
+				xdm.PutInts(out)
+				return nil, true, ex.errf(n, "%v", fmt.Errorf("xdm: division by zero"))
+			}
+			if n.BFn == algebra.BArithIDiv {
+				out[i] = li[i] / ri[i]
+			} else {
+				out[i] = li[i] % ri[i]
+			}
+		}
+		return xdm.IntColumn(out), true, nil
+	case algebra.BArithDiv:
+		out := xdm.GetFloats(len(li))
+		for i := range li {
+			if err := poll(i); err != nil {
+				xdm.PutFloats(out)
+				return nil, true, err
+			}
+			out[i] = float64(li[i]) / float64(ri[i])
+		}
+		return xdm.DoubleColumn(out), true, nil
+	case algebra.BCmpGen, algebra.BCmpGenJoin, algebra.BCmpVal:
+		out := xdm.GetInts(len(li))
+		for i := range li {
+			if err := poll(i); err != nil {
+				xdm.PutInts(out)
+				return nil, true, err
+			}
+			af, bf := float64(li[i]), float64(ri[i])
+			var v bool
+			switch n.Cmp {
+			case xdm.CmpEq:
+				v = af == bf
+			case xdm.CmpNe:
+				v = af != bf
+			case xdm.CmpLt:
+				v = af < bf
+			case xdm.CmpLe:
+				v = af <= bf
+			case xdm.CmpGt:
+				v = af > bf
+			default:
+				v = af >= bf
+			}
+			if v {
+				out[i] = 1
+			} else {
+				out[i] = 0
+			}
+		}
+		return xdm.BoolColumn(out), true, nil
+	case algebra.BCmpGenErr:
+		// Integer pairs are always comparable: the error witness is
+		// constant false.
+		out := xdm.GetInts(len(li))
+		for i := range out {
+			out[i] = 0
+		}
+		return xdm.BoolColumn(out), true, nil
+	default:
+		return nil, false, nil
+	}
 }
 
 // ApplyBin evaluates one OpBinOp row — the kernel evalBinOp maps over its
@@ -163,20 +312,23 @@ func (ex *Exec) applyBinFn(n *algebra.Node, a, b xdm.Item) (xdm.Item, error) {
 
 func (ex *Exec) evalMap1(n *algebra.Node, in *Table) (*Table, error) {
 	arg := in.Col(n.LCol)
-	out := make([]xdm.Item, in.NumRows())
-	for i, it := range arg {
+	rows := arg.Len()
+	out := xdm.GetItems(rows)
+	for i := 0; i < rows; i++ {
 		if i&(probeChunk-1) == 0 {
 			if err := ex.CheckCancel(); err != nil {
+				xdm.PutItems(out)
 				return nil, err
 			}
 		}
-		v, err := ex.applyUnFn(n, it)
+		v, err := ex.applyUnFn(n, arg.Get(i))
 		if err != nil {
+			xdm.PutItems(out)
 			return nil, err
 		}
 		out[i] = v
 	}
-	return in.withColumn(n.Res, out), nil
+	return in.withColumn(n.Res, xdm.FromItemsOwned(out)), nil
 }
 
 func (ex *Exec) applyUnFn(n *algebra.Node, it xdm.Item) (xdm.Item, error) {
@@ -253,15 +405,16 @@ type posItem struct {
 
 func (ex *Exec) evalAggr(n *algebra.Node, in *Table) (*Table, error) {
 	rows := in.NumRows()
-	var part, val, pos []xdm.Item
+	var part, pos []int64
+	var val *xdm.Column
 	if n.Part != "" {
-		part = in.Col(n.Part)
+		part = iterInts(in.Col(n.Part))
 	}
 	if n.Col != "" {
 		val = in.Col(n.Col)
 	}
 	if n.AFn == algebra.AggrStrJoin {
-		pos = in.Col("pos")
+		pos = iterInts(in.Col("pos"))
 	}
 	groups := make(map[int64]*aggGroup)
 	var order []int64
@@ -282,13 +435,13 @@ func (ex *Exec) evalAggr(n *algebra.Node, in *Table) (*Table, error) {
 		}
 		k := int64(0)
 		if part != nil {
-			k = iterKey(part[r])
+			k = part[r]
 		}
 		g := get(k)
 		g.count++
 		var v xdm.Item
 		if val != nil {
-			v = val[r]
+			v = val.Get(r)
 		}
 		switch n.AFn {
 		case algebra.AggrCount:
@@ -327,13 +480,14 @@ func (ex *Exec) evalAggr(n *algebra.Node, in *Table) (*Table, error) {
 				g.first = v
 			}
 		case algebra.AggrStrJoin:
-			g.pairs = append(g.pairs, posItem{pos: iterKey(pos[r]), item: v})
+			g.pairs = append(g.pairs, posItem{pos: pos[r], item: v})
 		}
 	}
 	// Emit one row per group in first-occurrence order.
 	cols := n.Schema()
 	t := NewTable(cols)
-	var keyCol, resCol []xdm.Item
+	var keys []int64
+	var rb xdm.ColumnBuilder
 	for _, k := range order {
 		g := groups[k]
 		var res xdm.Item
@@ -372,15 +526,15 @@ func (ex *Exec) evalAggr(n *algebra.Node, in *Table) (*Table, error) {
 			res = xdm.NewString(strings.Join(parts, n.Name))
 		}
 		if n.Part != "" {
-			keyCol = append(keyCol, xdm.NewInt(k))
+			keys = append(keys, k)
 		}
-		resCol = append(resCol, res)
+		rb.Append(res)
 	}
 	if n.Part != "" {
-		t.Data[0] = keyCol
-		t.Data[1] = resCol
+		t.Data[0] = xdm.IntColumn(keys)
+		t.Data[1] = rb.Finish()
 	} else {
-		t.Data[0] = resCol
+		t.Data[0] = rb.Finish()
 	}
 	return t, nil
 }
@@ -388,20 +542,18 @@ func (ex *Exec) evalAggr(n *algebra.Node, in *Table) (*Table, error) {
 // --- Node construction ---
 
 func (ex *Exec) evalElem(n *algebra.Node, loop, content *Table) (*Table, error) {
-	iters := content.Col("iter")
-	poss := content.Col("pos")
+	iters := iterInts(content.Col("iter"))
+	poss := iterInts(content.Col("pos"))
 	items := content.Col("item")
 	byIter := make(map[int64][]posItem, loop.NumRows())
 	for r := range iters {
-		k := iterKey(iters[r])
-		byIter[k] = append(byIter[k], posItem{pos: iterKey(poss[r]), item: items[r]})
+		byIter[iters[r]] = append(byIter[iters[r]], posItem{pos: poss[r], item: items.Get(r)})
 	}
-	loopIter := loop.Col("iter")
-	outIter := make([]xdm.Item, 0, len(loopIter))
-	outItem := make([]xdm.Item, 0, len(loopIter))
+	loopIter := iterInts(loop.Col("iter"))
+	outIter := make([]int64, 0, len(loopIter))
+	outItem := make([]xdm.NodeID, 0, len(loopIter))
 	for _, li := range loopIter {
-		k := iterKey(li)
-		rowsFor := byIter[k]
+		rowsFor := byIter[li]
 		sort.SliceStable(rowsFor, func(a, b int) bool { return rowsFor[a].pos < rowsFor[b].pos })
 		b := xmltree.NewBuilder()
 		b.StartElem(n.Name)
@@ -414,43 +566,43 @@ func (ex *Exec) evalElem(n *algebra.Node, loop, content *Table) (*Table, error) 
 		}
 		id := ex.store.Add(b.Close())
 		outIter = append(outIter, li)
-		outItem = append(outItem, xdm.NewNode(xdm.NodeID{Frag: id, Pre: 0}))
+		outItem = append(outItem, xdm.NodeID{Frag: id, Pre: 0})
 	}
 	t := NewTable([]string{"iter", "item"})
-	t.Data[0] = outIter
-	t.Data[1] = outItem
+	t.Data[0] = xdm.IntColumn(outIter)
+	t.Data[1] = xdm.NodeColumn(outItem)
 	return t, nil
 }
 
 func (ex *Exec) evalAttr(n *algebra.Node, in *Table) (*Table, error) {
-	iters := in.Col("iter")
 	vals := in.Col(n.Col)
-	outItem := make([]xdm.Item, len(vals))
-	for i, v := range vals {
-		frag := xmltree.NewAttrFragment(n.Name, ex.store.Atomize(v).StringValue())
+	rows := vals.Len()
+	outItem := xdm.GetNodes(rows)
+	for i := 0; i < rows; i++ {
+		frag := xmltree.NewAttrFragment(n.Name, ex.store.Atomize(vals.Get(i)).StringValue())
 		id := ex.store.Add(frag)
-		outItem[i] = xdm.NewNode(xdm.NodeID{Frag: id, Pre: 0})
+		outItem[i] = xdm.NodeID{Frag: id, Pre: 0}
 	}
 	t := NewTable([]string{"iter", "item"})
-	t.Data[0] = iters
-	t.Data[1] = outItem
+	t.Data[0] = in.Col("iter") // aliases the input iter column
+	t.Data[1] = xdm.NodeColumn(outItem)
 	return t, nil
 }
 
 const maxRangeSize = 10_000_000
 
 func (ex *Exec) evalRange(n *algebra.Node, in *Table) (*Table, error) {
-	iters := in.Col("iter")
+	iters := iterInts(in.Col("iter"))
 	los := in.Col(n.LCol)
 	his := in.Col(n.RCol)
-	var outIter, outPos, outItem []xdm.Item
+	var outIter, outPos, outItem []int64
 	total := 0
 	for r := range iters {
-		lo, err := los[r].AsInteger()
+		lo, err := los.Get(r).AsInteger()
 		if err != nil {
 			return nil, ex.errf(n, "%v", err)
 		}
-		hi, err := his[r].AsInteger()
+		hi, err := his.Get(r).AsInteger()
 		if err != nil {
 			return nil, ex.errf(n, "%v", err)
 		}
@@ -462,22 +614,22 @@ func (ex *Exec) evalRange(n *algebra.Node, in *Table) (*Table, error) {
 		}
 		for i := lo; i <= hi; i++ {
 			outIter = append(outIter, iters[r])
-			outPos = append(outPos, xdm.NewInt(i-lo+1))
-			outItem = append(outItem, xdm.NewInt(i))
+			outPos = append(outPos, i-lo+1)
+			outItem = append(outItem, i)
 		}
 	}
 	t := NewTable([]string{"iter", "pos", "item"})
-	t.Data[0] = outIter
-	t.Data[1] = outPos
-	t.Data[2] = outItem
+	t.Data[0] = xdm.IntColumn(outIter)
+	t.Data[1] = xdm.IntColumn(outPos)
+	t.Data[2] = xdm.IntColumn(outItem)
 	return t, nil
 }
 
 func (ex *Exec) evalCheckCard(n *algebra.Node, ins []*Table) (*Table, error) {
 	in := ins[0]
 	counts := make(map[int64]int, in.NumRows())
-	for _, it := range in.Col(n.Col) {
-		counts[iterKey(it)]++
+	for _, k := range iterInts(in.Col(n.Col)) {
+		counts[k]++
 	}
 	check := func(c int) error {
 		if c < n.Min {
@@ -494,8 +646,8 @@ func (ex *Exec) evalCheckCard(n *algebra.Node, ins []*Table) (*Table, error) {
 		return nil
 	}
 	if len(ins) == 2 {
-		for _, it := range ins[1].Col(n.Col) {
-			if err := check(counts[iterKey(it)]); err != nil {
+		for _, k := range iterInts(ins[1].Col(n.Col)) {
+			if err := check(counts[k]); err != nil {
 				return nil, err
 			}
 		}

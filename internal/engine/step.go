@@ -16,7 +16,7 @@ import (
 // in ascending (global document) order, so concatenating per-group scan
 // results reproduces the serial operator output exactly.
 type StepGroup struct {
-	Iter    xdm.Item
+	Iter    int64
 	FragIDs []uint32
 	ByFrag  map[uint32][]int32
 }
@@ -25,23 +25,43 @@ type StepGroup struct {
 // within each iteration), sorting and deduplicating each context set. It
 // is the preparation phase of evalStep, shared with the parallel executor.
 func CollectStepGroups(in *Table) ([]StepGroup, error) {
-	iters := in.Col("iter")
-	items := in.Col("item")
+	itc := in.Col("iter")
+	itemCol := in.Col("item")
+	rows := in.NumRows()
+	// A flat node column needs no per-row kind checks; the boxed fallback
+	// reports the first non-node cell like the old per-row loop did.
+	nodes, flat := itemCol.Nodes()
+	var boxed []xdm.Item
+	if !flat {
+		if its, ok := itemCol.RawItems(); ok {
+			boxed = its
+			for r := range boxed {
+				if !boxed[r].IsNode() {
+					return nil, fmt.Errorf("path step over atomic value %s", boxed[r].Kind)
+				}
+			}
+		} else if rows > 0 {
+			return nil, fmt.Errorf("path step over atomic value %s", itemCol.Get(0).Kind)
+		}
+	}
+	iters := iterInts(itc)
 	idx := make(map[int64]int)
 	var groups []StepGroup
-	for r := range iters {
-		if !items[r].IsNode() {
-			return nil, fmt.Errorf("path step over atomic value %s", items[r].Kind)
-		}
-		k := iterKey(iters[r])
+	for r := 0; r < rows; r++ {
+		k := iters[r]
 		gi, ok := idx[k]
 		if !ok {
 			gi = len(groups)
 			idx[k] = gi
-			groups = append(groups, StepGroup{Iter: iters[r], ByFrag: make(map[uint32][]int32)})
+			groups = append(groups, StepGroup{Iter: k, ByFrag: make(map[uint32][]int32)})
 		}
 		g := &groups[gi]
-		id := items[r].N
+		var id xdm.NodeID
+		if flat {
+			id = nodes[r]
+		} else {
+			id = boxed[r].N
+		}
 		if _, seen := g.ByFrag[id.Frag]; !seen {
 			g.FragIDs = append(g.FragIDs, id.Frag)
 		}
@@ -64,13 +84,15 @@ func CollectStepGroups(in *Table) ([]StepGroup, error) {
 // skipped), then each surviving context's region is scanned once. The
 // output is duplicate-free per iteration and in document order — but the
 // plan never relies on that: sequence order is (re-)established by ρ, or
-// deliberately left arbitrary by #.
+// deliberately left arbitrary by #. Both output columns are flat (iter
+// ids and node refs), so the inner loops never box an Item.
 func (ex *Exec) evalStep(n *algebra.Node, in *Table) (*Table, error) {
 	groups, err := CollectStepGroups(in)
 	if err != nil {
 		return nil, ex.errf(n, "%v", err)
 	}
-	var outIter, outItem []xdm.Item
+	var outIter []int64
+	var outItem []xdm.NodeID
 	for gi, g := range groups {
 		if gi&(probeChunk-1) == 0 {
 			if err := ex.CheckCancel(); err != nil {
@@ -82,13 +104,13 @@ func (ex *Exec) evalStep(n *algebra.Node, in *Table) (*Table, error) {
 			res := AxisScan(f, g.ByFrag[fid], n.Axis, n.Test)
 			for _, pre := range res {
 				outIter = append(outIter, g.Iter)
-				outItem = append(outItem, xdm.NewNode(xdm.NodeID{Frag: fid, Pre: pre}))
+				outItem = append(outItem, xdm.NodeID{Frag: fid, Pre: pre})
 			}
 		}
 	}
 	t := NewTable([]string{"iter", "item"})
-	t.Data[0] = outIter
-	t.Data[1] = outItem
+	t.Data[0] = xdm.IntColumn(outIter)
+	t.Data[1] = xdm.NodeColumn(outItem)
 	return t, nil
 }
 

@@ -11,6 +11,13 @@
 // common subexpression reuse in MonetDB BAT programs. Every operator
 // evaluation is timed and attributed to the operator's origin label,
 // which is how the Table 2 profile is reproduced.
+//
+// Columns are xdm.Column values: homogeneous columns (the common case —
+// iter/pos/numbering columns are always integers, step outputs are always
+// nodes) are flat typed slices, mixed columns fall back to boxed []Item
+// cells. Tables only ever share column storage through the *Column
+// pointer, never by rewrapping a buffer, which is what lets the engine
+// recycle dead intermediates' buffers (see Exec.EnableRecycling).
 package engine
 
 import (
@@ -19,17 +26,18 @@ import (
 	"repro/internal/xdm"
 )
 
-// Table is a column-major relation: Data[c][r] is row r of column c.
-// Tables are immutable after construction; projections alias columns.
+// Table is a column-major relation: Data[c] holds column c, row-aligned
+// across columns. Tables are immutable after construction; projections
+// alias *Column pointers.
 type Table struct {
 	Cols []string
-	Data [][]xdm.Item
+	Data []*xdm.Column
 	idx  map[string]int
 }
 
 // NewTable builds a table over the given column names with empty data.
 func NewTable(cols []string) *Table {
-	t := &Table{Cols: cols, Data: make([][]xdm.Item, len(cols))}
+	t := &Table{Cols: cols, Data: make([]*xdm.Column, len(cols))}
 	t.buildIndex()
 	return t
 }
@@ -43,15 +51,15 @@ func (t *Table) buildIndex() {
 
 // NumRows returns the row count.
 func (t *Table) NumRows() int {
-	if len(t.Data) == 0 {
+	if len(t.Data) == 0 || t.Data[0] == nil {
 		return 0
 	}
-	return len(t.Data[0])
+	return t.Data[0].Len()
 }
 
-// Col returns the column slice by name; it panics on unknown columns
-// (schema errors are compiler bugs, caught by the algebra layer).
-func (t *Table) Col(name string) []xdm.Item {
+// Col returns the column by name; it panics on unknown columns (schema
+// errors are compiler bugs, caught by the algebra layer).
+func (t *Table) Col(name string) *xdm.Column {
 	i, ok := t.idx[name]
 	if !ok {
 		panic(fmt.Sprintf("engine: unknown column %q in %v", name, t.Cols))
@@ -66,38 +74,34 @@ func (t *Table) HasCol(name string) bool {
 }
 
 // permute returns a new table with rows reordered by perm.
-func (t *Table) permute(perm []int) *Table {
+func (t *Table) permute(perm []int32) *Table {
 	out := NewTable(t.Cols)
 	for c := range t.Data {
-		col := make([]xdm.Item, len(perm))
-		for i, p := range perm {
-			col[i] = t.Data[c][p]
-		}
-		out.Data[c] = col
+		out.Data[c] = t.Data[c].Gather(perm)
 	}
 	return out
 }
 
 // filter returns a new table with only the rows at the given indices.
-func (t *Table) filter(keep []int) *Table { return t.permute(keep) }
+func (t *Table) filter(keep []int32) *Table { return t.permute(keep) }
 
 // withColumn returns a table extended by one column (aliasing existing
-// column data).
-func (t *Table) withColumn(name string, data []xdm.Item) *Table {
+// columns).
+func (t *Table) withColumn(name string, col *xdm.Column) *Table {
 	out := &Table{
 		Cols: append(append([]string{}, t.Cols...), name),
-		Data: append(append([][]xdm.Item{}, t.Data...), data),
+		Data: append(append([]*xdm.Column{}, t.Data...), col),
 	}
 	out.buildIndex()
 	return out
 }
 
 // WithColumn returns a table extended by one column (aliasing existing
-// column data) — the exported variant used by the parallel executor.
-func (t *Table) WithColumn(name string, data []xdm.Item) *Table { return t.withColumn(name, data) }
+// columns) — the exported variant used by the parallel executor.
+func (t *Table) WithColumn(name string, col *xdm.Column) *Table { return t.withColumn(name, col) }
 
 // Filter returns a new table with only the rows at the given indices.
-func (t *Table) Filter(keep []int) *Table { return t.filter(keep) }
+func (t *Table) Filter(keep []int32) *Table { return t.filter(keep) }
 
 // IterKey converts an iteration id item to its int64 representation;
 // iteration, position and numbering columns are always integers.
@@ -112,11 +116,36 @@ func iterKey(it xdm.Item) int64 {
 	return it.I
 }
 
-// rowKey builds a composite grouping key over several columns for one row.
-func rowKey(cols [][]xdm.Item, r int) string {
+// iterInts returns a column's cells as raw int64 iteration/position keys.
+// For a flat integer column this is the backing slice itself (read-only
+// for the caller); the boxed fallback validates and materializes. A
+// non-integer column panics exactly like iterKey on its first cell, and —
+// also like the old per-item path — an empty column never panics.
+func iterInts(c *xdm.Column) []int64 {
+	if v, ok := c.Ints(); ok {
+		return v
+	}
+	if items, ok := c.RawItems(); ok {
+		out := make([]int64, len(items))
+		for i, it := range items {
+			out[i] = iterKey(it)
+		}
+		return out
+	}
+	if c.Len() == 0 {
+		return nil
+	}
+	iterKey(c.Get(0)) // panics with the standard non-integer key message
+	panic("unreachable")
+}
+
+// rowKey builds a composite grouping key over several columns for one row
+// (the boxed fallback for distinct/semijoin when typed word keys do not
+// apply).
+func rowKey(cols []*xdm.Column, r int) string {
 	key := ""
 	for _, c := range cols {
-		key += xdm.DistinctKey(c[r]) + "\x00"
+		key += xdm.DistinctKey(c.Get(r)) + "\x00"
 	}
 	return key
 }

@@ -97,6 +97,7 @@ func Run(root *algebra.Node, base *xmltree.Store, docs map[string]uint32, opts O
 		return engine.Run(root, base, docs, eopts)
 	}
 	ex := engine.NewExec(base, docs, eopts)
+	ex.EnableRecycling(root)
 	e := &executor{ex: ex, workers: w, minRows: opts.MinMorselRows}
 	if e.minRows <= 0 {
 		e.minRows = defaultMinMorselRows
@@ -177,6 +178,7 @@ func (e *executor) eval(n *algebra.Node) (*engine.Table, error) {
 		}
 	}
 	e.ex.Memoize(n, t)
+	e.ex.ReleaseInputs(n)
 	return t, nil
 }
 
@@ -285,7 +287,8 @@ func (e *executor) ranges(n, min int) [][2]int {
 // scan region into preorder subranges (within-group parallelism — a
 // //-path from a single document root is one giant region); the other
 // axes chunk the per-fragment context sets. Morsels merge in serial scan
-// order, so the output is identical to evalStep's.
+// order — into flat iter/node columns, no boxing — so the output is
+// identical to evalStep's.
 func (e *executor) parStep(n *algebra.Node, in *engine.Table) (*opResult, error) {
 	groups, err := engine.CollectStepGroups(in)
 	if err != nil {
@@ -387,7 +390,8 @@ func (e *executor) parStep(n *algebra.Node, in *engine.Table) (*opResult, error)
 		return nil, err
 	}
 
-	var outIter, outItem []xdm.Item
+	var outIter []int64
+	var outItem []xdm.NodeID
 	for _, s := range slots {
 		var pres []int32
 		for _, u := range s.outs {
@@ -406,12 +410,12 @@ func (e *executor) parStep(n *algebra.Node, in *engine.Table) (*opResult, error)
 		}
 		for _, pre := range pres {
 			outIter = append(outIter, s.g.Iter)
-			outItem = append(outItem, xdm.NewNode(xdm.NodeID{Frag: s.fid, Pre: pre}))
+			outItem = append(outItem, xdm.NodeID{Frag: s.fid, Pre: pre})
 		}
 	}
 	t := engine.NewTable([]string{"iter", "item"})
-	t.Data[0] = outIter
-	t.Data[1] = outItem
+	t.Data[0] = xdm.IntColumn(outIter)
+	t.Data[1] = xdm.NodeColumn(outItem)
 	return &opResult{t: t, busy: busy, charged: chargeInWorker}, nil
 }
 
@@ -429,12 +433,12 @@ func sortedAsc(pres []int32) bool {
 // per-chunk pair lists in chunk order reproduces the serial probe order.
 func (e *executor) parJoin(n *algebra.Node, l, r *engine.Table) (*opResult, error) {
 	lk, rk := l.Col(n.LCol), r.Col(n.RCol)
-	cs := e.ranges(len(lk), e.minRows)
+	cs := e.ranges(lk.Len(), e.minRows)
 	if cs == nil {
 		return nil, nil
 	}
 	ix := engine.BuildJoinIndex(rk)
-	type part struct{ lperm, rperm []int }
+	type part struct{ lperm, rperm []int32 }
 	parts := make([]part, len(cs))
 	tasks := make([]func() error, len(cs))
 	for ci, c := range cs {
@@ -456,13 +460,15 @@ func (e *executor) parJoin(n *algebra.Node, l, r *engine.Table) (*opResult, erro
 	if err := e.ex.CheckCells(total, len(l.Cols)+len(r.Cols)); err != nil {
 		return nil, err
 	}
-	lperm := make([]int, 0, total)
-	rperm := make([]int, 0, total)
+	lperm := xdm.GetInt32s(total)[:0]
+	rperm := xdm.GetInt32s(total)[:0]
 	for _, p := range parts {
 		lperm = append(lperm, p.lperm...)
 		rperm = append(rperm, p.rperm...)
 	}
 	t, err := e.ex.MaterializeJoin(n, l, r, lperm, rperm)
+	xdm.PutInt32s(lperm)
+	xdm.PutInt32s(rperm)
 	if err != nil {
 		return nil, err
 	}
@@ -470,26 +476,36 @@ func (e *executor) parJoin(n *algebra.Node, l, r *engine.Table) (*opResult, erro
 }
 
 // parSelect filters row chunks concurrently; chunk-ordered concatenation
-// of the absolute row indices is the serial keep list.
+// of the absolute row indices is the serial keep list. A flat boolean
+// condition column filters without touching an Item.
 func (e *executor) parSelect(n *algebra.Node, in *engine.Table) (*opResult, error) {
 	cond := in.Col(n.Col)
-	cs := e.ranges(len(cond), e.minRows)
+	cs := e.ranges(cond.Len(), e.minRows)
 	if cs == nil {
 		return nil, nil
 	}
-	parts := make([][]int, len(cs))
+	bools, flat := cond.Bools()
+	parts := make([][]int32, len(cs))
 	tasks := make([]func() error, len(cs))
 	for ci, c := range cs {
 		ci, lo, hi := ci, c[0], c[1]
 		tasks[ci] = func() error {
-			var keep []int
-			for r := lo; r < hi; r++ {
-				it := cond[r]
-				if it.Kind != xdm.KBoolean {
-					return e.ex.Errf(n, "selection over non-boolean %s", it.Kind)
+			var keep []int32
+			if flat {
+				for r := lo; r < hi; r++ {
+					if bools[r] != 0 {
+						keep = append(keep, int32(r))
+					}
 				}
-				if it.I != 0 {
-					keep = append(keep, r)
+			} else {
+				for r := lo; r < hi; r++ {
+					it := cond.Get(r)
+					if it.Kind != xdm.KBoolean {
+						return e.ex.Errf(n, "selection over non-boolean %s", it.Kind)
+					}
+					if it.I != 0 {
+						keep = append(keep, int32(r))
+					}
 				}
 			}
 			parts[ci] = keep
@@ -500,7 +516,7 @@ func (e *executor) parSelect(n *algebra.Node, in *engine.Table) (*opResult, erro
 	if err != nil {
 		return nil, err
 	}
-	var keep []int
+	var keep []int32
 	for _, p := range parts {
 		keep = append(keep, p...)
 	}
@@ -508,7 +524,7 @@ func (e *executor) parSelect(n *algebra.Node, in *engine.Table) (*opResult, erro
 }
 
 // parBinOp maps the binary (or ternary) item kernel over row chunks into
-// a preallocated output column.
+// a shared preallocated output buffer, adopted by the result column.
 func (e *executor) parBinOp(n *algebra.Node, in *engine.Table) (*opResult, error) {
 	rows := in.NumRows()
 	cs := e.ranges(rows, e.minRows)
@@ -516,11 +532,11 @@ func (e *executor) parBinOp(n *algebra.Node, in *engine.Table) (*opResult, error
 		return nil, nil
 	}
 	l, r := in.Col(n.LCol), in.Col(n.RCol)
-	var tc []xdm.Item
+	var tc *xdm.Column
 	if n.TCol != "" {
 		tc = in.Col(n.TCol)
 	}
-	out := make([]xdm.Item, rows)
+	out := xdm.GetItems(rows)
 	tasks := make([]func() error, len(cs))
 	for ci, c := range cs {
 		lo, hi := c[0], c[1]
@@ -529,9 +545,9 @@ func (e *executor) parBinOp(n *algebra.Node, in *engine.Table) (*opResult, error
 				var v xdm.Item
 				var err error
 				if tc != nil {
-					v, err = e.ex.ApplyTern(n, l[i], r[i], tc[i])
+					v, err = e.ex.ApplyTern(n, l.Get(i), r.Get(i), tc.Get(i))
 				} else {
-					v, err = e.ex.ApplyBin(n, l[i], r[i])
+					v, err = e.ex.ApplyBin(n, l.Get(i), r.Get(i))
 				}
 				if err != nil {
 					return e.ex.Errf(n, "%v", err)
@@ -543,25 +559,27 @@ func (e *executor) parBinOp(n *algebra.Node, in *engine.Table) (*opResult, error
 	}
 	busy, err := e.runTasks(tasks)
 	if err != nil {
+		xdm.PutItems(out)
 		return nil, err
 	}
-	return &opResult{t: in.WithColumn(n.Res, out), busy: busy}, nil
+	return &opResult{t: in.WithColumn(n.Res, xdm.FromItemsOwned(out)), busy: busy}, nil
 }
 
 // parMap1 maps the unary item kernel over row chunks.
 func (e *executor) parMap1(n *algebra.Node, in *engine.Table) (*opResult, error) {
 	arg := in.Col(n.LCol)
-	cs := e.ranges(len(arg), e.minRows)
+	rows := arg.Len()
+	cs := e.ranges(rows, e.minRows)
 	if cs == nil {
 		return nil, nil
 	}
-	out := make([]xdm.Item, len(arg))
+	out := xdm.GetItems(rows)
 	tasks := make([]func() error, len(cs))
 	for ci, c := range cs {
 		lo, hi := c[0], c[1]
 		tasks[ci] = func() error {
 			for i := lo; i < hi; i++ {
-				v, err := e.ex.ApplyUn(n, arg[i])
+				v, err := e.ex.ApplyUn(n, arg.Get(i))
 				if err != nil {
 					return err
 				}
@@ -572,7 +590,8 @@ func (e *executor) parMap1(n *algebra.Node, in *engine.Table) (*opResult, error)
 	}
 	busy, err := e.runTasks(tasks)
 	if err != nil {
+		xdm.PutItems(out)
 		return nil, err
 	}
-	return &opResult{t: in.WithColumn(n.Res, out), busy: busy}, nil
+	return &opResult{t: in.WithColumn(n.Res, xdm.FromItemsOwned(out)), busy: busy}, nil
 }
