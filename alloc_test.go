@@ -33,3 +33,41 @@ func TestAllocXMarkQ1EndToEnd(t *testing.T) {
 		t.Errorf("XMark Q1 end-to-end: %.0f allocs/run, want <= 4000 (typed columns: ~3.0k, boxed: ~4.6k)", avg)
 	}
 }
+
+// TestAllocCollectDisabledZeroOverhead pins the observability contract:
+// with Config.Collect off (the default), the per-operator statistics
+// machinery must add zero allocations to the execution hot path — its
+// only residue is one nil check per operator. The guard compares the
+// same query with collection off and on: the disabled run must hit the
+// tight historical count (Q1 typed: ~3.0k, measured 3046), and the
+// enabled run must sit strictly above it (proof the machinery was live
+// in the build, so the disabled figure is not vacuous).
+func TestAllocCollectDisabledZeroOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation bound needs the factor-0.01 instance")
+	}
+	env := benv()
+	measure := func(collect bool) float64 {
+		cfg := unorderedCfg()
+		cfg.Collect = collect
+		p, err := core.Prepare(xmarkq.Get(1).Text, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func() {
+			if _, err := p.Run(env.Store, env.Docs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm-up: buffer pools, GC heap target
+		return testing.AllocsPerRun(5, run)
+	}
+	off := measure(false)
+	on := measure(true)
+	if off > 3200 {
+		t.Errorf("Collect=false: %.0f allocs/run, want <= 3200 (historical ~3046; collection must stay off the hot path)", off)
+	}
+	if on <= off {
+		t.Errorf("Collect=true (%.0f allocs/run) not above Collect=false (%.0f): collection machinery appears dead", on, off)
+	}
+}

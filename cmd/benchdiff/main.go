@@ -1,0 +1,66 @@
+// Command benchdiff compares two benchmark-trajectory JSON files
+// (xmarkbench -json) and fails when the current run regressed beyond the
+// thresholds — the CI bench-gate.
+//
+// Usage:
+//
+//	benchdiff [flags] BASELINE.json CURRENT.json
+//
+// Exit status: 0 when every row is within thresholds, 1 on regression,
+// 2 on usage or input errors (unreadable files, mismatched run shapes,
+// coverage loss).
+//
+// Re-baselining: when a PR intentionally changes performance (and the
+// gate therefore fails), regenerate the committed baseline on the CI
+// runner class with
+//
+//	go run ./cmd/xmarkbench -json BENCH_PR<n>.json -queries 1,8,9,11 -factor 0.01 -workers 1 -repeats 5
+//
+// commit the new file alongside the change, and point the bench-gate job
+// at it. Keep earlier BENCH_PR<n>.json files: the sequence is the
+// repository's performance trajectory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		nsPct     = flag.Float64("ns-pct", bench.DefaultNsPct, "max allowed ns/op growth, percent")
+		allocsPct = flag.Float64("allocs-pct", bench.DefaultAllocsPct, "max allowed allocs/op growth, percent")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] BASELINE.json CURRENT.json")
+		os.Exit(2)
+	}
+	base, err := bench.LoadTrajectory(flag.Arg(0))
+	if err != nil {
+		fatal("baseline: %v", err)
+	}
+	cur, err := bench.LoadTrajectory(flag.Arg(1))
+	if err != nil {
+		fatal("current: %v", err)
+	}
+	entries, err := bench.Diff(base, cur, bench.DiffThresholds{NsPct: *nsPct, AllocsPct: *allocsPct})
+	if err != nil {
+		fatal("%v", err)
+	}
+	bench.WriteDiff(os.Stdout, entries)
+	if bench.Regressed(entries) {
+		fmt.Fprintf(os.Stderr, "benchdiff: performance regression against %s (thresholds: ns/op +%.0f%%, allocs/op +%.0f%%)\n",
+			flag.Arg(0), *nsPct, *allocsPct)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: ok (thresholds: ns/op +%.0f%%, allocs/op +%.0f%%)\n", *nsPct, *allocsPct)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(2)
+}

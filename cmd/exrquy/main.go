@@ -42,6 +42,9 @@ func main() {
 		mode       = flag.String("ordering", "prolog", "ordering mode: prolog, ordered, unordered")
 		baseline   = flag.Bool("baseline", false, "disable order indifference (the order-ignorant baseline)")
 		explain    = flag.Bool("explain", false, "print the optimized plan instead of executing")
+		analyze    = flag.Bool("analyze", false, "EXPLAIN ANALYZE: execute, then print the plan annotated with measured per-operator rows and times")
+		traceFile  = flag.String("trace", "", "write a chrome://tracing JSON trace of the run to this file")
+		metrics    = flag.Bool("metrics", false, "print the process-wide engine metrics after execution")
 		profile    = flag.Bool("profile", false, "print the per-origin execution profile")
 		stats      = flag.Bool("stats", false, "print plan statistics (operators, sorts, stamps)")
 		reference  = flag.Bool("reference", false, "evaluate with the reference interpreter instead of the compiled pipeline")
@@ -83,6 +86,17 @@ func main() {
 	}
 	if *parallelN != 0 {
 		opts = append(opts, exrquy.WithParallelism(*parallelN))
+	}
+	var trace *exrquy.JSONTrace
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(nil, "trace: %v", err)
+		}
+		defer f.Close()
+		trace = exrquy.NewJSONTrace(f)
+		defer trace.Close()
+		opts = append(opts, exrquy.WithTracer(trace))
 	}
 	eng := exrquy.New(opts...)
 
@@ -139,7 +153,13 @@ func main() {
 			fatal(nil, "cpuprofile: %v", err)
 		}
 	}
-	res, err := q.ExecuteContext(ctx)
+	var res *exrquy.Result
+	var analyzed string
+	if *analyze {
+		res, analyzed, err = q.AnalyzeContext(ctx)
+	} else {
+		res, err = q.ExecuteContext(ctx)
+	}
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -157,12 +177,24 @@ func main() {
 	if err != nil {
 		fatal(err, "%v", err)
 	}
-	printResult(res)
+	if *analyze {
+		// EXPLAIN ANALYZE prints the measured plan, not the result — the
+		// query did run (the annotations are real), like PostgreSQL's.
+		fmt.Print(analyzed)
+	} else {
+		printResult(res)
+	}
 	if *profile {
 		fmt.Fprintf(os.Stderr, "\nexecution: %v\n", res.Elapsed())
 		fmt.Fprintf(os.Stderr, "%-34s %12s %8s %12s\n", "origin", "time", "ops", "rows")
 		for _, e := range res.Profile() {
 			fmt.Fprintf(os.Stderr, "%-34s %12v %8d %12d\n", e.Origin, e.Duration.Round(time.Microsecond), e.Ops, e.Rows)
+		}
+	}
+	if *metrics {
+		fmt.Fprintln(os.Stderr, "\nengine metrics:")
+		if werr := exrquy.WriteMetrics(os.Stderr); werr != nil {
+			fatal(nil, "metrics: %v", werr)
 		}
 	}
 }

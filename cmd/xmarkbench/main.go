@@ -38,24 +38,25 @@ func main() {
 		factorsS  = flag.String("factors", "0.002,0.01,0.05,0.2", "comma-separated factors for -figure12")
 		cutoff    = flag.Duration("cutoff", 30*time.Second, "per-run cutoff (paper: 30s)")
 		repeats   = flag.Int("repeats", 3, "measurements per point (median)")
+		stats     = flag.Bool("stats", false, "attach per-operator statistics (obs.OpStats) to every -json trajectory row")
 	)
 	flag.Parse()
 
-	any := false
+	ran := false
 	if *table2 {
-		any = true
+		ran = true
 		if _, err := bench.Table2(*factor, os.Stdout); err != nil {
 			fatal("table2: %v", err)
 		}
 	}
 	if *planSizes {
-		any = true
+		ran = true
 		if _, err := bench.PlanSizes(os.Stdout); err != nil {
 			fatal("plansizes: %v", err)
 		}
 	}
 	if *figure12 {
-		any = true
+		ran = true
 		var factors []float64
 		for _, s := range strings.Split(*factorsS, ",") {
 			f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
@@ -67,19 +68,19 @@ func main() {
 		bench.Figure12(factors, *cutoff, *repeats, os.Stdout)
 	}
 	if *ablation {
-		any = true
+		ran = true
 		if _, err := bench.Ablation(*factor, *repeats, os.Stdout); err != nil {
 			fatal("ablation: %v", err)
 		}
 	}
 	if *parallel {
-		any = true
+		ran = true
 		if _, err := bench.Parallel(*factor, *workers, *repeats, os.Stdout); err != nil {
 			fatal("parallel: %v", err)
 		}
 	}
 	if *jsonPath != "" {
-		any = true
+		ran = true
 		var ids []int
 		for _, s := range strings.Split(*queriesS, ",") {
 			id, err := strconv.Atoi(strings.TrimSpace(s))
@@ -88,11 +89,18 @@ func main() {
 			}
 			ids = append(ids, id)
 		}
-		if err := bench.WriteTrajectoryJSON(*jsonPath, *factor, ids, *workers, *repeats, os.Stdout); err != nil {
+		opts := bench.TrajectoryOptions{
+			Factor:  *factor,
+			Queries: ids,
+			Workers: *workers,
+			Repeats: *repeats,
+			Stats:   *stats,
+		}
+		if err := bench.WriteTrajectoryJSON(*jsonPath, opts, os.Stdout); err != nil {
 			fatal("json: %v", err)
 		}
 	}
-	if !any {
+	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}

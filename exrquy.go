@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/qerr"
 	"repro/internal/xdm"
@@ -119,6 +120,8 @@ type options struct {
 	maxCells     int64
 	intOrders    bool
 	parallelism  int
+	collect      bool
+	tracer       Tracer
 }
 
 // Option configures an Engine.
@@ -178,6 +181,54 @@ func WithParallelism(n int) Option {
 		}
 		o.parallelism = n
 	}
+}
+
+// Observability re-exports. The collection machinery lives in
+// internal/obs; these aliases make the structured statistics usable from
+// the public API without importing internal packages.
+type (
+	// Tracer receives a span per pipeline phase (category "phase"), per
+	// executed operator ("op"), and — under WithParallelism — per morsel
+	// ("morsel", on track worker+1). StartSpan returns the span closer.
+	Tracer = obs.Tracer
+	// RunStats is one execution's per-operator statistics (Result.Stats).
+	RunStats = obs.RunStats
+	// OpStats is one plan operator's measured statistics.
+	OpStats = obs.OpStats
+	// WorkerStats is one worker's share of a parallel operator's morsels.
+	WorkerStats = obs.WorkerStats
+	// JSONTrace is a Tracer writing Trace Event Format JSON, loadable in
+	// chrome://tracing or Perfetto.
+	JSONTrace = obs.JSONTrace
+	// Metric is one engine-wide metric in a snapshot (see Metrics).
+	Metric = obs.Metric
+)
+
+// NewJSONTrace returns a Tracer that streams Trace Event Format JSON to
+// w; call Close after the traced work to terminate the JSON array.
+func NewJSONTrace(w io.Writer) *JSONTrace { return obs.NewJSONTrace(w) }
+
+// Metrics snapshots the process-wide engine metrics (queries executed,
+// cells materialized, memo hits, morsels, query latency histogram),
+// sorted by name. These counters are always on — they cost single atomic
+// adds — and are cumulative across all Engines in the process.
+func Metrics() []Metric { return obs.Default.Snapshot() }
+
+// WriteMetrics writes the Metrics snapshot as "name value" text lines.
+func WriteMetrics(w io.Writer) error { return obs.Default.Write(w) }
+
+// WithCollect attaches per-operator statistics collection to every
+// execution: Result.Stats reports rows, wall time, memo hits and morsel
+// distribution per plan operator. Off by default; when off the only cost
+// is one nil check per operator (zero allocations on the hot path).
+func WithCollect(on bool) Option {
+	return func(o *options) { o.collect = on }
+}
+
+// WithTracer streams execution spans to t; see Tracer for the span
+// categories. Nil (the default) disables tracing.
+func WithTracer(t Tracer) Option {
+	return func(o *options) { o.tracer = t }
 }
 
 // Engine holds loaded documents and configuration; it is safe for
@@ -271,6 +322,8 @@ func (e *Engine) coreConfig() core.Config {
 		MaxCells:          e.opts.maxCells,
 		InterestingOrders: e.opts.intOrders,
 		Parallelism:       e.opts.parallelism,
+		Collect:           e.opts.collect,
+		Tracer:            e.opts.tracer,
 		Opt: opt.Options{
 			ColumnAnalysis:   e.opts.optim.ColumnAnalysis,
 			RownumRelax:      e.opts.optim.RownumRelax,
@@ -431,11 +484,29 @@ func (q *Query) ExecuteContext(ctx context.Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{items: res.Items, store: res.Store, profile: res.Profile, elapsed: res.Elapsed}, nil
+	return &Result{items: res.Items, store: res.Store, profile: res.Profile, elapsed: res.Elapsed, stats: res.Stats}, nil
 }
 
 // Explain renders the optimized plan DAG as indented text.
 func (q *Query) Explain() string { return q.prepared.Explain() }
+
+// Analyze is EXPLAIN ANALYZE: it executes the query with statistics
+// collection forced on (regardless of WithCollect) and returns the
+// result alongside the plan rendering annotated with measured per-
+// operator rows, wall time, memo hits and morsel distribution.
+func (q *Query) Analyze() (*Result, string, error) {
+	return q.AnalyzeContext(context.Background())
+}
+
+// AnalyzeContext is Analyze under a context (see QueryContext for the
+// cancellation contract).
+func (q *Query) AnalyzeContext(ctx context.Context) (*Result, string, error) {
+	res, text, err := q.prepared.Analyze(ctx, q.eng.store, q.eng.docs)
+	if err != nil {
+		return nil, "", err
+	}
+	return &Result{items: res.Items, store: res.Store, profile: res.Profile, elapsed: res.Elapsed, stats: res.Stats}, text, nil
+}
 
 // Text returns the query source.
 func (q *Query) Text() string { return q.text }
@@ -463,6 +534,7 @@ type Result struct {
 	store   *xmltree.Store
 	profile []ProfileEntry
 	elapsed time.Duration
+	stats   *RunStats
 }
 
 // Len returns the number of items in the result sequence.
@@ -494,3 +566,8 @@ func (r *Result) Profile() []ProfileEntry { return r.profile }
 // Elapsed returns the wall-clock execution time (zero for Reference
 // results).
 func (r *Result) Elapsed() time.Duration { return r.elapsed }
+
+// Stats returns the per-operator statistics of this execution, or nil
+// unless the engine was built WithCollect (or the result came from
+// Analyze). The RunStats marshals to JSON for external tooling.
+func (r *Result) Stats() *RunStats { return r.stats }

@@ -104,8 +104,15 @@ func label(n *Node) string {
 func Label(n *Node) string { return label(n) }
 
 // Print renders the DAG rooted at root as an indented tree. Shared nodes
-// are printed once; later references appear as "^id".
-func Print(root *Node) string {
+// are printed once; later references appear as "^id". Node ids are the
+// stable join key between a rendered plan and any external per-node data:
+// EXPLAIN ANALYZE matches measured obs.OpStats to these "#id" prefixes.
+func Print(root *Node) string { return PrintAnnotated(root, nil) }
+
+// PrintAnnotated renders like Print, appending annotate(n) (when non-nil)
+// to every node's first-occurrence line. Back-references ("^id") are not
+// annotated — the stats belong to the node, which is printed once.
+func PrintAnnotated(root *Node, annotate func(n *Node) string) string {
 	var sb strings.Builder
 	printed := make(map[*Node]bool)
 	var rec func(n *Node, depth int)
@@ -124,7 +131,11 @@ func Print(root *Node) string {
 		if n.Par {
 			par = " [par]"
 		}
-		fmt.Fprintf(&sb, "%s#%d %s%s%s\n", indent, n.ID, label(n), par, origin)
+		annot := ""
+		if annotate != nil {
+			annot = annotate(n)
+		}
+		fmt.Fprintf(&sb, "%s#%d %s%s%s%s\n", indent, n.ID, label(n), par, origin, annot)
 		for _, in := range n.Ins {
 			rec(in, depth+1)
 		}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Trajectory regression gate. Diff compares a freshly measured trajectory
+// against a committed baseline (BENCH_PR<n>.json) row by row and flags
+// regressions beyond per-metric thresholds; cmd/benchdiff wraps it as the
+// CI bench-gate. Wall-time noise on shared CI runners is real, so the
+// ns/op threshold is deliberately loose (30%) while the allocs/op
+// threshold is tight (10%) — allocation counts are deterministic up to
+// pool reuse, so even a small sustained increase is a genuine change.
+
+// DefaultNsPct and DefaultAllocsPct are the gate thresholds: a row fails
+// when ns/op grows by more than DefaultNsPct percent or allocs/op by more
+// than DefaultAllocsPct percent over the baseline.
+const (
+	DefaultNsPct     = 30.0
+	DefaultAllocsPct = 10.0
+)
+
+// DiffThresholds bounds the acceptable growth per metric, in percent.
+// Zero values mean the defaults.
+type DiffThresholds struct {
+	NsPct     float64
+	AllocsPct float64
+}
+
+// DiffEntry is one (row, metric) comparison.
+type DiffEntry struct {
+	Query     string  `json:"query"`
+	Mode      string  `json:"mode"`
+	Typed     bool    `json:"typed"`
+	Metric    string  `json:"metric"` // "ns_per_op" or "allocs_per_op"
+	Base      float64 `json:"base"`
+	Current   float64 `json:"current"`
+	Pct       float64 `json:"pct"` // growth over baseline, percent (negative = improvement)
+	Regressed bool    `json:"regressed"`
+}
+
+// rowKey identifies a trajectory row across reports.
+type rowKey struct {
+	query, mode string
+	typed       bool
+}
+
+// Diff compares cur against base. Every baseline row must be present in
+// cur (a vanished row means the gate lost coverage — that is an error,
+// not a pass); rows only in cur are ignored, so adding queries does not
+// break the gate. The returned entries cover every compared (row, metric)
+// pair, improvements included, for reporting.
+func Diff(base, cur *TrajectoryReport, th DiffThresholds) ([]DiffEntry, error) {
+	if th.NsPct == 0 {
+		th.NsPct = DefaultNsPct
+	}
+	if th.AllocsPct == 0 {
+		th.AllocsPct = DefaultAllocsPct
+	}
+	// Comparing runs of different shape is meaningless; refuse loudly
+	// rather than produce a green gate on apples-to-oranges numbers.
+	if base.Factor != cur.Factor {
+		return nil, fmt.Errorf("factor mismatch: baseline %g vs current %g", base.Factor, cur.Factor)
+	}
+	if base.Workers != cur.Workers {
+		return nil, fmt.Errorf("workers mismatch: baseline %d vs current %d", base.Workers, cur.Workers)
+	}
+	curRows := make(map[rowKey]TrajectoryRow, len(cur.Rows))
+	for _, r := range cur.Rows {
+		curRows[rowKey{r.Query, r.Mode, r.Typed}] = r
+	}
+	var out []DiffEntry
+	for _, b := range base.Rows {
+		c, ok := curRows[rowKey{b.Query, b.Mode, b.Typed}]
+		if !ok {
+			return nil, fmt.Errorf("row %s/%s/typed=%v present in baseline but missing from current run", b.Query, b.Mode, b.Typed)
+		}
+		out = append(out,
+			diffMetric(b, "ns_per_op", float64(b.NsPerOp), float64(c.NsPerOp), th.NsPct),
+			diffMetric(b, "allocs_per_op", float64(b.AllocsPerOp), float64(c.AllocsPerOp), th.AllocsPct))
+	}
+	return out, nil
+}
+
+func diffMetric(b TrajectoryRow, metric string, base, cur, maxPct float64) DiffEntry {
+	e := DiffEntry{Query: b.Query, Mode: b.Mode, Typed: b.Typed, Metric: metric, Base: base, Current: cur}
+	if base > 0 {
+		e.Pct = (cur - base) / base * 100
+		e.Regressed = e.Pct > maxPct
+	} else {
+		// A zero baseline can't express relative growth; any nonzero
+		// current value is flagged so the change gets looked at.
+		e.Regressed = cur > 0
+		if e.Regressed {
+			e.Pct = 100
+		}
+	}
+	return e
+}
+
+// Regressed reports whether any entry failed its threshold.
+func Regressed(entries []DiffEntry) bool {
+	for _, e := range entries {
+		if e.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteDiff renders the comparison as a table, regressions marked.
+func WriteDiff(w io.Writer, entries []DiffEntry) {
+	fmt.Fprintf(w, "%-6s %-9s %-6s %-14s %14s %14s %9s\n",
+		"query", "mode", "cols", "metric", "baseline", "current", "delta")
+	for _, e := range entries {
+		cols := "typed"
+		if !e.Typed {
+			cols = "boxed"
+		}
+		mark := ""
+		if e.Regressed {
+			mark = "  << REGRESSION"
+		}
+		fmt.Fprintf(w, "%-6s %-9s %-6s %-14s %14.0f %14.0f %+8.1f%%%s\n",
+			e.Query, e.Mode, cols, e.Metric, e.Base, e.Current, e.Pct, mark)
+	}
+}
+
+// LoadTrajectory reads a trajectory report from a JSON file.
+func LoadTrajectory(path string) (*TrajectoryReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep TrajectoryReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func diffBaseline() *TrajectoryReport {
+	return &TrajectoryReport{
+		Factor:  0.01,
+		Workers: 1,
+		Rows: []TrajectoryRow{
+			{Query: "Q1", Mode: "serial", Typed: true, NsPerOp: 1_000_000, AllocsPerOp: 2000, BytesPerOp: 100_000},
+			{Query: "Q1", Mode: "serial", Typed: false, NsPerOp: 3_000_000, AllocsPerOp: 9000, BytesPerOp: 400_000},
+			{Query: "Q8", Mode: "parallel", Typed: true, NsPerOp: 5_000_000, AllocsPerOp: 7000, BytesPerOp: 900_000},
+		},
+	}
+}
+
+// copyReport deep-copies the rows so tests can perturb one run.
+func copyReport(r *TrajectoryReport) *TrajectoryReport {
+	c := *r
+	c.Rows = append([]TrajectoryRow(nil), r.Rows...)
+	return &c
+}
+
+func TestDiffPassesWithinNoise(t *testing.T) {
+	base := diffBaseline()
+	cur := copyReport(base)
+	// +20% wall time and +5% allocs: inside the 30%/10% envelopes.
+	cur.Rows[0].NsPerOp = 1_200_000
+	cur.Rows[0].AllocsPerOp = 2100
+	// Improvements never fail the gate.
+	cur.Rows[1].NsPerOp = 1_500_000
+	cur.Rows[1].AllocsPerOp = 4000
+	entries, err := Diff(base, cur, DiffThresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("got %d entries, want 6", len(entries))
+	}
+	if Regressed(entries) {
+		t.Errorf("gate failed inside the noise envelope: %+v", entries)
+	}
+}
+
+func TestDiffFailsOnSyntheticDoubling(t *testing.T) {
+	base := diffBaseline()
+	cur := copyReport(base)
+	// The canary the issue asks for: a synthetic 2x wall-time regression
+	// on one row must trip the gate.
+	cur.Rows[2].NsPerOp = base.Rows[2].NsPerOp * 2
+	entries, err := Diff(base, cur, DiffThresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Regressed(entries) {
+		t.Fatal("2x ns/op regression did not trip the gate")
+	}
+	var hit *DiffEntry
+	for i, e := range entries {
+		if e.Regressed {
+			if hit != nil {
+				t.Fatalf("more than one entry regressed: %+v and %+v", *hit, e)
+			}
+			hit = &entries[i]
+		}
+	}
+	if hit.Query != "Q8" || hit.Metric != "ns_per_op" || hit.Pct != 100 {
+		t.Errorf("wrong entry flagged: %+v", *hit)
+	}
+	var sb strings.Builder
+	WriteDiff(&sb, entries)
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Errorf("report does not mark the regression:\n%s", sb.String())
+	}
+}
+
+func TestDiffFailsOnAllocGrowth(t *testing.T) {
+	base := diffBaseline()
+	cur := copyReport(base)
+	// +15% allocations with identical wall time: the tight allocs gate
+	// (10%) catches what the loose ns gate (30%) would wave through.
+	cur.Rows[0].AllocsPerOp = 2300
+	entries, err := Diff(base, cur, DiffThresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Regressed(entries) {
+		t.Fatal("15%% allocs/op growth did not trip the gate")
+	}
+}
+
+func TestDiffRejectsShapeMismatch(t *testing.T) {
+	base := diffBaseline()
+	cur := copyReport(base)
+	cur.Factor = 0.05
+	if _, err := Diff(base, cur, DiffThresholds{}); err == nil {
+		t.Error("factor mismatch not rejected")
+	}
+	cur = copyReport(base)
+	cur.Workers = 8
+	if _, err := Diff(base, cur, DiffThresholds{}); err == nil {
+		t.Error("workers mismatch not rejected")
+	}
+	// A baseline row vanishing from the current run is lost coverage.
+	cur = copyReport(base)
+	cur.Rows = cur.Rows[:2]
+	if _, err := Diff(base, cur, DiffThresholds{}); err == nil {
+		t.Error("missing row not rejected")
+	}
+	// Extra rows in the current run are fine (new queries added).
+	cur = copyReport(base)
+	cur.Rows = append(cur.Rows, TrajectoryRow{Query: "Q11", Mode: "serial", Typed: true, NsPerOp: 1, AllocsPerOp: 1})
+	if _, err := Diff(base, cur, DiffThresholds{}); err != nil {
+		t.Errorf("extra row rejected: %v", err)
+	}
+}
+
+func TestDiffCustomThresholds(t *testing.T) {
+	base := diffBaseline()
+	cur := copyReport(base)
+	cur.Rows[0].NsPerOp = 1_200_000 // +20%
+	entries, err := Diff(base, cur, DiffThresholds{NsPct: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Regressed(entries) {
+		t.Error("tightened ns threshold not honoured")
+	}
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/xdm"
 	"repro/internal/xmarkq"
 )
@@ -16,14 +18,30 @@ import (
 // TrajectoryRow is one measured (query, execution mode, storage model)
 // point: wall time and allocation counts per query execution, in the
 // units `go test -benchmem` reports so the trajectory file is directly
-// comparable with benchmark output across PRs.
+// comparable with benchmark output across PRs. Ops (xmarkbench -stats)
+// holds per-operator aggregates from one collection-enabled run done
+// after the timed runs, so collection never perturbs the measurements.
 type TrajectoryRow struct {
-	Query       string `json:"query"`
-	Mode        string `json:"mode"`  // "serial" or "parallel"
-	Typed       bool   `json:"typed"` // false = boxed []Item storage (xdm.ForceBoxed)
-	NsPerOp     int64  `json:"ns_per_op"`
-	AllocsPerOp uint64 `json:"allocs_per_op"`
-	BytesPerOp  uint64 `json:"bytes_per_op"`
+	Query       string        `json:"query"`
+	Mode        string        `json:"mode"`  // "serial" or "parallel"
+	Typed       bool          `json:"typed"` // false = boxed []Item storage (xdm.ForceBoxed)
+	NsPerOp     int64         `json:"ns_per_op"`
+	AllocsPerOp uint64        `json:"allocs_per_op"`
+	BytesPerOp  uint64        `json:"bytes_per_op"`
+	Ops         []obs.OpStats `json:"ops,omitempty"`
+}
+
+// TrajectoryMeta stamps the run configuration into the trajectory file:
+// two BENCH_PR<n>.json files are only comparable when these match, and
+// earlier trajectory files left the reader to guess them.
+type TrajectoryMeta struct {
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	Parallelism int    `json:"parallelism"` // worker-pool size of the "parallel" rows
+	Recycling   bool   `json:"recycling"`   // engine buffer recycling (always on today)
+	ForceBoxed  bool   `json:"force_boxed"` // ambient xdm.ForceBoxed at entry (the "typed" rows are meaningless if true)
 }
 
 // TrajectorySummary compares the typed column layer against the boxed
@@ -46,22 +64,38 @@ type TrajectoryReport struct {
 	Workers    int                 `json:"workers"`
 	GoMaxProcs int                 `json:"gomaxprocs"`
 	Repeats    int                 `json:"repeats"`
+	Meta       TrajectoryMeta      `json:"meta"`
 	Rows       []TrajectoryRow     `json:"rows"`
 	Summaries  []TrajectorySummary `json:"summaries"`
 }
 
+// TrajectoryOptions configures a trajectory measurement.
+type TrajectoryOptions struct {
+	Factor  float64
+	Queries []int // XMark query numbers
+	Workers int   // parallel-row pool size; <=0 means GOMAXPROCS
+	Repeats int   // timed runs per row; <1 means 3
+	Stats   bool  // attach per-operator OpStats to every row
+}
+
 // measureOne runs a prepared query repeats times and reports the median
 // wall time and the mean allocation counts per run (allocation counts are
-// deterministic up to pool reuse; the mean smooths warm-up effects).
-func measureOne(env *Env, query string, cfg core.Config, repeats int) (TrajectoryRow, error) {
+// deterministic up to pool reuse; the mean smooths warm-up effects). With
+// stats, one extra collection-enabled run after the timed ones fills
+// row.Ops.
+func measureOne(env *Env, query string, cfg core.Config, repeats int, stats bool) (TrajectoryRow, error) {
 	var row TrajectoryRow
 	p, err := core.Prepare(query, cfg)
 	if err != nil {
 		return row, err
 	}
-	// Warm-up run: page cache, GC heap target, buffer pools.
-	if _, err := p.Run(env.Store, env.Docs); err != nil {
-		return row, err
+	// Two warm-up runs: the first faults in the page cache and settles the
+	// GC heap target, the second populates the buffer pools the first one
+	// grew — the benchdiff gate compares medians of the steady state.
+	for i := 0; i < 2; i++ {
+		if _, err := p.Run(env.Store, env.Docs); err != nil {
+			return row, err
+		}
 	}
 	times := make([]time.Duration, 0, repeats)
 	var mallocs, bytes uint64
@@ -81,18 +115,30 @@ func measureOne(env *Env, query string, cfg core.Config, repeats int) (Trajector
 	row.NsPerOp = median(times).Nanoseconds()
 	row.AllocsPerOp = mallocs / uint64(repeats)
 	row.BytesPerOp = bytes / uint64(repeats)
+	if stats {
+		res, _, err := p.Analyze(context.Background(), env.Store, env.Docs)
+		if err != nil {
+			return row, err
+		}
+		if res.Stats != nil {
+			row.Ops = res.Stats.Ops
+		}
+	}
 	return row, nil
 }
 
-// Trajectory measures the given XMark queries (by number) at one scale
-// factor: serial and parallel execution, typed and boxed column storage.
-// The boxed rows flip xdm.ForceBoxed for the duration of their runs, so
+// Trajectory measures the configured XMark queries at one scale factor:
+// serial and parallel execution, typed and boxed column storage. The
+// boxed rows flip xdm.ForceBoxed for the duration of their runs, so
 // Trajectory must not run concurrently with other queries.
-func Trajectory(factor float64, queryIDs []int, workers, repeats int, w io.Writer) (*TrajectoryReport, error) {
+func Trajectory(opts TrajectoryOptions, w io.Writer) (*TrajectoryReport, error) {
+	factor, queryIDs := opts.Factor, opts.Queries
 	env := NewEnv(factor)
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	repeats := opts.Repeats
 	if repeats < 1 {
 		repeats = 3
 	}
@@ -101,6 +147,15 @@ func Trajectory(factor float64, queryIDs []int, workers, repeats int, w io.Write
 		Workers:    workers,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Repeats:    repeats,
+		Meta: TrajectoryMeta{
+			GoVersion:   runtime.Version(),
+			GOOS:        runtime.GOOS,
+			GOARCH:      runtime.GOARCH,
+			NumCPU:      runtime.NumCPU(),
+			Parallelism: workers,
+			Recycling:   true,
+			ForceBoxed:  xdm.ForceBoxed,
+		},
 	}
 	scfg := indifferenceCfg(0)
 	pcfg := indifferenceCfg(0)
@@ -119,7 +174,7 @@ func Trajectory(factor float64, queryIDs []int, workers, repeats int, w io.Write
 		for _, m := range modes {
 			for _, typed := range []bool{true, false} {
 				xdm.ForceBoxed = !typed
-				row, err := measureOne(env, q.Text, m.cfg, repeats)
+				row, err := measureOne(env, q.Text, m.cfg, repeats, opts.Stats)
 				xdm.ForceBoxed = false
 				if err != nil {
 					return nil, fmt.Errorf("%s/%s: %w", q.Name, m.name, err)
@@ -172,8 +227,8 @@ func Trajectory(factor float64, queryIDs []int, workers, repeats int, w io.Write
 
 // WriteTrajectoryJSON measures a trajectory and writes it as indented
 // JSON to path (the BENCH_PR<n>.json convention).
-func WriteTrajectoryJSON(path string, factor float64, queryIDs []int, workers, repeats int, w io.Writer) error {
-	rep, err := Trajectory(factor, queryIDs, workers, repeats, w)
+func WriteTrajectoryJSON(path string, opts TrajectoryOptions, w io.Writer) error {
+	rep, err := Trajectory(opts, w)
 	if err != nil {
 		return err
 	}

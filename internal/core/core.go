@@ -14,12 +14,15 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"time"
 
+	"repro/internal/algebra"
 	"repro/internal/compile"
 	"repro/internal/engine"
 	"repro/internal/norm"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/parallel"
 	"repro/internal/qerr"
@@ -57,6 +60,17 @@ type Config struct {
 	Parallelism int
 	// Vars binds external prolog variables (declare variable $x external).
 	Vars map[string][]xdm.Item
+	// Collect turns on per-operator statistics collection (obs.OpStats):
+	// every Run attaches an obs.RunStats to its Result, and
+	// Prepared.ExplainAnalyze can annotate the plan with measured rows and
+	// times. Off (the default) costs one nil check per operator — zero
+	// allocations on the hot path.
+	Collect bool
+	// Tracer, when non-nil, receives a span per pipeline phase (category
+	// "phase") and per executed operator ("op"); the parallel executor adds
+	// per-morsel spans ("morsel") on worker tracks. obs.NewJSONTrace writes
+	// chrome://tracing-compatible output.
+	Tracer obs.Tracer
 }
 
 // DefaultConfig enables everything — the paper's "order indifference
@@ -87,11 +101,25 @@ type Prepared struct {
 // a pipeline bug tripped by a hostile query surfaces as qerr.ErrInternal
 // naming the phase, never as a process crash.
 func Prepare(src string, cfg Config) (*Prepared, error) {
+	end := cfg.span("parse")
 	mod, err := xquery.Parse(src)
+	end()
 	if err != nil {
 		return nil, qerr.Ensure(qerr.ErrParse, "parse", err)
 	}
 	return PrepareModule(mod, cfg)
+}
+
+// noSpan is the shared no-op span closer handed out when tracing is off.
+var noSpan = func() {}
+
+// span opens a pipeline-phase span on the coordinator track (tid 0) when
+// a Tracer is configured; the returned closer is never nil.
+func (cfg Config) span(name string) func() {
+	if cfg.Tracer == nil {
+		return noSpan
+	}
+	return cfg.Tracer.StartSpan(0, "phase", name)
 }
 
 // PrepareModule is Prepare over an already-parsed module.
@@ -99,17 +127,24 @@ func PrepareModule(mod *xquery.Module, cfg Config) (p *Prepared, err error) {
 	if cfg.ForceOrdering != nil {
 		mod = &xquery.Module{Ordering: *cfg.ForceOrdering, Functions: mod.Functions, Body: mod.Body}
 	}
+	end := cfg.span("normalize")
 	nm, err := normalize(mod, cfg)
+	end()
 	if err != nil {
 		return nil, err
 	}
+	end = cfg.span("compile")
 	plan, err := compilePlan(nm, cfg)
+	end()
 	if err != nil {
 		return nil, err
 	}
 	p = &Prepared{Module: nm, Plan: plan, cfg: cfg}
 	p.StatsBefore = planCounts(plan)
-	if err := optimize(p, cfg); err != nil {
+	end = cfg.span("optimize")
+	err = optimize(p, cfg)
+	end()
+	if err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -191,6 +226,11 @@ func (p *Prepared) Run(store *xmltree.Store, docs map[string]uint32) (*engine.Re
 // execution come back as qerr.ErrInternal carrying the optimized plan's
 // Explain() dump.
 func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs map[string]uint32) (*engine.Result, error) {
+	var collect *obs.Collector
+	if p.cfg.Collect {
+		collect = obs.NewCollector()
+	}
+	end := p.cfg.span("execute")
 	var res *engine.Result
 	var err error
 	if w := parallelWorkers(p.cfg.Parallelism); w > 1 {
@@ -200,6 +240,8 @@ func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs ma
 			Timeout:           p.cfg.Timeout,
 			MaxCells:          p.cfg.MaxCells,
 			InterestingOrders: p.cfg.InterestingOrders,
+			Collect:           collect,
+			Tracer:            p.cfg.Tracer,
 		})
 	} else {
 		res, err = engine.Run(p.Plan.Root, store, docs, engine.Options{
@@ -207,8 +249,11 @@ func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs ma
 			Timeout:           p.cfg.Timeout,
 			MaxCells:          p.cfg.MaxCells,
 			InterestingOrders: p.cfg.InterestingOrders,
+			Collect:           collect,
+			Tracer:            p.cfg.Tracer,
 		})
 	}
+	end()
 	if err != nil {
 		if errors.Is(err, qerr.ErrInternal) {
 			qerr.AttachPlan(err, p.Explain())
@@ -220,3 +265,47 @@ func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs ma
 
 // Explain renders the (optimized) plan DAG as text.
 func (p *Prepared) Explain() string { return opt.Explain(p.Plan.Root) }
+
+// ExplainAnalyze renders the plan annotated with the measured statistics
+// of an actual execution — the EXPLAIN ANALYZE view. st is the RunStats
+// of a run of this plan (Result.Stats under Config.Collect); nodes the
+// run never evaluated (or that st does not cover) print "[not executed]".
+// A trailing summary reports totals: elapsed, memo hits and pool traffic.
+func (p *Prepared) ExplainAnalyze(st *obs.RunStats) string {
+	if st == nil {
+		return p.Explain()
+	}
+	out := algebra.PrintAnnotated(p.Plan.Root, func(n *algebra.Node) string {
+		op := st.Op(n.ID)
+		if op == nil {
+			return "  [not executed]"
+		}
+		s := fmt.Sprintf("  [rows=%d wall=%s", op.RowsOut, op.Wall.Round(time.Microsecond))
+		if op.Calls > 1 {
+			s += fmt.Sprintf(" calls=%d", op.Calls)
+		}
+		if op.MemoHits > 0 {
+			s += fmt.Sprintf(" memo=%d", op.MemoHits)
+		}
+		if op.Morsels > 0 {
+			s += fmt.Sprintf(" morsels=%d/%dw busy=%s", op.Morsels, len(op.Workers), op.Busy.Round(time.Microsecond))
+		}
+		return s + "]"
+	})
+	out += fmt.Sprintf("-- elapsed %s, %d operator(s) executed, %d memo hit(s), pool %d hit(s)/%d miss(es)\n",
+		st.Elapsed.Round(time.Microsecond), len(st.Ops), st.MemoHits, st.PoolHits, st.PoolMisses)
+	return out
+}
+
+// Analyze executes the prepared plan with statistics collection forced on
+// (regardless of Config.Collect) and returns the result alongside the
+// annotated plan text. It is the engine behind `exrquy -analyze`.
+func (p *Prepared) Analyze(ctx context.Context, store *xmltree.Store, docs map[string]uint32) (*engine.Result, string, error) {
+	q := *p
+	q.cfg.Collect = true
+	res, err := q.RunContext(ctx, store, docs)
+	if err != nil {
+		return nil, "", err
+	}
+	return res, p.ExplainAnalyze(res.Stats), nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/xmarkq"
+	"repro/internal/xquery"
+)
+
+// Golden-plan snapshots: the optimized Explain rendering of every XMark
+// query, in the baseline (ordered) and the order-indifferent (unordered,
+// parallel-marked) configuration. The plans carry the paper's claims —
+// which ρ sorts survive, which collapse to #, where [par] regions open —
+// so an optimizer change that moves any of them must show up as a
+// reviewed diff here, not as a silent plan drift.
+//
+// Regenerate after an intentional plan change with
+//
+//	go test ./internal/core -run TestGoldenPlans -update
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden plan files under testdata/plans")
+
+// goldenConfigs are the two plan-shaping configurations worth pinning:
+// the order-ignorant baseline and the full order-indifference pipeline
+// under unordered mode with parallel marking on (Parallelism 2 makes
+// opt.MarkParallel run; the marks are a plan property, not a timing).
+func goldenConfigs() map[string]Config {
+	un := xquery.Unordered
+	unordered := DefaultConfig()
+	unordered.ForceOrdering = &un
+	unordered.Parallelism = 2
+	return map[string]Config{
+		"ordered":   BaselineConfig(),
+		"unordered": unordered,
+	}
+}
+
+func TestGoldenPlans(t *testing.T) {
+	for _, q := range xmarkq.All() {
+		for name, cfg := range goldenConfigs() {
+			t.Run(fmt.Sprintf("%s/%s", q.Name, name), func(t *testing.T) {
+				p, err := Prepare(q.Text, cfg)
+				if err != nil {
+					t.Fatalf("prepare: %v", err)
+				}
+				got := p.Explain()
+				path := filepath.Join("testdata", "plans", fmt.Sprintf("%s.%s.plan", q.Name, name))
+				if *updateGolden {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update to create): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("plan drifted from %s\n-- got --\n%s-- want --\n%s", path, got, want)
+				}
+			})
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/algebra"
+	"repro/internal/obs"
 	"repro/internal/qerr"
 	"repro/internal/xdm"
 	"repro/internal/xmltree"
@@ -38,6 +39,16 @@ type Options struct {
 	// the reproduction should too; enable it to measure how much of the
 	// paper's win a physically order-aware engine would recover anyway.
 	InterestingOrders bool
+	// Collect, when non-nil, receives per-plan-node execution statistics
+	// (rows in/out, cells, wall time, memo hits) — the data behind
+	// EXPLAIN ANALYZE. A nil collector costs one pointer comparison per
+	// operator and zero allocations: the default path stays exactly the
+	// measured hot path.
+	Collect *obs.Collector
+	// Tracer, when non-nil, receives one span per operator kernel
+	// evaluation (category "op", track 0). Pipeline-phase spans are the
+	// caller's job (package core).
+	Tracer obs.Tracer
 }
 
 // ErrCutoff is returned (wrapped) when an execution exceeds its time or
@@ -64,12 +75,14 @@ type ProfileEntry struct {
 }
 
 // Result is an executed query: the item sequence in serialization order,
-// the store owning constructed nodes, and the per-origin profile.
+// the store owning constructed nodes, and the per-origin profile. Stats
+// is non-nil only when Options.Collect was set.
 type Result struct {
 	Items   []xdm.Item
 	Store   *xmltree.Store
 	Profile []ProfileEntry
 	Elapsed time.Duration
+	Stats   *obs.RunStats
 }
 
 // SerializeXML renders the result per the XQuery serialization rules.
@@ -83,6 +96,12 @@ func (r *Result) SerializeXML() (string, error) {
 // recovered and surface as qerr.ErrInternal.
 func Run(root *algebra.Node, base *xmltree.Store, docs map[string]uint32, opts Options) (res *Result, err error) {
 	defer qerr.RecoverInto("execute", &err)
+	defer func() {
+		obs.QueriesTotal.Inc()
+		if err != nil {
+			obs.QueryErrorsTotal.Inc()
+		}
+	}()
 	ex := NewExec(base, docs, opts)
 	ex.EnableRecycling(root)
 	start := time.Now()
@@ -90,7 +109,9 @@ func Run(root *algebra.Node, base *xmltree.Store, docs map[string]uint32, opts O
 	if err != nil {
 		return nil, err
 	}
-	return ex.Finish(t, start), nil
+	res = ex.Finish(t, start)
+	obs.QueryNanos.Observe(res.Elapsed.Nanoseconds())
+	return res, nil
 }
 
 // Exec is one plan execution: the derived store receiving constructed
@@ -117,6 +138,11 @@ type Exec struct {
 	// surviving alias and its backing buffer returns to the xdm pool.
 	uses    map[*algebra.Node]int
 	colRefs map[*xdm.Column]int
+	// Observability (see internal/obs): collect is the per-run operator
+	// statistics sink (nil = off, and every call site guards on nil so
+	// the disabled path allocates nothing), tracer the span sink.
+	collect *obs.Collector
+	tracer  obs.Tracer
 }
 
 // NewExec prepares an execution over a derived store.
@@ -129,6 +155,11 @@ func NewExec(base *xmltree.Store, docs map[string]uint32, opts Options) *Exec {
 		ctx:       opts.Context,
 		maxCells:  opts.MaxCells,
 		intOrders: opts.InterestingOrders,
+		collect:   opts.Collect,
+		tracer:    opts.Tracer,
+	}
+	if ex.collect != nil {
+		ex.collect.SetPoolBaseline(xdm.PoolStats())
 	}
 	if ex.ctx != nil {
 		ex.done = ex.ctx.Done()
@@ -266,6 +297,7 @@ func (ex *Exec) CheckCells(rows, cols int) error {
 // a cutoff error on overrun. Safe for concurrent use. Like CheckCells it
 // polls for cancellation first.
 func (ex *Exec) ChargeCells(n int64) error {
+	obs.CellsTotal.Add(n)
 	if err := ex.CheckCancel(); err != nil {
 		return err
 	}
@@ -302,6 +334,10 @@ func (ex *Exec) Finish(t *Table, start time.Time) *Result {
 		res.Profile = append(res.Profile, *e)
 	}
 	sort.Slice(res.Profile, func(a, b int) bool { return res.Profile[a].Duration > res.Profile[b].Duration })
+	if ex.collect != nil {
+		hits, misses := xdm.PoolStats()
+		res.Stats = ex.collect.Finish(res.Elapsed, hits, misses)
+	}
 	return res
 }
 
@@ -322,6 +358,7 @@ func (ex *Exec) errf(n *algebra.Node, format string, args ...any) error {
 // Eval evaluates the DAG rooted at n serially, memoizing shared nodes.
 func (ex *Exec) Eval(n *algebra.Node) (*Table, error) {
 	if t, ok := ex.memo[n]; ok {
+		ex.CollectMemoHit(n)
 		return t, nil
 	}
 	if err := ex.CheckDeadline(); err != nil {
@@ -336,17 +373,67 @@ func (ex *Exec) Eval(n *algebra.Node) (*Table, error) {
 		ins[i] = t
 	}
 	start := time.Now()
+	endSpan := ex.StartOpSpan(n)
 	t, err := ex.EvalOp(n, ins)
+	if endSpan != nil {
+		endSpan()
+	}
 	if err != nil {
 		return nil, err
 	}
-	ex.Record(n, time.Since(start), t.NumRows())
+	d := time.Since(start)
+	ex.Record(n, d, t.NumRows())
+	ex.CollectOp(n, d, ins, t)
 	if err := ex.ChargeCells(int64(t.NumRows()) * int64(len(t.Cols))); err != nil {
 		return nil, err
 	}
 	ex.Memoize(n, t)
 	ex.ReleaseInputs(n)
 	return t, nil
+}
+
+// Collector returns the execution's statistics sink (nil when collection
+// is off); the parallel executor records morsel splits through it.
+func (ex *Exec) Collector() *obs.Collector { return ex.collect }
+
+// Tracer returns the execution's span sink (nil when tracing is off).
+func (ex *Exec) Tracer() obs.Tracer { return ex.tracer }
+
+// StartOpSpan opens a tracer span for one kernel evaluation of n; the
+// returned func (nil when tracing is off) closes it.
+func (ex *Exec) StartOpSpan(n *algebra.Node) func() {
+	if ex.tracer == nil {
+		return nil
+	}
+	return ex.tracer.StartSpan(0, "op", algebra.Label(n))
+}
+
+// CollectMemoHit records a memoized reuse of n. No-op unless collection
+// is on.
+func (ex *Exec) CollectMemoHit(n *algebra.Node) {
+	if ex.collect == nil {
+		return
+	}
+	ex.collect.MemoHit(n.ID)
+	obs.MemoHitsTotal.Inc()
+}
+
+// CollectOp records one kernel evaluation of n: d of wall time, the input
+// row counts, and the output table's rows and cells. No-op (and
+// allocation-free) unless collection is on — the label rendering below is
+// the only per-operator allocation the observability layer ever makes,
+// and it happens strictly behind the nil check.
+func (ex *Exec) CollectOp(n *algebra.Node, d time.Duration, ins []*Table, t *Table) {
+	if ex.collect == nil {
+		return
+	}
+	var rowsIn int64
+	for _, in := range ins {
+		rowsIn += int64(in.NumRows())
+	}
+	rows := int64(t.NumRows())
+	ex.collect.OpDone(n.ID, n.Kind.String(), algebra.Label(n), n.Origin, n.Par,
+		d, rowsIn, rows, rows*int64(len(t.Cols)))
 }
 
 // Memoize stores an evaluated table for a node, so shared DAG nodes are

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("Counter is not get-or-create")
+	}
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+	h := r.Histogram("h")
+	for _, v := range []int64{0, 1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 1106 {
+		t.Errorf("histogram count/sum = %d/%d, want 6/1106", h.Count(), h.Sum())
+	}
+	var total int64
+	for _, b := range h.Buckets() {
+		total += b.Count
+	}
+	if total != 6 {
+		t.Errorf("bucket counts sum to %d, want 6", total)
+	}
+
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d metrics, want 3", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Error("snapshot not sorted by name")
+		}
+	}
+	var sb strings.Builder
+	if err := r.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "c") || !strings.Contains(sb.String(), "count=6") {
+		t.Errorf("text snapshot missing entries:\n%s", sb.String())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Histogram("h").Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Load(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestCollectorAggregation(t *testing.T) {
+	c := NewCollector()
+	c.SetPoolBaseline(100, 10)
+	c.OpDone(3, "step", "step child::item", "for $x", true, 2*time.Millisecond, 10, 20, 40)
+	c.OpDone(3, "step", "step child::item", "for $x", true, time.Millisecond, 5, 10, 20)
+	c.MemoHit(3)
+	c.OpDone(1, "doc", `doc "x"`, "", false, time.Microsecond, 0, 1, 1)
+	c.Morsel(3, 0, time.Millisecond)
+	c.Morsel(3, 1, 2*time.Millisecond)
+	c.Morsel(3, 0, time.Millisecond)
+
+	st := c.Finish(5*time.Millisecond, 130, 14)
+	if len(st.Ops) != 2 || st.Ops[0].Node != 1 || st.Ops[1].Node != 3 {
+		t.Fatalf("ops not sorted by node: %+v", st.Ops)
+	}
+	op := st.Op(3)
+	if op == nil {
+		t.Fatal("Op(3) = nil")
+	}
+	if op.Calls != 2 || op.RowsIn != 15 || op.RowsOut != 30 || op.Cells != 60 || op.Wall != 3*time.Millisecond {
+		t.Errorf("aggregation wrong: %+v", op)
+	}
+	if op.MemoHits != 1 || st.MemoHits != 1 {
+		t.Errorf("memo hits: op %d, run %d, want 1/1", op.MemoHits, st.MemoHits)
+	}
+	if op.Morsels != 3 || op.Busy != 4*time.Millisecond {
+		t.Errorf("morsels/busy = %d/%v, want 3/4ms", op.Morsels, op.Busy)
+	}
+	if len(op.Workers) != 2 || op.Workers[0].Worker != 0 || op.Workers[0].Morsels != 2 || op.Workers[1].Morsels != 1 {
+		t.Errorf("worker split wrong: %+v", op.Workers)
+	}
+	if st.PoolHits != 30 || st.PoolMisses != 4 {
+		t.Errorf("pool deltas = %d/%d, want 30/4", st.PoolHits, st.PoolMisses)
+	}
+	if st.Op(99) != nil {
+		t.Error("Op(99) should be nil")
+	}
+}
+
+func TestNilCollectorIsNoOp(t *testing.T) {
+	var c *Collector
+	c.SetPoolBaseline(1, 2)
+	c.OpDone(1, "k", "l", "", false, time.Second, 1, 1, 1)
+	c.MemoHit(1)
+	c.Morsel(1, 0, time.Second)
+	if st := c.Finish(time.Second, 0, 0); st != nil {
+		t.Errorf("nil collector Finish = %+v, want nil", st)
+	}
+}
+
+func TestJSONTraceIsValidTraceEventJSON(t *testing.T) {
+	var sb strings.Builder
+	tr := NewJSONTrace(&sb)
+	end := tr.StartSpan(0, "phase", "compile")
+	inner := tr.StartSpan(1, "op", `doc "auction.xml"`)
+	inner()
+	end()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Tid  int     `json:"tid"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	// Spans close inner-first.
+	if events[0].Name != `doc "auction.xml"` || events[0].Cat != "op" || events[0].Tid != 1 {
+		t.Errorf("inner span wrong: %+v", events[0])
+	}
+	if events[1].Name != "compile" || events[1].Ph != "X" {
+		t.Errorf("outer span wrong: %+v", events[1])
+	}
+	if events[1].Dur < events[0].Dur {
+		t.Error("outer span should not be shorter than the inner one")
+	}
+}
+
+func TestJSONTraceConcurrentSpans(t *testing.T) {
+	var sb strings.Builder // all writes funnel through the trace's own lock
+	tr := NewJSONTrace(&sb)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.StartSpan(w+1, "op", "morsel")()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("concurrent trace is not valid JSON: %v", err)
+	}
+	if len(events) != 200 {
+		t.Errorf("got %d events, want 200", len(events))
+	}
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// WorkerStats is one worker's share of a parallel operator: how many
+// morsel tasks it pulled and how long it was busy with them.
+type WorkerStats struct {
+	Worker  int           `json:"worker"`
+	Morsels int64         `json:"morsels"`
+	Busy    time.Duration `json:"busy_ns"`
+}
+
+// OpStats aggregates the measured execution of one plan node — the data
+// EXPLAIN ANALYZE attaches to the Explain tree. Node is the plan node id
+// (the "#id" prefix Explain prints), so stats join the rendered plan by
+// id. For operators evaluated morsel-wise, Busy sums per-worker CPU time
+// (it exceeds Wall on a multicore pool) and Workers carries the split.
+type OpStats struct {
+	Node   int    `json:"node"`
+	Kind   string `json:"kind"`
+	Label  string `json:"label"`
+	Origin string `json:"origin,omitempty"`
+	Par    bool   `json:"par,omitempty"`
+	// Calls counts kernel evaluations (1 for every reachable node: shared
+	// DAG nodes are memoized); MemoHits counts the memoized reuses.
+	Calls    int64 `json:"calls"`
+	MemoHits int64 `json:"memo_hits,omitempty"`
+	RowsIn   int64 `json:"rows_in"`
+	RowsOut  int64 `json:"rows_out"`
+	// Cells is rows×columns materialized for the node's output table —
+	// the quantity the engine's memory cutoff charges.
+	Cells int64 `json:"cells"`
+	// Wall is coordinator wall-clock time spent evaluating the node.
+	Wall time.Duration `json:"wall_ns"`
+	// Busy, Morsels and Workers are only set for morsel-parallel
+	// evaluations: summed per-worker busy time, morsel task count, and
+	// the per-worker split.
+	Busy    time.Duration `json:"busy_ns,omitempty"`
+	Morsels int64         `json:"morsels,omitempty"`
+	Workers []WorkerStats `json:"workers,omitempty"`
+}
+
+// RunStats is the collected observability record of one execution:
+// per-node operator stats plus the run-level counters (memo hits, buffer
+// pool traffic during the run).
+type RunStats struct {
+	Ops      []OpStats     `json:"ops"` // ascending node id
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	MemoHits int64         `json:"memo_hits"`
+	// PoolHits/PoolMisses are the xdm buffer-pool deltas over the run.
+	// The pool is process-global: concurrent executions bleed into each
+	// other's deltas, so treat these as exact only for isolated runs.
+	PoolHits   int64 `json:"pool_hits"`
+	PoolMisses int64 `json:"pool_misses"`
+}
+
+// Op returns the stats for a plan node id, or nil if the node was never
+// evaluated (pruned subtree of a shared DAG, or an error aborted the run
+// first).
+func (s *RunStats) Op(node int) *OpStats {
+	i := sort.Search(len(s.Ops), func(i int) bool { return s.Ops[i].Node >= node })
+	if i < len(s.Ops) && s.Ops[i].Node == node {
+		return &s.Ops[i]
+	}
+	return nil
+}
+
+// Collector accumulates OpStats during one execution. The engine walks
+// the DAG on a single goroutine, but morsel workers report concurrently,
+// so every method locks; the frequency is per-operator and per-morsel,
+// not per-row, which keeps the cost invisible next to the work measured.
+// All methods are nil-safe: calling them on a nil *Collector is a no-op,
+// so call sites need no guard of their own.
+type Collector struct {
+	mu                     sync.Mutex
+	ops                    map[int]*OpStats
+	memoHits               int64
+	poolHits0, poolMisses0 int64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{ops: make(map[int]*OpStats)}
+}
+
+// SetPoolBaseline records the buffer-pool counters at execution start;
+// Finish reports the delta.
+func (c *Collector) SetPoolBaseline(hits, misses int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.poolHits0, c.poolMisses0 = hits, misses
+	c.mu.Unlock()
+}
+
+func (c *Collector) op(node int) *OpStats {
+	s, ok := c.ops[node]
+	if !ok {
+		s = &OpStats{Node: node}
+		c.ops[node] = s
+	}
+	return s
+}
+
+// OpDone records one kernel evaluation of a plan node.
+func (c *Collector) OpDone(node int, kind, label, origin string, par bool, wall time.Duration, rowsIn, rowsOut, cells int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	s := c.op(node)
+	s.Kind, s.Label, s.Origin, s.Par = kind, label, origin, par
+	s.Calls++
+	s.RowsIn += rowsIn
+	s.RowsOut += rowsOut
+	s.Cells += cells
+	s.Wall += wall
+	c.mu.Unlock()
+}
+
+// MemoHit records a memoized reuse of a plan node.
+func (c *Collector) MemoHit(node int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.op(node).MemoHits++
+	c.memoHits++
+	c.mu.Unlock()
+}
+
+// Morsel records one completed morsel task of a parallel operator: which
+// worker ran it and for how long. Safe for concurrent use from workers.
+func (c *Collector) Morsel(node, worker int, busy time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	s := c.op(node)
+	s.Morsels++
+	s.Busy += busy
+	for i := range s.Workers {
+		if s.Workers[i].Worker == worker {
+			s.Workers[i].Morsels++
+			s.Workers[i].Busy += busy
+			c.mu.Unlock()
+			return
+		}
+	}
+	s.Workers = append(s.Workers, WorkerStats{Worker: worker, Morsels: 1, Busy: busy})
+	c.mu.Unlock()
+}
+
+// Finish freezes the collector into a RunStats: operators sorted by node
+// id, worker splits sorted by worker, pool deltas against the baseline.
+func (c *Collector) Finish(elapsed time.Duration, poolHits, poolMisses int64) *RunStats {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := &RunStats{
+		Elapsed:    elapsed,
+		MemoHits:   c.memoHits,
+		PoolHits:   poolHits - c.poolHits0,
+		PoolMisses: poolMisses - c.poolMisses0,
+	}
+	st.Ops = make([]OpStats, 0, len(c.ops))
+	for _, s := range c.ops {
+		sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].Worker < s.Workers[j].Worker })
+		st.Ops = append(st.Ops, *s)
+	}
+	sort.Slice(st.Ops, func(i, j int) bool { return st.Ops[i].Node < st.Ops[j].Node })
+	return st
+}

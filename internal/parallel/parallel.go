@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/qerr"
 	"repro/internal/xdm"
 	"repro/internal/xmltree"
@@ -53,6 +54,11 @@ type Options struct {
 	// kernels, contexts for axis scans); operators with less than two
 	// morsels of work stay serial. Zero means the default (256).
 	MinMorselRows int
+	// Collect and Tracer mirror engine.Options: per-node statistics
+	// (including the per-worker morsel split) and execution spans
+	// (workers trace on track worker+1).
+	Collect *obs.Collector
+	Tracer  obs.Tracer
 }
 
 // MorselHook, when non-nil, runs at the start of every morsel task inside
@@ -92,10 +98,18 @@ func Run(root *algebra.Node, base *xmltree.Store, docs map[string]uint32, opts O
 		Timeout:           opts.Timeout,
 		MaxCells:          opts.MaxCells,
 		InterestingOrders: opts.InterestingOrders,
+		Collect:           opts.Collect,
+		Tracer:            opts.Tracer,
 	}
 	if w == 1 {
 		return engine.Run(root, base, docs, eopts)
 	}
+	defer func() {
+		obs.QueriesTotal.Inc()
+		if err != nil {
+			obs.QueryErrorsTotal.Inc()
+		}
+	}()
 	ex := engine.NewExec(base, docs, eopts)
 	ex.EnableRecycling(root)
 	e := &executor{ex: ex, workers: w, minRows: opts.MinMorselRows}
@@ -107,7 +121,9 @@ func Run(root *algebra.Node, base *xmltree.Store, docs map[string]uint32, opts O
 	if err != nil {
 		return nil, err
 	}
-	return ex.Finish(t, start), nil
+	res = ex.Finish(t, start)
+	obs.QueryNanos.Observe(res.Elapsed.Nanoseconds())
+	return res, nil
 }
 
 type executor struct {
@@ -131,6 +147,7 @@ type opResult struct {
 // so memo and profile bookkeeping need no locks.
 func (e *executor) eval(n *algebra.Node) (*engine.Table, error) {
 	if t, ok := e.ex.Memoized(n); ok {
+		e.ex.CollectMemoHit(n)
 		return t, nil
 	}
 	if err := e.ex.CheckDeadline(); err != nil {
@@ -144,6 +161,7 @@ func (e *executor) eval(n *algebra.Node) (*engine.Table, error) {
 		}
 		ins[i] = t
 	}
+	endSpan := e.ex.StartOpSpan(n)
 	start := time.Now()
 	var t *engine.Table
 	var busy time.Duration
@@ -164,14 +182,19 @@ func (e *executor) eval(n *algebra.Node) (*engine.Table, error) {
 			return nil, err
 		}
 	}
+	if endSpan != nil {
+		endSpan()
+	}
 	// Attribute the summed per-worker busy time when it exceeds the
 	// coordinator's wall time (it does, on a multicore pool): the profile
 	// then reports work performed per origin, comparable to serial runs.
-	d := time.Since(start)
+	wall := time.Since(start)
+	d := wall
 	if busy > d {
 		d = busy
 	}
 	e.ex.Record(n, d, t.NumRows())
+	e.ex.CollectOp(n, wall, ins, t)
 	if !charged {
 		if err := e.ex.ChargeCells(int64(t.NumRows()) * int64(len(t.Cols))); err != nil {
 			return nil, err
@@ -201,20 +224,30 @@ func (e *executor) parOp(n *algebra.Node, ins []*engine.Table) (*opResult, error
 	return nil, nil
 }
 
-// runTasks drains tasks over up to e.workers goroutines (atomic index
-// pull, so uneven morsels balance). Workers check the shared deadline
-// between tasks and stop after the first error; the summed per-worker
-// busy time is returned for profile attribution.
-func (e *executor) runTasks(tasks []func() error) (time.Duration, error) {
+// runTasks drains n's morsel tasks over up to e.workers goroutines
+// (atomic index pull, so uneven morsels balance). Workers check the
+// shared deadline between tasks and stop after the first error; the
+// summed per-worker busy time is returned for profile attribution.
+// When collection is on, every morsel is attributed to (n, worker), and
+// when tracing is on each morsel emits a span on track worker+1 (track 0
+// is the coordinator).
+func (e *executor) runTasks(n *algebra.Node, tasks []func() error) (time.Duration, error) {
 	w := e.workers
 	if w > len(tasks) {
 		w = len(tasks)
+	}
+	collect := e.ex.Collector()
+	tracer := e.ex.Tracer()
+	label := ""
+	if tracer != nil {
+		label = algebra.Label(n)
 	}
 	var next, busy atomic.Int64
 	var mu sync.Mutex
 	var firstErr error
 	var wg sync.WaitGroup
 	for g := 0; g < w; g++ {
+		g := g
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -233,7 +266,19 @@ func (e *executor) runTasks(tasks []func() error) (time.Duration, error) {
 				}
 				err := e.ex.CheckDeadline()
 				if err == nil {
+					var end func()
+					if tracer != nil {
+						end = tracer.StartSpan(g+1, "morsel", label)
+					}
+					m0 := time.Now()
 					err = runMorsel(tasks[i])
+					if end != nil {
+						end()
+					}
+					obs.MorselsTotal.Inc()
+					if collect != nil {
+						collect.Morsel(n.ID, g, time.Since(m0))
+					}
 				}
 				if err != nil {
 					mu.Lock()
@@ -385,7 +430,7 @@ func (e *executor) parStep(n *algebra.Node, in *engine.Table) (*opResult, error)
 		return nil, nil
 	}
 
-	busy, err := e.runTasks(tasks)
+	busy, err := e.runTasks(n, tasks)
 	if err != nil {
 		return nil, err
 	}
@@ -449,7 +494,7 @@ func (e *executor) parJoin(n *algebra.Node, l, r *engine.Table) (*opResult, erro
 			return e.ex.CheckCells(len(lp), len(l.Cols)+len(r.Cols))
 		}
 	}
-	busy, err := e.runTasks(tasks)
+	busy, err := e.runTasks(n, tasks)
 	if err != nil {
 		return nil, err
 	}
@@ -512,7 +557,7 @@ func (e *executor) parSelect(n *algebra.Node, in *engine.Table) (*opResult, erro
 			return nil
 		}
 	}
-	busy, err := e.runTasks(tasks)
+	busy, err := e.runTasks(n, tasks)
 	if err != nil {
 		return nil, err
 	}
@@ -557,7 +602,7 @@ func (e *executor) parBinOp(n *algebra.Node, in *engine.Table) (*opResult, error
 			return nil
 		}
 	}
-	busy, err := e.runTasks(tasks)
+	busy, err := e.runTasks(n, tasks)
 	if err != nil {
 		xdm.PutItems(out)
 		return nil, err
@@ -588,7 +633,7 @@ func (e *executor) parMap1(n *algebra.Node, in *engine.Table) (*opResult, error)
 			return nil
 		}
 	}
-	busy, err := e.runTasks(tasks)
+	busy, err := e.runTasks(n, tasks)
 	if err != nil {
 		xdm.PutItems(out)
 		return nil, err

@@ -3,6 +3,7 @@ package xdm
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Size-classed buffer pool for column backing slices.
@@ -26,6 +27,21 @@ const minPooledCap = 64
 // maxClass bounds the class index (2^47 cells is far beyond any budget).
 const maxClass = 48
 
+// Pool traffic counters: a Get satisfied from a pooled buffer is a hit, a
+// Get that had to allocate a poolable-size buffer is a miss (sub-minimum
+// requests are neither — the pool never sees them). The counters are
+// process-global atomics, always on: two uncontended atomic adds cost
+// nothing next to the slice work they count, and the observability layer
+// (internal/obs) reads per-run deltas from them without any toggling.
+var poolHits, poolMisses atomic.Int64
+
+// PoolStats returns the cumulative pool hit and miss counts since process
+// start. Per-run figures are deltas between two calls; with concurrent
+// executions the deltas attribute traffic to whichever run reads them.
+func PoolStats() (hits, misses int64) {
+	return poolHits.Load(), poolMisses.Load()
+}
+
 type slicePool[T any] struct {
 	classes [maxClass]sync.Pool
 }
@@ -38,8 +54,10 @@ func (p *slicePool[T]) get(n int) []T {
 		c := bits.Len(uint(n - 1)) // ceiling class: 2^c >= n
 		if c < maxClass {
 			if v := p.classes[c].Get(); v != nil {
+				poolHits.Add(1)
 				return (*(v.(*[]T)))[:n]
 			}
+			poolMisses.Add(1)
 			return make([]T, n, 1<<c)
 		}
 	}
