@@ -17,6 +17,7 @@
 //	2  parse or compile error (static; position printed when known)
 //	3  cutoff (timeout, memory limit) or cancellation
 //	4  internal error (recovered engine panic; phase and plan printed)
+//	5  overload (shed by the resource governor; retry after the printed hint)
 package main
 
 import (
@@ -51,6 +52,10 @@ func main() {
 		timeoutSec = flag.Float64("timeout", 0, "execution cutoff in seconds (0 = none)")
 		maxCells   = flag.Int64("maxcells", 0, "memory cutoff in intermediate table cells (0 = none)")
 		parallelN  = flag.Int("parallel", 0, "morsel-wise parallel execution with this many workers (0 = serial, -1 = GOMAXPROCS)")
+		govSlots   = flag.Int("gov-slots", 0, "resource governor: admission slots (0 = no governor)")
+		govQueue   = flag.Int("gov-queue", 0, "resource governor: admission queue depth (0 = 8x slots)")
+		govWaitSec = flag.Float64("gov-wait", 0, "resource governor: max seconds a query may wait queued (0 = unbounded)")
+		govBytes   = flag.Int64("gov-bytes", 0, "resource governor: global memory ledger in bytes (0 = unlimited)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of query execution to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile (after execution) to this file")
 	)
@@ -86,6 +91,14 @@ func main() {
 	}
 	if *parallelN != 0 {
 		opts = append(opts, exrquy.WithParallelism(*parallelN))
+	}
+	if *govSlots > 0 || *govBytes > 0 {
+		opts = append(opts, exrquy.WithGovernor(exrquy.NewGovernor(exrquy.GovernorConfig{
+			MaxConcurrent: *govSlots,
+			MaxQueue:      *govQueue,
+			QueueTimeout:  time.Duration(*govWaitSec * float64(time.Second)),
+			MaxBytes:      *govBytes,
+		})))
 	}
 	var trace *exrquy.JSONTrace
 	if *traceFile != "" {
@@ -214,6 +227,8 @@ func exitCode(err error) int {
 		return 1
 	case errors.Is(err, exrquy.ErrParse), errors.Is(err, exrquy.ErrCompile):
 		return 2
+	case errors.Is(err, exrquy.ErrOverload):
+		return 5
 	case errors.Is(err, exrquy.ErrCutoff), errors.Is(err, exrquy.ErrCanceled):
 		return 3
 	case errors.Is(err, exrquy.ErrInternal):
@@ -238,6 +253,9 @@ func fatal(err error, format string, args ...any) {
 		if qe.Plan != "" {
 			fmt.Fprintf(os.Stderr, "exrquy:   plan:\n%s", qe.Plan)
 		}
+	}
+	if ra, ok := exrquy.RetryAfterOf(err); ok {
+		fmt.Fprintf(os.Stderr, "exrquy:   retry after: %v\n", ra)
 	}
 	os.Exit(exitCode(err))
 }

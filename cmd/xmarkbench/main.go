@@ -7,6 +7,10 @@
 //	xmarkbench -parallel            serial vs morsel-wise parallel execution
 //	xmarkbench -json FILE           benchmark trajectory (typed vs boxed,
 //	                                serial vs parallel) as JSON
+//	xmarkbench -json FILE -concurrency N
+//	                                also measure N concurrent clients through
+//	                                a shared resource governor (throughput,
+//	                                latency, shedding, degradation)
 //
 // Document sizes are scaled to in-memory Go scale; the paper's 30 s
 // cutoff convention is kept (queries that exceed it report "cutoff", as
@@ -39,6 +43,7 @@ func main() {
 		cutoff    = flag.Duration("cutoff", 30*time.Second, "per-run cutoff (paper: 30s)")
 		repeats   = flag.Int("repeats", 3, "measurements per point (median)")
 		stats     = flag.Bool("stats", false, "attach per-operator statistics (obs.OpStats) to every -json trajectory row")
+		concN     = flag.Int("concurrency", 0, "add contention rows to -json: N clients pushing queries through a shared resource governor (throughput, p50/p95 latency, shed and degraded counts)")
 	)
 	flag.Parse()
 
@@ -90,11 +95,12 @@ func main() {
 			ids = append(ids, id)
 		}
 		opts := bench.TrajectoryOptions{
-			Factor:  *factor,
-			Queries: ids,
-			Workers: *workers,
-			Repeats: *repeats,
-			Stats:   *stats,
+			Factor:      *factor,
+			Queries:     ids,
+			Workers:     *workers,
+			Repeats:     *repeats,
+			Stats:       *stats,
+			Concurrency: *concN,
 		}
 		if err := bench.WriteTrajectoryJSON(*jsonPath, opts, os.Stdout); err != nil {
 			fatal("json: %v", err)

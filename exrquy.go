@@ -31,10 +31,12 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/governor"
 	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/opt"
@@ -80,7 +82,21 @@ var (
 	// ErrLimit marks tripped input guards (document size, nesting depth,
 	// node count, query nesting); wraps ErrParse.
 	ErrLimit = qerr.ErrLimit
+	// ErrOverload marks load shedding by a resource governor: the query
+	// was rejected before execution because the admission queue was full
+	// or its queue deadline passed. Overload errors are retryable and may
+	// carry a retry hint (RetryAfterOf).
+	ErrOverload = qerr.ErrOverload
 )
+
+// IsRetryable reports whether err is transient — overload, timeout or
+// cancellation — so the same query may succeed if simply retried
+// (after the RetryAfterOf hint, for overloads).
+func IsRetryable(err error) bool { return qerr.IsRetryable(err) }
+
+// RetryAfterOf extracts the retry hint from an overload error; ok is
+// false when err carries none.
+func RetryAfterOf(err error) (time.Duration, bool) { return qerr.RetryAfterOf(err) }
 
 // QueryError is the structured error type behind the sentinels above.
 type QueryError = qerr.Error
@@ -122,6 +138,7 @@ type options struct {
 	parallelism  int
 	collect      bool
 	tracer       Tracer
+	governor     *governor.Governor
 }
 
 // Option configures an Engine.
@@ -183,6 +200,40 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// Resource-governance re-exports. The governor lives in
+// internal/governor; these aliases expose it without importing internal
+// packages.
+type (
+	// Governor is a process-wide resource governor: admission control
+	// with a bounded FIFO wait queue, load shedding (ErrOverload), a
+	// shared memory ledger all admitted queries draw from, and graceful
+	// degradation (parallel plans forced serial under pressure — safe
+	// because only order-indifferent plan regions ever run parallel, so
+	// serial and parallel execution produce identical results). Share one
+	// Governor across every Engine in the process via WithGovernor.
+	Governor = governor.Governor
+	// GovernorConfig configures a Governor (see NewGovernor).
+	GovernorConfig = governor.Config
+	// GovernorStats is a point-in-time snapshot of a Governor's gauges
+	// and counters.
+	GovernorStats = governor.Stats
+)
+
+// NewGovernor builds a resource governor from cfg. The zero config is
+// usable: 2×GOMAXPROCS admission slots, an 8×-deep wait queue, no queue
+// deadline and an unlimited memory ledger.
+func NewGovernor(cfg GovernorConfig) *Governor { return governor.New(cfg) }
+
+// WithGovernor routes every execution of this Engine through g: queries
+// are admitted (possibly queueing, possibly shed with ErrOverload),
+// draw intermediate-result memory from g's shared ledger (exhaustion
+// surfaces as ErrMemoryLimit), and run degraded when admitted under
+// pressure. Pass the same *Governor to several Engines to govern them
+// as one pool. Nil (the default) disables governance.
+func WithGovernor(g *Governor) Option {
+	return func(o *options) { o.governor = g }
+}
+
 // Observability re-exports. The collection machinery lives in
 // internal/obs; these aliases make the structured statistics usable from
 // the public API without importing internal packages.
@@ -231,12 +282,35 @@ func WithTracer(t Tracer) Option {
 	return func(o *options) { o.tracer = t }
 }
 
-// Engine holds loaded documents and configuration; it is safe for
-// concurrent query execution once all documents are loaded.
+// Engine holds loaded documents and configuration. It is safe for
+// concurrent use: queries may execute while documents are being loaded
+// (the document registry is lock-guarded, and every execution works
+// against a point-in-time snapshot of it — a query sees exactly the
+// documents registered when it started).
 type Engine struct {
+	mu    sync.RWMutex
 	store *xmltree.Store
 	docs  map[string]uint32
 	opts  options
+}
+
+// register adds a parsed fragment to the store and registry.
+func (e *Engine) register(name string, id uint32) {
+	e.mu.Lock()
+	e.docs[name] = id
+	e.mu.Unlock()
+}
+
+// docsSnapshot copies the registry for one execution, so a concurrent
+// LoadDocument cannot race with the running query's doc() lookups.
+func (e *Engine) docsSnapshot() map[string]uint32 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	snap := make(map[string]uint32, len(e.docs))
+	for n, id := range e.docs {
+		snap[n] = id
+	}
+	return snap
 }
 
 // New creates an engine. By default order indifference and all plan
@@ -259,7 +333,7 @@ func (e *Engine) LoadDocument(name string, r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	e.docs[name] = e.store.Add(f)
+	e.register(name, e.store.Add(f))
 	return nil
 }
 
@@ -269,7 +343,7 @@ func (e *Engine) LoadDocumentString(name, doc string) error {
 	if err != nil {
 		return err
 	}
-	e.docs[name] = e.store.Add(f)
+	e.register(name, e.store.Add(f))
 	return nil
 }
 
@@ -277,15 +351,17 @@ func (e *Engine) LoadDocumentString(name, doc string) error {
 // scale factor (1.0 ≈ 25,500 persons) and registers it under name.
 func (e *Engine) LoadXMark(name string, factor float64) {
 	f := xmark.Generate(xmark.Config{Factor: factor})
-	e.docs[name] = e.store.Add(f)
+	e.register(name, e.store.Add(f))
 }
 
 // Documents lists the registered document names in sorted order.
 func (e *Engine) Documents() []string {
+	e.mu.RLock()
 	out := make([]string, 0, len(e.docs))
 	for n := range e.docs {
 		out = append(out, n)
 	}
+	e.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -301,7 +377,9 @@ type DocumentInfo struct {
 
 // DocumentStats returns node statistics for a loaded document.
 func (e *Engine) DocumentStats(name string) (DocumentInfo, error) {
+	e.mu.RLock()
 	id, ok := e.docs[name]
+	e.mu.RUnlock()
 	if !ok {
 		return DocumentInfo{}, fmt.Errorf("exrquy: unknown document %q", name)
 	}
@@ -324,6 +402,7 @@ func (e *Engine) coreConfig() core.Config {
 		Parallelism:       e.opts.parallelism,
 		Collect:           e.opts.collect,
 		Tracer:            e.opts.tracer,
+		Governor:          e.opts.governor,
 		Opt: opt.Options{
 			ColumnAnalysis:   e.opts.optim.ColumnAnalysis,
 			RownumRelax:      e.opts.optim.RownumRelax,
@@ -457,7 +536,7 @@ func (e *Engine) QueryContext(ctx context.Context, query string) (*Result, error
 // (strict ordered semantics) — the correctness oracle and the
 // conventional-processor baseline.
 func (e *Engine) Reference(query string) (*Result, error) {
-	ip := interp.New(e.store, e.docs)
+	ip := interp.New(e.store, e.docsSnapshot())
 	res, err := ip.EvalString(query)
 	if err != nil {
 		return nil, err
@@ -480,11 +559,15 @@ func (q *Query) Execute() (*Result, error) {
 // ExecuteContext runs the plan under a context; see QueryContext for the
 // cancellation contract.
 func (q *Query) ExecuteContext(ctx context.Context) (*Result, error) {
-	res, err := q.prepared.RunContext(ctx, q.eng.store, q.eng.docs)
+	res, err := q.prepared.RunContext(ctx, q.eng.store, q.eng.docsSnapshot())
 	if err != nil {
 		return nil, err
 	}
-	return &Result{items: res.Items, store: res.Store, profile: res.Profile, elapsed: res.Elapsed, stats: res.Stats}, nil
+	return &Result{
+		items: res.Items, store: res.Store, profile: res.Profile,
+		elapsed: res.Elapsed, stats: res.Stats,
+		degraded: res.Degraded, queueWait: res.QueueWait,
+	}, nil
 }
 
 // Explain renders the optimized plan DAG as indented text.
@@ -501,11 +584,15 @@ func (q *Query) Analyze() (*Result, string, error) {
 // AnalyzeContext is Analyze under a context (see QueryContext for the
 // cancellation contract).
 func (q *Query) AnalyzeContext(ctx context.Context) (*Result, string, error) {
-	res, text, err := q.prepared.Analyze(ctx, q.eng.store, q.eng.docs)
+	res, text, err := q.prepared.Analyze(ctx, q.eng.store, q.eng.docsSnapshot())
 	if err != nil {
 		return nil, "", err
 	}
-	return &Result{items: res.Items, store: res.Store, profile: res.Profile, elapsed: res.Elapsed, stats: res.Stats}, text, nil
+	return &Result{
+		items: res.Items, store: res.Store, profile: res.Profile,
+		elapsed: res.Elapsed, stats: res.Stats,
+		degraded: res.Degraded, queueWait: res.QueueWait,
+	}, text, nil
 }
 
 // Text returns the query source.
@@ -530,11 +617,13 @@ type ProfileEntry = engine.ProfileEntry
 
 // Result is an executed query result.
 type Result struct {
-	items   []xdm.Item
-	store   *xmltree.Store
-	profile []ProfileEntry
-	elapsed time.Duration
-	stats   *RunStats
+	items     []xdm.Item
+	store     *xmltree.Store
+	profile   []ProfileEntry
+	elapsed   time.Duration
+	stats     *RunStats
+	degraded  bool
+	queueWait time.Duration
 }
 
 // Len returns the number of items in the result sequence.
@@ -571,3 +660,15 @@ func (r *Result) Elapsed() time.Duration { return r.elapsed }
 // unless the engine was built WithCollect (or the result came from
 // Analyze). The RunStats marshals to JSON for external tooling.
 func (r *Result) Stats() *RunStats { return r.stats }
+
+// Degraded reports whether a resource governor downgraded this
+// execution (parallel plan forced serial) because the process was under
+// pressure when the query was admitted. Always false without
+// WithGovernor. A degraded result is identical to the undegraded one —
+// only order-indifferent plan regions run parallel in the first place.
+func (r *Result) Degraded() bool { return r.degraded }
+
+// QueueWait returns how long the query waited in the governor's
+// admission queue before executing (zero without WithGovernor, or when
+// a slot was free immediately).
+func (r *Result) QueueWait() time.Duration { return r.queueWait }

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/governor"
+	"repro/internal/qerr"
+	"repro/internal/xmarkq"
+)
+
+// Contention measures multi-query throughput and latency: conc client
+// goroutines each push `repeats` executions of the same prepared query
+// through one shared resource governor. Unlike the serial/parallel
+// trajectory rows (which measure one query on an idle process), these
+// rows measure the process under load — queueing, load shedding and
+// degradation included — so the trajectory file records how admission
+// control behaves, not just how fast a kernel is.
+//
+// A client shed with ErrOverload backs off for the error's RetryAfter
+// hint and retries (the retry is counted in the row's Shed); every
+// client therefore completes all of its repeats, and the reported QPS
+// is goodput, with shedding visible as added latency.
+func contentionRows(env *Env, queryIDs []int, conc, repeats int, w io.Writer) ([]TrajectoryRow, error) {
+	mode := fmt.Sprintf("concurrent%d", conc)
+	if w != nil {
+		fmt.Fprintf(w, "contention: %d clients x %d runs, %d admission slots\n",
+			conc, repeats, runtime.GOMAXPROCS(0))
+		fmt.Fprintf(w, "%-6s %-14s %14s %14s %10s %8s %8s\n",
+			"query", "mode", "ns/op(p50)", "ns/op(p95)", "qps", "shed", "degr")
+	}
+	var rows []TrajectoryRow
+	for _, id := range queryIDs {
+		q := xmarkq.Get(id)
+		name, text := q.Name, q.Text
+		// A fresh governor per query keeps the counters attributable; slots
+		// default to GOMAXPROCS so conc > slots exercises the wait queue.
+		gov := governor.New(governor.Config{MaxConcurrent: runtime.GOMAXPROCS(0)})
+		cfg := indifferenceCfg(0)
+		cfg.Governor = gov
+		p, err := core.Prepare(text, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", name, mode, err)
+		}
+		// One warm-up pass before the clock starts.
+		if _, err := p.RunContext(context.Background(), env.Store, env.Docs); err != nil {
+			return nil, fmt.Errorf("%s/%s: warm-up: %w", name, mode, err)
+		}
+
+		var (
+			mu        sync.Mutex
+			latencies []time.Duration
+			shed      int64
+			runErr    error
+		)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < conc; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				local := make([]time.Duration, 0, repeats)
+				var localShed int64
+				for i := 0; i < repeats; i++ {
+					t0 := time.Now()
+					for {
+						_, err := p.RunContext(context.Background(), env.Store, env.Docs)
+						if err == nil {
+							break
+						}
+						if errors.Is(err, qerr.ErrOverload) {
+							localShed++
+							if hint, ok := qerr.RetryAfterOf(err); ok {
+								time.Sleep(hint)
+							}
+							continue
+						}
+						mu.Lock()
+						if runErr == nil {
+							runErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					local = append(local, time.Since(t0))
+				}
+				mu.Lock()
+				latencies = append(latencies, local...)
+				shed += localShed
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if runErr != nil {
+			return nil, fmt.Errorf("%s/%s: %w", name, mode, runErr)
+		}
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		st := gov.Stats()
+		row := TrajectoryRow{
+			Query:      name,
+			Mode:       mode,
+			Typed:      true,
+			NsPerOp:    percentile(latencies, 50).Nanoseconds(),
+			P95NsPerOp: percentile(latencies, 95).Nanoseconds(),
+			QPS:        float64(len(latencies)) / elapsed.Seconds(),
+			Shed:       shed,
+			Degraded:   st.Downgrades,
+		}
+		rows = append(rows, row)
+		if w != nil {
+			fmt.Fprintf(w, "%-6s %-14s %14d %14d %10.1f %8d %8d\n",
+				row.Query, row.Mode, row.NsPerOp, row.P95NsPerOp, row.QPS, row.Shed, row.Degraded)
+		}
+	}
+	return rows, nil
+}
+
+// percentile returns the pth percentile of sorted durations (nearest
+// rank); zero for an empty slice.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)*p + 99) / 100
+	if i > 0 {
+		i--
+	}
+	return sorted[i]
+}

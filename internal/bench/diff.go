@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 )
 
 // Trajectory regression gate. Diff compares a freshly measured trajectory
@@ -74,6 +75,14 @@ func Diff(base, cur *TrajectoryReport, th DiffThresholds) ([]DiffEntry, error) {
 	}
 	var out []DiffEntry
 	for _, b := range base.Rows {
+		// Contention rows ("concurrent<N>", xmarkbench -concurrency) record
+		// behavior under deliberate overload — queueing, shedding, machine
+		// load — so their latency is not a kernel-regression signal. They
+		// are informational in the trajectory file and invisible to the
+		// gate, in baseline and current alike.
+		if strings.HasPrefix(b.Mode, "concurrent") {
+			continue
+		}
 		c, ok := curRows[rowKey{b.Query, b.Mode, b.Typed}]
 		if !ok {
 			return nil, fmt.Errorf("row %s/%s/typed=%v present in baseline but missing from current run", b.Query, b.Mode, b.Typed)

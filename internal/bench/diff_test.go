@@ -130,3 +130,30 @@ func TestDiffCustomThresholds(t *testing.T) {
 		t.Error("tightened ns threshold not honoured")
 	}
 }
+
+func TestDiffSkipsContentionRows(t *testing.T) {
+	base := diffBaseline()
+	base.Rows = append(base.Rows, TrajectoryRow{
+		Query: "Q1", Mode: "concurrent16", Typed: true,
+		NsPerOp: 2_000_000, P95NsPerOp: 9_000_000, QPS: 120, Shed: 3, Degraded: 7,
+	})
+	// The contention row regresses 10x AND vanishes from the current run:
+	// both must be invisible to the gate.
+	cur := copyReport(base)
+	cur.Rows = cur.Rows[:len(cur.Rows)-1]
+	entries, err := Diff(base, cur, DiffThresholds{})
+	if err != nil {
+		t.Fatalf("gate errored on a vanished contention row: %v", err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("got %d entries, want 6 (contention row must not be compared)", len(entries))
+	}
+	if Regressed(entries) {
+		t.Errorf("gate regressed: %+v", entries)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Mode, "concurrent") {
+			t.Errorf("contention row leaked into the gate: %+v", e)
+		}
+	}
+}

@@ -23,12 +23,21 @@ import (
 // after the timed runs, so collection never perturbs the measurements.
 type TrajectoryRow struct {
 	Query       string        `json:"query"`
-	Mode        string        `json:"mode"`  // "serial" or "parallel"
+	Mode        string        `json:"mode"`  // "serial", "parallel" or "concurrent<N>"
 	Typed       bool          `json:"typed"` // false = boxed []Item storage (xdm.ForceBoxed)
 	NsPerOp     int64         `json:"ns_per_op"`
 	AllocsPerOp uint64        `json:"allocs_per_op"`
 	BytesPerOp  uint64        `json:"bytes_per_op"`
 	Ops         []obs.OpStats `json:"ops,omitempty"`
+	// Contention extras (xmarkbench -concurrency N, mode "concurrent<N>"):
+	// multi-client throughput/latency through a resource governor. Zero
+	// for serial/parallel rows. The benchdiff gate skips concurrent rows —
+	// contention latency is machine-load noise, not a kernel regression
+	// signal (NsPerOp here is the p50 under load).
+	P95NsPerOp int64   `json:"p95_ns_per_op,omitempty"`
+	QPS        float64 `json:"qps,omitempty"`
+	Shed       int64   `json:"shed,omitempty"`
+	Degraded   int64   `json:"degraded,omitempty"`
 }
 
 // TrajectoryMeta stamps the run configuration into the trajectory file:
@@ -60,22 +69,24 @@ type TrajectorySummary struct {
 // new files rather than rewriting old ones, so the sequence of files is
 // the performance trajectory of the repository.
 type TrajectoryReport struct {
-	Factor     float64             `json:"factor"`
-	Workers    int                 `json:"workers"`
-	GoMaxProcs int                 `json:"gomaxprocs"`
-	Repeats    int                 `json:"repeats"`
-	Meta       TrajectoryMeta      `json:"meta"`
-	Rows       []TrajectoryRow     `json:"rows"`
-	Summaries  []TrajectorySummary `json:"summaries"`
+	Factor      float64             `json:"factor"`
+	Workers     int                 `json:"workers"`
+	GoMaxProcs  int                 `json:"gomaxprocs"`
+	Repeats     int                 `json:"repeats"`
+	Concurrency int                 `json:"concurrency,omitempty"` // clients of the "concurrent<N>" rows
+	Meta        TrajectoryMeta      `json:"meta"`
+	Rows        []TrajectoryRow     `json:"rows"`
+	Summaries   []TrajectorySummary `json:"summaries"`
 }
 
 // TrajectoryOptions configures a trajectory measurement.
 type TrajectoryOptions struct {
-	Factor  float64
-	Queries []int // XMark query numbers
-	Workers int   // parallel-row pool size; <=0 means GOMAXPROCS
-	Repeats int   // timed runs per row; <1 means 3
-	Stats   bool  // attach per-operator OpStats to every row
+	Factor      float64
+	Queries     []int // XMark query numbers
+	Workers     int   // parallel-row pool size; <=0 means GOMAXPROCS
+	Repeats     int   // timed runs per row; <1 means 3
+	Stats       bool  // attach per-operator OpStats to every row
+	Concurrency int   // >0 adds "concurrent<N>" contention rows with N clients
 }
 
 // measureOne runs a prepared query repeats times and reports the median
@@ -191,6 +202,17 @@ func Trajectory(opts TrajectoryOptions, w io.Writer) (*TrajectoryReport, error) 
 				}
 			}
 		}
+	}
+	// Contention rows: multi-client throughput/latency through a shared
+	// resource governor. Appended after the per-query matrix so the
+	// steady-state rows above are measured on an otherwise idle process.
+	if opts.Concurrency > 0 {
+		rows, err := contentionRows(env, queryIDs, opts.Concurrency, repeats, w)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, rows...)
+		rep.Concurrency = opts.Concurrency
 	}
 	// Typed-versus-boxed summaries per (query, mode).
 	byKey := map[[2]string]map[bool]TrajectoryRow{}

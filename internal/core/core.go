@@ -21,6 +21,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/compile"
 	"repro/internal/engine"
+	"repro/internal/governor"
 	"repro/internal/norm"
 	"repro/internal/obs"
 	"repro/internal/opt"
@@ -71,6 +72,14 @@ type Config struct {
 	// per-morsel spans ("morsel") on worker tracks. obs.NewJSONTrace writes
 	// chrome://tracing-compatible output.
 	Tracer obs.Tracer
+	// Governor, when non-nil, routes every execution through the
+	// process-wide resource governor: admission control (possibly
+	// queueing, possibly shedding with qerr.ErrOverload), a shared byte
+	// ledger charged alongside the per-query cell budget, and graceful
+	// degradation — a lease admitted under pressure runs its Par-marked
+	// plan regions on the serial engine. Shared across Configs/Engines by
+	// design; the budgets are process-global.
+	Governor *governor.Governor
 }
 
 // DefaultConfig enables everything — the paper's "order indifference
@@ -226,6 +235,26 @@ func (p *Prepared) Run(store *xmltree.Store, docs map[string]uint32) (*engine.Re
 // execution come back as qerr.ErrInternal carrying the optimized plan's
 // Explain() dump.
 func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs map[string]uint32) (*engine.Result, error) {
+	// Admission control: with a governor configured, every execution
+	// first claims a slot (possibly queueing, possibly being shed with
+	// qerr.ErrOverload) and draws its memory from the shared ledger. A
+	// lease admitted under pressure degrades the run: Par-marked plan
+	// regions fall back to the serial engine — safe because the parallel
+	// executor only ever touches order-indifferent regions, whose results
+	// are identical either way.
+	var lease *governor.Lease
+	var memory *xdm.Account
+	degraded := false
+	if g := p.cfg.Governor; g != nil {
+		var err error
+		lease, err = g.Admit(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer lease.Release()
+		memory = lease.Account()
+		degraded = lease.Degraded()
+	}
 	var collect *obs.Collector
 	if p.cfg.Collect {
 		collect = obs.NewCollector()
@@ -233,12 +262,13 @@ func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs ma
 	end := p.cfg.span("execute")
 	var res *engine.Result
 	var err error
-	if w := parallelWorkers(p.cfg.Parallelism); w > 1 {
+	if w := parallelWorkers(p.cfg.Parallelism); w > 1 && !degraded {
 		res, err = parallel.Run(p.Plan.Root, store, docs, parallel.Options{
 			Context:           ctx,
 			Workers:           w,
 			Timeout:           p.cfg.Timeout,
 			MaxCells:          p.cfg.MaxCells,
+			Memory:            memory,
 			InterestingOrders: p.cfg.InterestingOrders,
 			Collect:           collect,
 			Tracer:            p.cfg.Tracer,
@@ -248,6 +278,7 @@ func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs ma
 			Context:           ctx,
 			Timeout:           p.cfg.Timeout,
 			MaxCells:          p.cfg.MaxCells,
+			Memory:            memory,
 			InterestingOrders: p.cfg.InterestingOrders,
 			Collect:           collect,
 			Tracer:            p.cfg.Tracer,
@@ -259,6 +290,14 @@ func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs ma
 			qerr.AttachPlan(err, p.Explain())
 		}
 		return nil, err
+	}
+	if lease != nil {
+		res.Degraded = degraded
+		res.QueueWait = lease.QueueWait()
+		if res.Stats != nil {
+			res.Stats.Degraded = degraded
+			res.Stats.QueueWait = lease.QueueWait()
+		}
 	}
 	return res, nil
 }

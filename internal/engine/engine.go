@@ -32,6 +32,14 @@ type Options struct {
 	// one execution (a memory cutoff for intermediate-result blowups);
 	// zero means no limit.
 	MaxCells int64
+	// Memory, when non-nil, charges materialized cells (at
+	// xdm.NominalCellBytes each) against a process-wide byte ledger
+	// account — the multi-query governor's shared budget. A failed
+	// reservation aborts the execution with qerr.ErrMemoryLimit naming
+	// the exhausted bound (global ledger or per-query quota), its limit
+	// and the observed usage. The account's lifetime is the caller's:
+	// the engine only reserves, it never closes.
+	Memory *xdm.Account
 	// InterestingOrders enables the physical-layer sortedness check on ρ
 	// (§6's [15] reference): when a ρ input already arrives in the
 	// required order (e.g. straight from a staircase join), the sort is
@@ -83,6 +91,14 @@ type Result struct {
 	Profile []ProfileEntry
 	Elapsed time.Duration
 	Stats   *obs.RunStats
+	// Degraded reports that the resource governor downgraded this
+	// execution under pressure (a Par-marked plan ran serial). Set by
+	// package core after the run; always false without a governor.
+	Degraded bool
+	// QueueWait is the time the query spent in the governor's admission
+	// queue before executing (zero without a governor, or when a slot
+	// was free immediately).
+	QueueWait time.Duration
 }
 
 // SerializeXML renders the result per the XQuery serialization rules.
@@ -130,6 +146,7 @@ type Exec struct {
 	deadline  time.Time
 	maxCells  int64
 	cells     atomic.Int64
+	mem       *xdm.Account
 	intOrders bool
 	// Buffer recycling (EnableRecycling): uses counts the not-yet-evaluated
 	// consumers of each DAG node, colRefs counts the memoized tables each
@@ -154,6 +171,7 @@ func NewExec(base *xmltree.Store, docs map[string]uint32, opts Options) *Exec {
 		prof:      make(map[string]*ProfileEntry),
 		ctx:       opts.Context,
 		maxCells:  opts.MaxCells,
+		mem:       opts.Memory,
 		intOrders: opts.InterestingOrders,
 		collect:   opts.Collect,
 		tracer:    opts.Tracer,
@@ -272,10 +290,25 @@ func (ex *Exec) CheckDeadline() error {
 	return nil
 }
 
-// memoryLimitErr classifies a cell-budget overrun.
-func (ex *Exec) memoryLimitErr() error {
+// memoryLimitErr classifies a cell-budget overrun, naming the configured
+// limit and the observed usage.
+func (ex *Exec) memoryLimitErr(observed int64) error {
 	return qerr.New(qerr.ErrMemoryLimit, "execute",
-		fmt.Errorf("engine: memory limit (%d cells): %w", ex.maxCells, ErrCutoff))
+		fmt.Errorf("engine: memory limit: %d cells materialized, budget %d cells: %w",
+			observed, ex.maxCells, ErrCutoff))
+}
+
+// ledgerLimitErr classifies a failed byte-ledger reservation, naming the
+// exhausted bound (the governor's global ledger or this query's quota),
+// its byte limit and the observed usage.
+func (ex *Exec) ledgerLimitErr(ob *xdm.OverBudget) error {
+	scope := "global memory budget"
+	if ob.Scope == "query" {
+		scope = "per-query memory quota"
+	}
+	return qerr.New(qerr.ErrMemoryLimit, "execute",
+		fmt.Errorf("engine: memory limit: %s exhausted: %d bytes needed, %d of %d bytes in use: %w",
+			scope, ob.Need, ob.Used, ob.Limit, ErrCutoff))
 }
 
 // CheckCells verifies a prospective allocation of rows*cols cells against
@@ -287,25 +320,36 @@ func (ex *Exec) CheckCells(rows, cols int) error {
 	if err := ex.CheckCancel(); err != nil {
 		return err
 	}
-	if ex.maxCells > 0 && ex.cells.Load()+int64(rows)*int64(cols) > ex.maxCells {
-		return ex.memoryLimitErr()
+	cells := int64(rows) * int64(cols)
+	if ex.maxCells > 0 && ex.cells.Load()+cells > ex.maxCells {
+		return ex.memoryLimitErr(ex.cells.Load() + cells)
+	}
+	if ex.mem != nil {
+		if ob := ex.mem.CanReserve(cells * xdm.NominalCellBytes); ob != nil {
+			return ex.ledgerLimitErr(ob)
+		}
 	}
 	return nil
 }
 
-// ChargeCells adds n materialized cells to the shared budget and reports
-// a cutoff error on overrun. Safe for concurrent use. Like CheckCells it
-// polls for cancellation first.
+// ChargeCells adds n materialized cells to the shared budget — the
+// per-execution cell cutoff and, when a governor account is attached, the
+// process-wide byte ledger — and reports a cutoff error on overrun. Safe
+// for concurrent use. Like CheckCells it polls for cancellation first.
 func (ex *Exec) ChargeCells(n int64) error {
 	obs.CellsTotal.Add(n)
 	if err := ex.CheckCancel(); err != nil {
 		return err
 	}
-	if ex.maxCells <= 0 {
-		return nil
+	if ex.maxCells > 0 {
+		if used := ex.cells.Add(n); used > ex.maxCells {
+			return ex.memoryLimitErr(used)
+		}
 	}
-	if ex.cells.Add(n) > ex.maxCells {
-		return ex.memoryLimitErr()
+	if ex.mem != nil {
+		if ob := ex.mem.Reserve(n * xdm.NominalCellBytes); ob != nil {
+			return ex.ledgerLimitErr(ob)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,152 @@
+package governor
+
+import (
+	"sync/atomic"
+
+	"repro/internal/algebra"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// FaultPlan is a deterministic, seeded fault-injection schedule for soak
+// testing the governor. Faults fire on fixed residues of monotonic event
+// counters, with the residue derived from Seed — so the same seed always
+// injects the same fault pattern (which admissions starve, which shed,
+// which kernel evaluations panic) regardless of wall-clock timing, and a
+// failing soak run can be replayed exactly.
+//
+// Three fault classes hit the three subsystems under test:
+//
+//	StarveQuotaEvery  allocation failure: the Nth admission gets a
+//	                  QuotaBytes-byte ledger quota, so its first real
+//	                  materialization fails with qerr.ErrMemoryLimit.
+//	ShedEvery         queue timeout: the Nth admission is shed with
+//	                  qerr.ErrOverload as if its queue deadline passed.
+//	PanicEvery /      worker panic: the Nth kernel evaluation (serial
+//	MorselPanicEvery  EvalHook) or morsel task (parallel MorselHook)
+//	                  panics, exercising the recover barriers.
+//
+// Cancel storms are the test driver's job (ShouldCancel says which
+// queries to storm); the plan only decides, it does not own contexts.
+//
+// Zero fields disable their fault class. The zero FaultPlan injects
+// nothing.
+type FaultPlan struct {
+	// Seed varies which events fault without changing how many.
+	Seed int64
+	// StarveQuotaEvery > 0 gives every Nth admitted query a QuotaBytes
+	// ledger quota instead of the configured one.
+	StarveQuotaEvery int
+	// QuotaBytes is the starved quota; <= 0 means 4096 — room for a few
+	// small operators, never for a real intermediate result.
+	QuotaBytes int64
+	// ShedEvery > 0 sheds every Nth admission with ErrOverload before it
+	// reaches the gate (an injected queue timeout).
+	ShedEvery int
+	// PanicEvery > 0 panics every Nth serial kernel evaluation while the
+	// plan is armed (engine.EvalHook).
+	PanicEvery int
+	// MorselPanicEvery > 0 panics every Nth parallel morsel task while
+	// the plan is armed (parallel.MorselHook).
+	MorselPanicEvery int
+	// CancelEvery > 0 marks every Nth query for a cancel storm
+	// (ShouldCancel); the soak driver cancels those contexts mid-flight.
+	CancelEvery int
+
+	evals   atomic.Int64
+	morsels atomic.Int64
+}
+
+// faultKind is the admission-time fault decision.
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultStarveQuota
+	faultShed
+)
+
+// hits reports whether event number i (0-based) fires for a 1-in-n fault
+// class, at the seed's residue. Nil-safe helpers call with n <= 0 for
+// disabled classes.
+func (f *FaultPlan) hits(i int64, n int) bool {
+	if n <= 0 {
+		return false
+	}
+	residue := f.Seed % int64(n)
+	if residue < 0 {
+		residue += int64(n)
+	}
+	return i%int64(n) == residue
+}
+
+// forAdmission decides the fault for admission number i. Shed takes
+// precedence over starvation when both residues collide. Nil-safe.
+func (f *FaultPlan) forAdmission(i int64) faultKind {
+	if f == nil {
+		return faultNone
+	}
+	if f.hits(i, f.ShedEvery) {
+		return faultShed
+	}
+	if f.hits(i, f.StarveQuotaEvery) {
+		return faultStarveQuota
+	}
+	return faultNone
+}
+
+// starvedQuota returns the byte quota a starved admission receives.
+func (f *FaultPlan) starvedQuota() int64 {
+	if f.QuotaBytes > 0 {
+		return f.QuotaBytes
+	}
+	return 4096
+}
+
+// ShouldCancel reports whether the soak driver should storm query number
+// i (0-based) with cancellation. Nil-safe.
+func (f *FaultPlan) ShouldCancel(i int) bool {
+	if f == nil {
+		return false
+	}
+	return f.hits(int64(i), f.CancelEvery)
+}
+
+// InjectedPanic is the value armed hooks panic with; the recover
+// barriers convert it to qerr.ErrInternal like any other kernel panic.
+const InjectedPanic = "governor: injected fault (FaultPlan)"
+
+// Arm installs the plan's kernel-panic hooks (engine.EvalHook and
+// parallel.MorselHook) and returns the disarm function. The hooks are
+// process-global test seams — Arm must not race with production queries,
+// only with the soak run it belongs to. Event counters keep ticking
+// across Arm/disarm cycles, preserving determinism within one plan.
+func (f *FaultPlan) Arm() (disarm func()) {
+	prevEval, prevMorsel := engine.EvalHook, parallel.MorselHook
+	if f.PanicEvery > 0 {
+		engine.EvalHook = func(n *algebra.Node) {
+			if prevEval != nil {
+				prevEval(n)
+			}
+			if f.hits(f.evals.Add(1)-1, f.PanicEvery) {
+				obs.FaultsInjected.Inc()
+				panic(InjectedPanic)
+			}
+		}
+	}
+	if f.MorselPanicEvery > 0 {
+		parallel.MorselHook = func() {
+			if prevMorsel != nil {
+				prevMorsel()
+			}
+			if f.hits(f.morsels.Add(1)-1, f.MorselPanicEvery) {
+				obs.FaultsInjected.Inc()
+				panic(InjectedPanic)
+			}
+		}
+	}
+	return func() {
+		engine.EvalHook, parallel.MorselHook = prevEval, prevMorsel
+	}
+}

@@ -228,3 +228,31 @@ var (
 	// QueryNanos is the query wall-clock latency distribution in ns.
 	QueryNanos = Default.Histogram("engine_query_latency_ns")
 )
+
+// Governor metrics (internal/governor): admission control, queueing,
+// load shedding, degradation and the shared byte ledger.
+var (
+	// AdmittedTotal counts queries admitted past the governor's gate.
+	AdmittedTotal = Default.Counter("governor_admitted_total")
+	// QueuedTotal counts queries that had to wait in the admission queue.
+	QueuedTotal = Default.Counter("governor_queued_total")
+	// ShedTotal counts queries rejected with ErrOverload (queue full or
+	// queue deadline exceeded).
+	ShedTotal = Default.Counter("governor_shed_total")
+	// DowngradesTotal counts admitted queries executed degraded (parallel
+	// plan forced serial) because the process was under pressure.
+	DowngradesTotal = Default.Counter("governor_downgrades_total")
+	// FaultsInjected counts deterministic faults injected by an armed
+	// governor.FaultPlan (zero in production).
+	FaultsInjected = Default.Counter("governor_faults_injected_total")
+	// ActiveQueries gauges the queries currently holding an admission slot.
+	ActiveQueries = Default.Gauge("governor_active_queries")
+	// QueueDepth gauges the current admission-queue length.
+	QueueDepth = Default.Gauge("governor_queue_depth")
+	// LedgerBytes gauges the bytes currently reserved in the governor's
+	// shared memory ledger.
+	LedgerBytes = Default.Gauge("governor_ledger_bytes")
+	// QueueWaitNanos is the distribution of time spent queued before
+	// admission (admitted queries only; shed queries don't report).
+	QueueWaitNanos = Default.Histogram("governor_queue_wait_ns")
+)

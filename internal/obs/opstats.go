@@ -56,6 +56,12 @@ type RunStats struct {
 	// other's deltas, so treat these as exact only for isolated runs.
 	PoolHits   int64 `json:"pool_hits"`
 	PoolMisses int64 `json:"pool_misses"`
+	// Degraded and QueueWait record the resource governor's admission
+	// decision for this run: whether execution was downgraded (parallel
+	// plan forced serial under pressure) and how long the query waited
+	// for an admission slot. Zero without a governor.
+	Degraded  bool          `json:"degraded,omitempty"`
+	QueueWait time.Duration `json:"queue_wait_ns,omitempty"`
 }
 
 // Op returns the stats for a plan node id, or nil if the node was never

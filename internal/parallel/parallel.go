@@ -45,10 +45,13 @@ type Options struct {
 	// Workers is the worker pool size; zero or negative means
 	// runtime.GOMAXPROCS(0). A pool of one runs the serial engine.
 	Workers int
-	// Timeout, MaxCells and InterestingOrders mirror engine.Options; the
-	// budgets are shared atomically across all workers.
+	// Timeout, MaxCells, Memory and InterestingOrders mirror
+	// engine.Options; the budgets are shared atomically across all
+	// workers (morsel tasks charge the byte-ledger account through the
+	// same ChargeCells sites the serial kernels use).
 	Timeout           time.Duration
 	MaxCells          int64
+	Memory            *xdm.Account
 	InterestingOrders bool
 	// MinMorselRows is the smallest per-morsel work unit (rows for row
 	// kernels, contexts for axis scans); operators with less than two
@@ -97,6 +100,7 @@ func Run(root *algebra.Node, base *xmltree.Store, docs map[string]uint32, opts O
 		Context:           opts.Context,
 		Timeout:           opts.Timeout,
 		MaxCells:          opts.MaxCells,
+		Memory:            opts.Memory,
 		InterestingOrders: opts.InterestingOrders,
 		Collect:           opts.Collect,
 		Tracer:            opts.Tracer,

@@ -6,10 +6,11 @@
 //	ErrParse        static error in the query or document text (has position)
 //	ErrCompile      static error past parsing (normalize/compile)
 //	ErrTimeout      wall-clock cutoff (wraps ErrCutoff)
-//	ErrMemoryLimit  cell-budget cutoff (wraps ErrCutoff)
+//	ErrMemoryLimit  cell/byte-budget cutoff (wraps ErrCutoff)
 //	ErrCanceled     cooperative context cancellation
 //	ErrInternal     engine invariant violation (a recovered panic)
 //	ErrLimit        input guard tripped during parsing (wraps ErrParse)
+//	ErrOverload     admission control shed the query (retryable; RetryAfter hint)
 //
 // The carrier type Error attaches the pipeline phase, a source position
 // when one is known, and — for internal errors — the optimized plan dump
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"strings"
+	"time"
 )
 
 // Sentinel kinds. ErrTimeout and ErrMemoryLimit both wrap ErrCutoff (the
@@ -37,14 +39,46 @@ var (
 	ErrCanceled    = errors.New("query canceled")
 	ErrInternal    = errors.New("internal error")
 	ErrLimit       = fmt.Errorf("input limit: %w", ErrParse)
+	// ErrOverload marks load shedding by the admission controller: the
+	// query was never executed because the process is saturated (wait
+	// queue full, or the queue deadline passed before a slot opened). It
+	// is retryable by construction — nothing about the query itself
+	// failed — and the carrier Error's RetryAfter field gives a backoff
+	// hint (RetryAfterOf reads it from a wrapped chain).
+	ErrOverload = errors.New("overloaded")
 )
+
+// IsRetryable reports whether err describes a transient condition that a
+// caller may reasonably retry unchanged: load shedding (ErrOverload),
+// wall-clock cutoffs (ErrTimeout) and cooperative cancellation
+// (ErrCanceled). Memory-limit cutoffs, static errors and internal errors
+// are not retryable — repeating them reproduces them.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrOverload) || errors.Is(err, ErrTimeout) || errors.Is(err, ErrCanceled)
+}
+
+// Overload builds an ErrOverload Error with a Retry-After-style backoff
+// hint and a formatted message.
+func Overload(retryAfter time.Duration, format string, args ...any) *Error {
+	return &Error{Kind: ErrOverload, Phase: "admit", RetryAfter: retryAfter, Err: fmt.Errorf(format, args...)}
+}
+
+// RetryAfterOf returns the backoff hint recorded in err's chain and
+// whether one was recorded.
+func RetryAfterOf(err error) (time.Duration, bool) {
+	var qe *Error
+	if errors.As(err, &qe) && qe.RetryAfter > 0 {
+		return qe.RetryAfter, true
+	}
+	return 0, false
+}
 
 // Error is the taxonomy's carrier: a classified, phase-attributed error.
 type Error struct {
 	// Kind is one of the package sentinels; errors.Is(e, kind) matches it.
 	Kind error
-	// Phase names the pipeline stage that failed: "parse", "normalize",
-	// "compile", "optimize", "execute".
+	// Phase names the pipeline stage that failed: "admit", "parse",
+	// "normalize", "compile", "optimize", "execute".
 	Phase string
 	// Line and Col locate parse errors in the source (1-based; zero when
 	// unknown).
@@ -54,6 +88,10 @@ type Error struct {
 	Plan string
 	// Stack is the goroutine stack of a recovered panic (internal errors).
 	Stack []byte
+	// RetryAfter is the admission controller's backoff hint on overload
+	// errors (zero otherwise) — the Retry-After header value a serving
+	// layer would put on a 503.
+	RetryAfter time.Duration
 	// Err is the underlying cause; its message is the user-facing text.
 	Err error
 }
@@ -181,6 +219,9 @@ func Describe(err error) string {
 	}
 	if qe.Line > 0 {
 		fmt.Fprintf(&b, "\n  position: line %d, column %d", qe.Line, qe.Col)
+	}
+	if qe.RetryAfter > 0 {
+		fmt.Fprintf(&b, "\n  retry after: %s", qe.RetryAfter)
 	}
 	if qe.Plan != "" {
 		b.WriteString("\n  plan:\n")

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestTaxonomyIs(t *testing.T) {
@@ -112,5 +113,48 @@ func TestPositionAndPlan(t *testing.T) {
 		if !strings.Contains(d, want) {
 			t.Errorf("Describe missing %q:\n%s", want, d)
 		}
+	}
+}
+
+func TestIsRetryable(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{Overload(time.Second, "queue full: %w", ErrOverload), true},
+		{Newf(ErrTimeout, "execute", "deadline"), true},
+		{Newf(ErrCanceled, "execute", "canceled"), true},
+		{Newf(ErrMemoryLimit, "execute", "budget"), false},
+		{Newf(ErrParse, "parse", "syntax"), false},
+		{Newf(ErrInternal, "execute", "panic"), false},
+		{fmt.Errorf("plain"), false},
+	}
+	for _, c := range cases {
+		if got := IsRetryable(c.err); got != c.want {
+			t.Errorf("IsRetryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	// Wrapping must not hide retryability.
+	if !IsRetryable(fmt.Errorf("outer: %w", Overload(0, "shed: %w", ErrOverload))) {
+		t.Error("IsRetryable missed a wrapped overload")
+	}
+}
+
+func TestOverloadCarriesRetryAfter(t *testing.T) {
+	err := Overload(250*time.Millisecond, "admission queue full (%d queued): %w", 16, ErrOverload)
+	if !errors.Is(err, ErrOverload) {
+		t.Fatalf("Overload not classified: %v", err)
+	}
+	if PhaseOf(err) != "admit" {
+		t.Errorf("phase = %q, want admit", PhaseOf(err))
+	}
+	if ra, ok := RetryAfterOf(fmt.Errorf("outer: %w", err)); !ok || ra != 250*time.Millisecond {
+		t.Errorf("RetryAfterOf = (%v, %v), want (250ms, true)", ra, ok)
+	}
+	if _, ok := RetryAfterOf(Newf(ErrTimeout, "execute", "deadline")); ok {
+		t.Error("RetryAfterOf reported a hint on a hintless error")
+	}
+	if d := Describe(err); !strings.Contains(d, "retry after: 250ms") {
+		t.Errorf("Describe missing the retry hint:\n%s", d)
 	}
 }

@@ -1,0 +1,125 @@
+package xdm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLedgerReserveRelease(t *testing.T) {
+	l := NewLedger(1000)
+	if !l.reserve(600) {
+		t.Fatal("reserve 600/1000 refused")
+	}
+	if l.reserve(500) {
+		t.Fatal("reserve 500 with 400 free succeeded")
+	}
+	if !l.reserve(400) {
+		t.Fatal("reserve exactly to the cap refused")
+	}
+	l.release(1000)
+	if got := l.Used(); got != 0 {
+		t.Errorf("used = %d after full release, want 0", got)
+	}
+	// Unlimited ledger still tracks usage.
+	u := NewLedger(0)
+	if !u.reserve(1 << 40) {
+		t.Error("unlimited ledger refused a reservation")
+	}
+	if got := u.Used(); got != 1<<40 {
+		t.Errorf("unlimited ledger used = %d", got)
+	}
+}
+
+func TestAccountQuotaThenGlobal(t *testing.T) {
+	l := NewLedger(1000)
+	a := l.NewAccount(300)
+	if ob := a.Reserve(200); ob != nil {
+		t.Fatalf("reserve within quota: %+v", ob)
+	}
+	ob := a.Reserve(200)
+	if ob == nil || ob.Scope != "query" {
+		t.Fatalf("quota overrun: %+v, want query scope", ob)
+	}
+	if ob.Limit != 300 || ob.Used != 200 || ob.Need != 200 {
+		t.Errorf("quota overrun detail = %+v, want limit 300, used 200, need 200", ob)
+	}
+	// The refused reservation must not leak into either balance.
+	if a.Used() != 200 || l.Used() != 200 {
+		t.Errorf("balances after refusal: account %d, ledger %d, want 200/200", a.Used(), l.Used())
+	}
+
+	b := l.NewAccount(0) // quota-free, bounded only by the ledger
+	if ob := b.Reserve(900); ob == nil || ob.Scope != "global" {
+		t.Fatalf("global overrun: %+v, want global scope", ob)
+	}
+	// A global refusal rolls the quota charge back too: the account can
+	// still reserve what does fit.
+	if ob := b.Reserve(800); ob != nil {
+		t.Errorf("reserve 800 with 800 free: %+v", ob)
+	}
+
+	a.Close()
+	b.Close()
+	if l.Used() != 0 {
+		t.Errorf("ledger used = %d after both accounts closed, want 0", l.Used())
+	}
+	// Close is idempotent; a second close must not double-release.
+	c := l.NewAccount(0)
+	if ob := c.Reserve(100); ob != nil {
+		t.Fatalf("reserve: %+v", ob)
+	}
+	c.Close()
+	c.Close()
+	if l.Used() != 0 {
+		t.Errorf("ledger used = %d after idempotent close, want 0", l.Used())
+	}
+}
+
+func TestAccountCanReserve(t *testing.T) {
+	l := NewLedger(1000)
+	a := l.NewAccount(100)
+	if ob := a.CanReserve(100); ob != nil {
+		t.Errorf("CanReserve within quota: %+v", ob)
+	}
+	if ob := a.CanReserve(101); ob == nil {
+		t.Error("CanReserve beyond quota succeeded")
+	}
+	// Prospective checks must not reserve anything.
+	if a.Used() != 0 || l.Used() != 0 {
+		t.Errorf("CanReserve reserved: account %d, ledger %d", a.Used(), l.Used())
+	}
+}
+
+// TestLedgerConcurrentDrain is the budget-drift check: many goroutines
+// reserving and closing concurrently must leave the ledger at exactly
+// zero, with no reservation ever exceeding the cap.
+func TestLedgerConcurrentDrain(t *testing.T) {
+	const (
+		goroutines = 16
+		iterations = 200
+		cap        = 1 << 20
+	)
+	l := NewLedger(cap)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				a := l.NewAccount(cap / goroutines)
+				for n := int64(1); n <= 1024; n <<= 2 {
+					a.Reserve(n) // some succeed, some hit the quota — both fine
+					if u := l.Used(); u > cap {
+						t.Errorf("ledger used %d exceeds cap %d", u, cap)
+						break
+					}
+				}
+				a.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Used(); got != 0 {
+		t.Errorf("ledger used = %d after all accounts closed, want 0 (budget drift)", got)
+	}
+}

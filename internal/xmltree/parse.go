@@ -54,7 +54,8 @@ type limitedReader struct {
 
 func (l *limitedReader) Read(p []byte) (int, error) {
 	if l.n <= 0 {
-		return 0, fmt.Errorf("input exceeds %d bytes: %w", l.upper, qerr.ErrLimit)
+		return 0, fmt.Errorf("input exceeds the configured limit of %d bytes (%d bytes read, more present): %w",
+			l.upper, l.upper, qerr.ErrLimit)
 	}
 	if int64(len(p)) > l.n {
 		p = p[:l.n]
@@ -88,7 +89,7 @@ func Parse(r io.Reader, uri string, opts ParseOptions) (*Fragment, error) {
 		switch t := tok.(type) {
 		case xml.StartElement:
 			if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
-				return nil, limitErr(uri, "element nesting exceeds %d levels", opts.MaxDepth)
+				return nil, limitErr(uri, "element nesting of %d exceeds the configured limit of %d levels", depth+1, opts.MaxDepth)
 			}
 			b.StartElem(t.Name.Local)
 			for _, a := range t.Attr {
@@ -112,7 +113,7 @@ func Parse(r io.Reader, uri string, opts ParseOptions) (*Fragment, error) {
 			b.Text(s)
 		}
 		if opts.MaxNodes > 0 && b.frag.Len() > opts.MaxNodes {
-			return nil, limitErr(uri, "document exceeds %d nodes", opts.MaxNodes)
+			return nil, limitErr(uri, "document of %d nodes exceeds the configured limit of %d", b.frag.Len(), opts.MaxNodes)
 		}
 	}
 	if depth != 0 {
