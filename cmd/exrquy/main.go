@@ -21,6 +21,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -34,6 +35,15 @@ import (
 
 	exrquy "repro"
 )
+
+// stdout buffers result serialization; fatal flushes it before os.Exit so
+// output already produced when a query is cut off reaches the terminal
+// instead of dying in the buffer.
+var stdout = bufio.NewWriter(os.Stdout)
+
+// queryName labels cutoff diagnostics: the -f file name, or "(inline)"
+// for -q queries. Set right after flag parsing.
+var queryName = "(inline)"
 
 func main() {
 	var (
@@ -66,12 +76,14 @@ func main() {
 	}
 	query := *queryText
 	if *queryFile != "" {
+		queryName = *queryFile
 		data, err := os.ReadFile(*queryFile)
 		if err != nil {
 			fatal(nil, "read query: %v", err)
 		}
 		query = string(data)
 	}
+	defer stdout.Flush()
 
 	opts := []exrquy.Option{exrquy.WithOrderIndifference(!*baseline)}
 	switch *mode {
@@ -148,7 +160,7 @@ func main() {
 			after.Operators, after.Sorts, after.Stamps)
 	}
 	if *explain {
-		fmt.Print(q.Explain())
+		fmt.Fprint(stdout, q.Explain())
 		return
 	}
 	// Ctrl-C cancels the running query cooperatively instead of killing
@@ -193,10 +205,11 @@ func main() {
 	if *analyze {
 		// EXPLAIN ANALYZE prints the measured plan, not the result — the
 		// query did run (the annotations are real), like PostgreSQL's.
-		fmt.Print(analyzed)
+		fmt.Fprint(stdout, analyzed)
 	} else {
 		printResult(res)
 	}
+	stdout.Flush() // results before the stderr reports below
 	if *profile {
 		fmt.Fprintf(os.Stderr, "\nexecution: %v\n", res.Elapsed())
 		fmt.Fprintf(os.Stderr, "%-34s %12s %8s %12s\n", "origin", "time", "ops", "rows")
@@ -217,7 +230,7 @@ func printResult(res *exrquy.Result) {
 	if err != nil {
 		fatal(err, "serialize: %v", err)
 	}
-	fmt.Println(xml)
+	fmt.Fprintln(stdout, xml)
 }
 
 // exitCode maps the error taxonomy to distinct exit statuses.
@@ -237,11 +250,16 @@ func exitCode(err error) int {
 	return 1
 }
 
-// fatal prints the message plus any taxonomy diagnostics (phase, source
-// position, plan dump for internal errors) and exits with the mapped
-// status code.
+// fatal flushes any partial output, prints the message plus taxonomy
+// diagnostics (phase, source position, plan dump for internal errors;
+// the query name for cutoffs, so a timeout in a multi-query script is
+// attributable) and exits with the mapped status code.
 func fatal(err error, format string, args ...any) {
+	stdout.Flush() // os.Exit skips defers; partial output must not die buffered
 	fmt.Fprintf(os.Stderr, "exrquy: "+format+"\n", args...)
+	if errors.Is(err, exrquy.ErrCutoff) || errors.Is(err, exrquy.ErrCanceled) {
+		fmt.Fprintf(os.Stderr, "exrquy:   query: %s\n", queryName)
+	}
 	var qe *exrquy.QueryError
 	if errors.As(err, &qe) {
 		if qe.Phase != "" {

@@ -1,0 +1,140 @@
+// Command exrquyd is the eXrQuy network query service: a long-running
+// HTTP daemon serving concurrent XQuery traffic over the engine, with
+// governor-backed admission control, a prepared-query plan cache,
+// per-client API keys and graceful shutdown. See README "Serving".
+//
+// Usage:
+//
+//	exrquyd [flags] [doc1.xml doc2.xml ...]
+//
+// Documents given as arguments are preloaded under their base names;
+// -xmark generates a synthetic XMark instance as auction.xml. More
+// documents can be uploaded (and hot-reloaded) at runtime with
+// PUT /documents/{name}.
+//
+// Endpoints:
+//
+//	GET  /query?q=...        run a query (&analyze=1 for EXPLAIN ANALYZE,
+//	                         &timeout=500ms for a per-request deadline)
+//	POST /query              query text in the body
+//	PUT  /documents/{name}   upload or hot-reload a document
+//	DELETE /documents/{name} unregister a document
+//	GET  /documents          list registered documents
+//	GET  /metrics            process-wide engine/governor/server metrics
+//	GET  /debug/stats        structured daemon snapshot (JSON)
+//	GET  /healthz            200 while serving, 503 while draining
+//
+// SIGINT/SIGTERM begin a graceful shutdown: admission closes (new
+// queries answer 503 + Retry-After), in-flight queries drain through the
+// governor, and the drain is bounded by -drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	exrquy "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8345", "listen address (use :0 for an ephemeral port)")
+		addrFile  = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts booting on :0)")
+		xmarkF    = flag.Float64("xmark", 0, "preload a synthetic XMark instance at this factor as auction.xml")
+		timeout   = flag.Duration("timeout", 30*time.Second, "default per-request query deadline")
+		maxTime   = flag.Duration("max-timeout", 5*time.Minute, "upper bound for the ?timeout= request parameter")
+		maxDoc    = flag.Int64("max-doc-bytes", 64<<20, "upload size limit for PUT /documents (bytes)")
+		cacheSize = flag.Int("cache", 256, "prepared-query plan cache capacity (entries)")
+		parallelN = flag.Int("parallel", 0, "morsel-parallel execution with this many workers (0 = serial, -1 = GOMAXPROCS)")
+		govSlots  = flag.Int("gov-slots", 0, "admission slots (0 = 2x GOMAXPROCS)")
+		govQueue  = flag.Int("gov-queue", 0, "admission queue depth (0 = 8x slots)")
+		govWait   = flag.Duration("gov-wait", 0, "max time a query may wait queued before shedding (0 = unbounded)")
+		govBytes  = flag.Int64("gov-bytes", 0, "shared memory ledger for all queries, bytes (0 = unlimited)")
+		govQuery  = flag.Int64("gov-query-bytes", 0, "default per-query ledger quota, bytes (0 = bounded only by -gov-bytes)")
+		apiKeys   = flag.String("api-keys", "", "comma-separated key=name[:quotaBytes] API keys (empty = open access)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain bound")
+	)
+	flag.Parse()
+
+	clients, err := server.ParseAPIKeys(*apiKeys)
+	if err != nil {
+		fatal("%v", err)
+	}
+	s := server.New(server.Config{
+		Governor: exrquy.GovernorConfig{
+			MaxConcurrent: *govSlots,
+			MaxQueue:      *govQueue,
+			QueueTimeout:  *govWait,
+			MaxBytes:      *govBytes,
+			QueryBytes:    *govQuery,
+		},
+		Parallelism:  *parallelN,
+		Timeout:      *timeout,
+		MaxTimeout:   *maxTime,
+		MaxDocBytes:  *maxDoc,
+		CacheSize:    *cacheSize,
+		Clients:      clients,
+		DrainTimeout: *drain,
+	})
+
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal("open %s: %v", path, err)
+		}
+		err = s.Engine().LoadDocument(filepath.Base(path), f)
+		f.Close()
+		if err != nil {
+			fatal("load %s: %v", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "exrquyd: loaded %s\n", filepath.Base(path))
+	}
+	if *xmarkF > 0 {
+		s.Engine().LoadXMark("auction.xml", *xmarkF)
+		fmt.Fprintf(os.Stderr, "exrquyd: generated XMark factor %g as auction.xml\n", *xmarkF)
+	}
+
+	if err := s.Listen(*addr); err != nil {
+		fatal("listen %s: %v", *addr, err)
+	}
+	fmt.Printf("exrquyd: listening on http://%s\n", s.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(s.Addr()+"\n"), 0o644); err != nil {
+			fatal("addr-file: %v", err)
+		}
+	}
+
+	// Serve until a termination signal, then drain gracefully.
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal("serve: %v", err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "exrquyd: %s received, draining (bound %s)\n", sig, *drain)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		fatal("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && err != http.ErrServerClosed {
+		fatal("serve: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "exrquyd: drained, bye")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "exrquyd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -224,6 +224,15 @@ type (
 // deadline and an unlimited memory ledger.
 func NewGovernor(cfg GovernorConfig) *Governor { return governor.New(cfg) }
 
+// WithQuotaContext returns a context whose executions draw their
+// per-query ledger account with the given byte quota instead of the
+// governor's configured default — the hook a serving layer uses to map
+// per-client quotas onto governor accounts while still sharing prepared
+// plans across clients. No-op without WithGovernor.
+func WithQuotaContext(ctx context.Context, bytes int64) context.Context {
+	return governor.WithQuota(ctx, bytes)
+}
+
 // WithGovernor routes every execution of this Engine through g: queries
 // are admitted (possibly queueing, possibly shed with ErrOverload),
 // draw intermediate-result memory from g's shared ledger (exhaustion
@@ -335,6 +344,38 @@ func (e *Engine) LoadDocument(name string, r io.Reader) error {
 	}
 	e.register(name, e.store.Add(f))
 	return nil
+}
+
+// DocumentLimits re-exports the XML parser's input guards
+// (xmltree.ParseOptions) so serving layers can tighten them per
+// deployment — e.g. a small MaxBytes on an upload endpoint — without
+// importing internal packages.
+type DocumentLimits = xmltree.ParseOptions
+
+// DefaultDocumentLimits returns the guards LoadDocument applies: 1 GiB of
+// raw XML, 1024 levels of nesting, ~67M nodes.
+func DefaultDocumentLimits() DocumentLimits { return xmltree.DefaultLimits() }
+
+// LoadDocumentLimited is LoadDocument under caller-chosen input guards.
+// Violations return an error wrapping ErrLimit (and therefore ErrParse).
+func (e *Engine) LoadDocumentLimited(name string, r io.Reader, lim DocumentLimits) error {
+	f, err := xmltree.Parse(r, name, lim)
+	if err != nil {
+		return err
+	}
+	e.register(name, e.store.Add(f))
+	return nil
+}
+
+// RemoveDocument unregisters a document; fn:doc(name) in queries started
+// afterwards fails. Queries already running keep their snapshot of the
+// registry and finish unaffected. It reports whether name was registered.
+func (e *Engine) RemoveDocument(name string) bool {
+	e.mu.Lock()
+	_, ok := e.docs[name]
+	delete(e.docs, name)
+	e.mu.Unlock()
+	return ok
 }
 
 // LoadDocumentString is LoadDocument over a string.

@@ -75,12 +75,13 @@ func Diff(base, cur *TrajectoryReport, th DiffThresholds) ([]DiffEntry, error) {
 	}
 	var out []DiffEntry
 	for _, b := range base.Rows {
-		// Contention rows ("concurrent<N>", xmarkbench -concurrency) record
-		// behavior under deliberate overload — queueing, shedding, machine
-		// load — so their latency is not a kernel-regression signal. They
-		// are informational in the trajectory file and invisible to the
-		// gate, in baseline and current alike.
-		if strings.HasPrefix(b.Mode, "concurrent") {
+		// Load rows — "concurrent<N>" (xmarkbench -concurrency) and
+		// "server<N>" (cmd/loadgen over HTTP against exrquyd) — record
+		// behavior under deliberate overload: queueing, shedding, network
+		// and machine load. Their latency is not a kernel-regression
+		// signal, so they are informational in the trajectory file and
+		// invisible to the gate, in baseline and current alike.
+		if strings.HasPrefix(b.Mode, "concurrent") || strings.HasPrefix(b.Mode, "server") {
 			continue
 		}
 		c, ok := curRows[rowKey{b.Query, b.Mode, b.Typed}]

@@ -157,3 +157,28 @@ func TestDiffSkipsContentionRows(t *testing.T) {
 		}
 	}
 }
+
+func TestDiffSkipsServerRows(t *testing.T) {
+	base := diffBaseline()
+	base.Rows = append(base.Rows, TrajectoryRow{
+		Query: "Q1", Mode: "server32", Typed: true,
+		NsPerOp: 3_000_000, P95NsPerOp: 12_000_000, P99NsPerOp: 30_000_000,
+		QPS: 80, Shed: 11, CacheHitPct: 97.5,
+	})
+	// Like contention rows, loadgen rows regress wildly and vanish from
+	// runs that skip the daemon — both must be invisible to the gate.
+	cur := copyReport(base)
+	cur.Rows = cur.Rows[:len(cur.Rows)-1]
+	entries, err := Diff(base, cur, DiffThresholds{})
+	if err != nil {
+		t.Fatalf("gate errored on a vanished server row: %v", err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("got %d entries, want 6 (server row must not be compared)", len(entries))
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Mode, "server") {
+			t.Errorf("server row leaked into the gate: %+v", e)
+		}
+	}
+}

@@ -23,21 +23,26 @@ import (
 // after the timed runs, so collection never perturbs the measurements.
 type TrajectoryRow struct {
 	Query       string        `json:"query"`
-	Mode        string        `json:"mode"`  // "serial", "parallel" or "concurrent<N>"
+	Mode        string        `json:"mode"`  // "serial", "parallel", "concurrent<N>" or "server<N>"
 	Typed       bool          `json:"typed"` // false = boxed []Item storage (xdm.ForceBoxed)
 	NsPerOp     int64         `json:"ns_per_op"`
 	AllocsPerOp uint64        `json:"allocs_per_op"`
 	BytesPerOp  uint64        `json:"bytes_per_op"`
 	Ops         []obs.OpStats `json:"ops,omitempty"`
-	// Contention extras (xmarkbench -concurrency N, mode "concurrent<N>"):
-	// multi-client throughput/latency through a resource governor. Zero
-	// for serial/parallel rows. The benchdiff gate skips concurrent rows —
-	// contention latency is machine-load noise, not a kernel regression
-	// signal (NsPerOp here is the p50 under load).
+	// Load extras (xmarkbench -concurrency N → mode "concurrent<N>";
+	// cmd/loadgen against exrquyd → mode "server<N>"): multi-client
+	// throughput/latency through a resource governor, in-process or over
+	// HTTP. Zero for serial/parallel rows. The benchdiff gate skips both
+	// families — latency under deliberate load is machine noise, not a
+	// kernel regression signal (NsPerOp here is the p50 under load).
 	P95NsPerOp int64   `json:"p95_ns_per_op,omitempty"`
+	P99NsPerOp int64   `json:"p99_ns_per_op,omitempty"`
 	QPS        float64 `json:"qps,omitempty"`
 	Shed       int64   `json:"shed,omitempty"`
 	Degraded   int64   `json:"degraded,omitempty"`
+	// CacheHitPct is the prepared-plan cache hit rate observed during a
+	// loadgen run, in percent (server rows only).
+	CacheHitPct float64 `json:"cache_hit_pct,omitempty"`
 }
 
 // TrajectoryMeta stamps the run configuration into the trajectory file:

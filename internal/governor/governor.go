@@ -197,14 +197,40 @@ func (g *Governor) underPressureLocked() bool {
 	return g.queue.Len() > 0
 }
 
+// quotaKey carries a per-admission ledger-quota override in a context.
+type quotaKey struct{}
+
+// WithQuota returns a context whose admissions through any Governor draw
+// their per-query ledger account with the given byte quota instead of the
+// governor's Config.QueryBytes. This is how a serving layer maps
+// per-client quotas onto governor accounts without fragmenting prepared
+// plans per client: the plan is shared, the quota rides on the request
+// context. bytes <= 0 means "no per-query bound" (the shared MaxBytes
+// ledger still applies).
+func WithQuota(ctx context.Context, bytes int64) context.Context {
+	return context.WithValue(ctx, quotaKey{}, bytes)
+}
+
+// QuotaFrom reads a WithQuota override from ctx; ok is false when the
+// context carries none (the governor's configured default applies).
+func QuotaFrom(ctx context.Context) (bytes int64, ok bool) {
+	bytes, ok = ctx.Value(quotaKey{}).(int64)
+	return bytes, ok
+}
+
 // Admit blocks until the query may execute, the context is done, or the
 // queue deadline passes. On success it returns a Lease the caller must
 // Release when the execution finishes (error paths included). Shed
 // queries — queue full, queue deadline, injected queue faults — return
 // an error wrapping qerr.ErrOverload with a RetryAfter hint; a context
 // expiring while queued returns qerr.ErrCanceled/ErrTimeout like any
-// other cooperative abort.
+// other cooperative abort. A WithQuota context overrides the per-query
+// ledger quota for this admission only.
 func (g *Governor) Admit(ctx context.Context) (*Lease, error) {
+	quota := g.cfg.QueryBytes
+	if q, ok := QuotaFrom(ctx); ok {
+		quota = q
+	}
 	fault := g.cfg.Faults.forAdmission(g.admissions.Add(1) - 1)
 	if fault == faultShed {
 		g.shed.Add(1)
@@ -219,7 +245,7 @@ func (g *Governor) Admit(ctx context.Context) (*Lease, error) {
 	// arriving queries never overtake waiters).
 	if g.running < g.cfg.MaxConcurrent && g.queue.Len() == 0 {
 		g.running++
-		lease := g.newLeaseLocked(fault, 0)
+		lease := g.newLeaseLocked(fault, quota, 0)
 		g.mu.Unlock()
 		return lease, nil
 	}
@@ -252,11 +278,11 @@ func (g *Governor) Admit(ctx context.Context) (*Lease, error) {
 		wait := time.Since(enqueued)
 		obs.QueueWaitNanos.Observe(wait.Nanoseconds())
 		g.mu.Lock()
-		lease := g.newLeaseLocked(fault, wait)
+		lease := g.newLeaseLocked(fault, quota, wait)
 		g.mu.Unlock()
 		return lease, nil
 	case <-ctx.Done():
-		if lease := g.abandonWait(w, fault, enqueued); lease != nil {
+		if lease := g.abandonWait(w, fault, quota, enqueued); lease != nil {
 			// Granted concurrently with cancellation: the slot is ours, but
 			// the query is dead. Hand the slot back and report the abort.
 			lease.Release()
@@ -269,7 +295,7 @@ func (g *Governor) Admit(ctx context.Context) (*Lease, error) {
 		return nil, qerr.New(kind, "admit",
 			fmt.Errorf("governor: context done while queued for admission: %w", cause))
 	case <-deadline:
-		if lease := g.abandonWait(w, fault, enqueued); lease != nil {
+		if lease := g.abandonWait(w, fault, quota, enqueued); lease != nil {
 			lease.Release()
 		}
 		g.shed.Add(1)
@@ -284,22 +310,22 @@ func (g *Governor) Admit(ctx context.Context) (*Lease, error) {
 // abandonment, the slot already belongs to w; the returned lease (built
 // under the same lock) lets the caller hand it back through the ordinary
 // release path. Returns nil when w was still queued.
-func (g *Governor) abandonWait(w *waiter, fault faultKind, enqueued time.Time) *Lease {
+func (g *Governor) abandonWait(w *waiter, fault faultKind, quota int64, enqueued time.Time) *Lease {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if w.granted {
-		return g.newLeaseLocked(fault, time.Since(enqueued))
+		return g.newLeaseLocked(fault, quota, time.Since(enqueued))
 	}
 	g.queue.Remove(w.elem)
 	obs.QueueDepth.Set(int64(g.queue.Len()))
 	return nil
 }
 
-// newLeaseLocked builds the lease for a query that holds a slot. Callers
-// hold g.mu (the pressure check reads queue depth).
-func (g *Governor) newLeaseLocked(fault faultKind, wait time.Duration) *Lease {
+// newLeaseLocked builds the lease for a query that holds a slot; quota is
+// the per-query ledger quota (a WithQuota override or the configured
+// default). Callers hold g.mu (the pressure check reads queue depth).
+func (g *Governor) newLeaseLocked(fault faultKind, quota int64, wait time.Duration) *Lease {
 	degraded := g.underPressureLocked()
-	quota := g.cfg.QueryBytes
 	if fault == faultStarveQuota {
 		quota = g.cfg.Faults.starvedQuota()
 		obs.FaultsInjected.Inc()

@@ -1,0 +1,51 @@
+package governor
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/xdm"
+)
+
+// TestWithQuotaOverridesConfig checks that a WithQuota context narrows
+// (or widens) the per-query ledger account relative to Config.QueryBytes,
+// and that admissions without the override keep the configured default.
+func TestWithQuotaOverridesConfig(t *testing.T) {
+	g := New(Config{MaxConcurrent: 2, QueryBytes: 1 << 20})
+
+	// Default admission: the configured quota applies.
+	dflt, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	defer dflt.Release()
+	if err := dflt.Account().Reserve(1 << 20); err != nil {
+		t.Fatalf("default quota refused its full budget: %v", err)
+	}
+	if err := dflt.Account().Reserve(1); err == nil {
+		t.Fatal("default quota allowed more than Config.QueryBytes")
+	}
+
+	// Overridden admission: the tighter per-client quota wins.
+	tight, err := g.Admit(WithQuota(context.Background(), 4*xdm.NominalCellBytes))
+	if err != nil {
+		t.Fatalf("Admit with quota: %v", err)
+	}
+	defer tight.Release()
+	if err := tight.Account().Reserve(4 * xdm.NominalCellBytes); err != nil {
+		t.Fatalf("overridden quota refused its budget: %v", err)
+	}
+	if err := tight.Account().Reserve(xdm.NominalCellBytes); err == nil {
+		t.Fatal("overridden quota allowed more than the WithQuota bytes")
+	}
+}
+
+func TestQuotaFrom(t *testing.T) {
+	if _, ok := QuotaFrom(context.Background()); ok {
+		t.Fatal("QuotaFrom reported an override on a bare context")
+	}
+	q, ok := QuotaFrom(WithQuota(context.Background(), 42))
+	if !ok || q != 42 {
+		t.Fatalf("QuotaFrom = %d, %v; want 42, true", q, ok)
+	}
+}

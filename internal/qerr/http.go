@@ -1,0 +1,59 @@
+package qerr
+
+import (
+	"errors"
+	"net/http"
+)
+
+// StatusClientClosedRequest is nginx's non-standard 499 "client closed
+// request": the client canceled (or abandoned) the request before the
+// query finished, so no standard status fits — the failure is neither
+// the server's nor the request's.
+const StatusClientClosedRequest = 499
+
+// HTTPStatus maps a classified query error to the HTTP status a serving
+// layer should answer with. The mapping lives here, next to the taxonomy,
+// so every server (and the exrquy CLI's exit-code table, which mirrors
+// it) agrees on one translation:
+//
+//	nil             200  success
+//	ErrLimit        413  input guard tripped (document too large/deep)
+//	ErrParse        400  static error in the query text
+//	ErrCompile      400  static error past parsing
+//	ErrMemoryLimit  413  cell/byte-budget cutoff
+//	ErrTimeout      408  wall-clock cutoff
+//	ErrCanceled     499  client went away mid-query
+//	ErrOverload     429  shed by admission control (send Retry-After)
+//	ErrInternal     500  recovered engine panic
+//	other *Error    400  classified dynamic failure (the request's fault)
+//	unclassified    500  the engine broke its own contract
+//
+// ErrLimit is checked before ErrParse (it wraps it), and ErrMemoryLimit/
+// ErrTimeout before ErrCutoff. A 503 is deliberately absent: the taxonomy
+// never says "the whole service is down" — that answer belongs to the
+// serving layer itself (e.g. during graceful shutdown).
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrLimit):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrParse), errors.Is(err, ErrCompile):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrMemoryLimit):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrTimeout):
+		return http.StatusRequestTimeout
+	case errors.Is(err, ErrCanceled):
+		return StatusClientClosedRequest
+	case errors.Is(err, ErrOverload):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrInternal):
+		return http.StatusInternalServerError
+	}
+	var qe *Error
+	if errors.As(err, &qe) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}

@@ -1,0 +1,56 @@
+package qerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestHTTPStatus(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, http.StatusOK},
+		{"parse", New(ErrParse, "parse", errors.New("unexpected token")), http.StatusBadRequest},
+		{"parse positioned", At(ErrParse, "parse", 3, 7, errors.New("bad")), http.StatusBadRequest},
+		{"compile", Newf(ErrCompile, "compile", "unbound variable $x"), http.StatusBadRequest},
+		// ErrLimit wraps ErrParse; the more specific 413 must win.
+		{"input limit", New(ErrLimit, "parse", errors.New("too big")), http.StatusRequestEntityTooLarge},
+		{"memory limit", New(ErrMemoryLimit, "execute", errors.New("budget")), http.StatusRequestEntityTooLarge},
+		{"timeout", New(ErrTimeout, "execute", context.DeadlineExceeded), http.StatusRequestTimeout},
+		{"canceled", New(ErrCanceled, "execute", context.Canceled), StatusClientClosedRequest},
+		// Bare cutoff (neither timeout nor memory) is still the request's
+		// fault: classified → 400.
+		{"bare cutoff", New(ErrCutoff, "execute", errors.New("cut")), http.StatusBadRequest},
+		{"overload", Overload(50*time.Millisecond, "queue full: %w", ErrOverload), http.StatusTooManyRequests},
+		{"internal", FromPanic("execute", "index out of range", nil), http.StatusInternalServerError},
+		{"classified other", New(errors.New("dynamic error"), "execute", errors.New("unknown document")), http.StatusBadRequest},
+		{"unclassified", errors.New("mystery"), http.StatusInternalServerError},
+		// Wrapping must not disturb the mapping: errors.Is walks the chain.
+		{"wrapped overload", fmt.Errorf("server: %w", Overload(time.Second, "shed: %w", ErrOverload)), http.StatusTooManyRequests},
+		{"wrapped timeout", fmt.Errorf("outer: %w", New(ErrTimeout, "execute", errors.New("deadline"))), http.StatusRequestTimeout},
+	}
+	for _, tc := range cases {
+		if got := HTTPStatus(tc.err); got != tc.want {
+			t.Errorf("%s: HTTPStatus = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestHTTPStatusRetryAfterAgreement pins the contract the serving layer
+// relies on: every 429 the taxonomy produces carries a Retry-After hint.
+func TestHTTPStatusRetryAfterAgreement(t *testing.T) {
+	err := Overload(250*time.Millisecond, "governor: queue full: %w", ErrOverload)
+	if got := HTTPStatus(err); got != http.StatusTooManyRequests {
+		t.Fatalf("HTTPStatus = %d, want 429", got)
+	}
+	hint, ok := RetryAfterOf(err)
+	if !ok || hint != 250*time.Millisecond {
+		t.Fatalf("RetryAfterOf = %v, %v; want 250ms, true", hint, ok)
+	}
+}

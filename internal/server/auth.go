@@ -1,0 +1,80 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Client is one authenticated API principal, mapped onto the governor:
+// every query the client runs draws its ledger account with the client's
+// QueryBytes quota (via governor.WithQuota on the request context), so
+// per-client memory isolation rides the same shared ledger as everything
+// else in the process.
+type Client struct {
+	// Name labels the client in stats and logs.
+	Name string `json:"name"`
+	// QueryBytes is the per-query ledger quota for this client's queries;
+	// 0 inherits the governor's configured default.
+	QueryBytes int64 `json:"query_bytes,omitempty"`
+}
+
+// anonymous is the principal used when no API keys are configured (open
+// access, e.g. local development and the CI smoke job).
+var anonymous = Client{Name: "anonymous"}
+
+// clientFor authenticates a request against the configured key table.
+// The key travels as "Authorization: Bearer <key>", an "X-API-Key"
+// header, or a "key" query parameter (in that precedence). With no keys
+// configured every request is the anonymous client.
+func (s *Server) clientFor(r *http.Request) (Client, bool) {
+	if len(s.cfg.Clients) == 0 {
+		return anonymous, true
+	}
+	key := ""
+	if h := r.Header.Get("Authorization"); strings.HasPrefix(h, "Bearer ") {
+		key = strings.TrimPrefix(h, "Bearer ")
+	} else if h := r.Header.Get("X-API-Key"); h != "" {
+		key = h
+	} else {
+		key = r.URL.Query().Get("key")
+	}
+	c, ok := s.cfg.Clients[key]
+	return c, ok
+}
+
+// ParseAPIKeys parses the exrquyd -api-keys flag syntax: a comma-
+// separated list of key=name or key=name:quotaBytes entries, e.g.
+//
+//	-api-keys "s3cret=analytics:104857600,t0ken=dashboard"
+//
+// maps key "s3cret" to client "analytics" with a 100 MiB per-query ledger
+// quota and key "t0ken" to client "dashboard" with the governor default.
+func ParseAPIKeys(spec string) (map[string]Client, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	out := make(map[string]Client)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		key, rest, ok := strings.Cut(entry, "=")
+		if !ok || key == "" || rest == "" {
+			return nil, fmt.Errorf("api-keys: entry %q is not key=name[:quotaBytes]", entry)
+		}
+		name, quotaStr, hasQuota := strings.Cut(rest, ":")
+		c := Client{Name: name}
+		if hasQuota {
+			q, err := strconv.ParseInt(quotaStr, 10, 64)
+			if err != nil || q < 0 {
+				return nil, fmt.Errorf("api-keys: entry %q: bad quota %q", entry, quotaStr)
+			}
+			c.QueryBytes = q
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("api-keys: duplicate key %q", key)
+		}
+		out[key] = c
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/url"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	exrquy "repro"
+	"repro/internal/xmarkq"
+)
+
+// TestServerOpenLoop32Clients is the acceptance scenario: 32 clients
+// drive a repeated XMark query mix through the daemon. Asserted:
+//
+//   - every response is 200 (byte-identical to the single-shot result)
+//     or 429 carrying Retry-After — nothing else;
+//   - the warm prepared-plan cache hit rate exceeds 90%;
+//   - graceful shutdown afterwards leaks no goroutines.
+//
+// Run under -race in CI; durations are kept short so tier-1 stays fast.
+func TestServerOpenLoop32Clients(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	const (
+		factor  = 0.002
+		clients = 32
+		rounds  = 8 // requests per client: 32×8 = 256 over a 5-query mix
+	)
+	mix := []int{1, 2, 8, 9, 11}
+
+	s := New(Config{})
+	s.Engine().LoadXMark("auction.xml", factor)
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+	base := "http://" + s.Addr()
+
+	// Single-shot expectations, and one warming pass so the measured
+	// window runs against a warm cache (the >90% bar is about steady
+	// state, not cold start).
+	ref := exrquy.New()
+	ref.LoadXMark("auction.xml", factor)
+	want := make(map[int]string, len(mix))
+	for _, id := range mix {
+		res, err := ref.Query(xmarkq.Get(id).Text)
+		if err != nil {
+			t.Fatalf("Q%d reference: %v", id, err)
+		}
+		want[id], err = res.XML()
+		if err != nil {
+			t.Fatalf("Q%d serialize: %v", id, err)
+		}
+		if status, body, _ := get(t, queryURL(base, xmarkq.Get(id).Text)); status != http.StatusOK {
+			t.Fatalf("Q%d warm-up: status %d: %s", id, status, body)
+		}
+	}
+	statsBefore := s.cache.stats()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		shed     int
+		mismatch int
+		badCode  []int
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			for r := 0; r < rounds; r++ {
+				id := mix[(c+r)%len(mix)]
+				u := base + "/query?q=" + url.QueryEscape(xmarkq.Get(id).Text)
+				resp, err := client.Get(u)
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if string(body) != want[id] {
+						mu.Lock()
+						mismatch++
+						mu.Unlock()
+					}
+				case http.StatusTooManyRequests:
+					mu.Lock()
+					shed++
+					mu.Unlock()
+					if resp.Header.Get("Retry-After") == "" {
+						t.Errorf("client %d: 429 without Retry-After", c)
+					}
+					if hint := resp.Header.Get("Retry-After"); hint != "" {
+						time.Sleep(50 * time.Millisecond)
+					}
+				default:
+					mu.Lock()
+					badCode = append(badCode, resp.StatusCode)
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if mismatch > 0 {
+		t.Errorf("%d responses differed from single-shot results", mismatch)
+	}
+	if len(badCode) > 0 {
+		t.Errorf("unexpected statuses under load: %v", badCode)
+	}
+	st := s.cache.stats()
+	hits := st.Hits - statsBefore.Hits
+	misses := st.Misses - statsBefore.Misses
+	if hits+misses == 0 {
+		t.Fatal("no cache traffic recorded")
+	}
+	hitRate := float64(hits) / float64(hits+misses)
+	t.Logf("open loop: %d clients x %d rounds, %d shed, cache hit rate %.1f%%",
+		clients, rounds, shed, 100*hitRate)
+	if hitRate <= 0.90 {
+		t.Errorf("warm cache hit rate %.1f%% <= 90%%", 100*hitRate)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-done; err != http.ErrServerClosed {
+		t.Fatalf("serve returned %v", err)
+	}
+	if gst := s.Governor().Stats(); gst.Running != 0 || gst.Queued != 0 || gst.BytesInUse != 0 {
+		t.Fatalf("governor not drained: %+v", gst)
+	}
+	waitNoGoroutineLeak(t, baseline)
+}

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// docWithCount builds a document whose x-child count encodes its version.
+func docWithCount(n int) string {
+	return "<r>" + strings.Repeat("<x/>", n) + "</r>"
+}
+
+// TestServerConcurrentHotReload reloads a document continuously while
+// query traffic runs against it (run under -race in CI). Invariants:
+//
+//  1. No stale-plan results: every response is the count of one of the
+//     two document versions that ever existed — a prepared plan compiled
+//     before a reload still binds the registry snapshot of its own
+//     execution, never a half-swapped or phantom state.
+//  2. After the writers stop, the very next query sees the final version
+//     (reload invalidated the prepared-plan cache).
+//  3. The whole exercise leaks no goroutines through shutdown.
+func TestServerConcurrentHotReload(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	s := New(Config{})
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+	base := "http://" + s.Addr()
+
+	const (
+		countA  = 3
+		countB  = 7
+		readers = 8
+		writers = 2
+	)
+	put := func(content string) error {
+		req, err := http.NewRequest(http.MethodPut, base+"/documents/live.xml", strings.NewReader(content))
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("PUT status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if err := put(docWithCount(countA)); err != nil {
+		t.Fatalf("initial upload: %v", err)
+	}
+
+	query := base + "/query?q=" + "count(doc(%22live.xml%22)/r/x)"
+	var (
+		stop     atomic.Bool
+		queries  atomic.Int64
+		reloads  atomic.Int64
+		failures atomic.Int64
+		firstErr atomic.Value
+	)
+	fail := func(format string, args ...any) {
+		failures.Add(1)
+		firstErr.CompareAndSwap(nil, fmt.Sprintf(format, args...))
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				resp, err := http.Get(query)
+				if err != nil {
+					fail("reader GET: %v", err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					fail("reader read: %v", err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					fail("reader status %d: %s", resp.StatusCode, body)
+					return
+				}
+				got := string(body)
+				if got != fmt.Sprint(countA) && got != fmt.Sprint(countB) {
+					fail("stale or corrupt result %q, want %d or %d", got, countA, countB)
+					return
+				}
+				queries.Add(1)
+			}
+		}()
+	}
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			version := i % 2
+			for !stop.Load() {
+				content := docWithCount(countA)
+				if version%2 == 1 {
+					content = docWithCount(countB)
+				}
+				if err := put(content); err != nil {
+					fail("writer: %v", err)
+					return
+				}
+				version++
+				reloads.Add(1)
+			}
+		}(i)
+	}
+
+	time.Sleep(400 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d failures under reload traffic; first: %s", failures.Load(), firstErr.Load())
+	}
+	if queries.Load() == 0 || reloads.Load() < 4 {
+		t.Fatalf("not enough interleaving: %d queries, %d reloads", queries.Load(), reloads.Load())
+	}
+	t.Logf("hot reload soak: %d queries interleaved with %d reloads", queries.Load(), reloads.Load())
+
+	// Settle on a final version; the first query after the last reload
+	// must see it (the reload flushed the plan cache, and even a cached
+	// plan would bind the fresh registry snapshot).
+	if err := put(docWithCount(countB)); err != nil {
+		t.Fatalf("final upload: %v", err)
+	}
+	resp, err := http.Get(query)
+	if err != nil {
+		t.Fatalf("final GET: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != fmt.Sprint(countB) {
+		t.Fatalf("final count = %q, want %d", body, countB)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-done; err != http.ErrServerClosed {
+		t.Fatalf("serve returned %v", err)
+	}
+	waitNoGoroutineLeak(t, baseline)
+}

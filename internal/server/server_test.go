@@ -1,0 +1,518 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	exrquy "repro"
+	"repro/internal/xmarkq"
+)
+
+// startServer boots a Server on an ephemeral port and returns its base
+// URL plus a shutdown func that also asserts goroutine hygiene.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	s := New(cfg)
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != http.ErrServerClosed {
+			t.Errorf("serve returned %v, want http.ErrServerClosed", err)
+		}
+	})
+	return s, "http://" + s.Addr()
+}
+
+// get issues a GET and returns status, body and headers.
+func get(t *testing.T, rawURL string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(rawURL)
+	if err != nil {
+		t.Fatalf("GET %s: %v", rawURL, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func queryURL(base, q string) string {
+	return base + "/query?q=" + url.QueryEscape(q)
+}
+
+// waitNoGoroutineLeak polls until the goroutine count returns to within
+// slack of the baseline, dumping stacks on timeout.
+func waitNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+3 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak: %d goroutines, baseline %d\n%s",
+		runtime.NumGoroutine(), baseline, buf[:n])
+}
+
+// TestServerXMarkByteIdentical pins the serving layer against the
+// library: every XMark query's HTTP response body is byte-identical to a
+// single-shot Engine.Query (which is what cmd/exrquy prints).
+func TestServerXMarkByteIdentical(t *testing.T) {
+	const factor = 0.002
+	s, base := startServer(t, Config{})
+	s.Engine().LoadXMark("auction.xml", factor)
+
+	ref := exrquy.New()
+	ref.LoadXMark("auction.xml", factor)
+
+	for _, q := range xmarkq.All() {
+		status, body, hdr := get(t, queryURL(base, q.Text))
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", q.Name, status, body)
+		}
+		want, err := ref.Query(q.Text)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", q.Name, err)
+		}
+		wx, err := want.XML()
+		if err != nil {
+			t.Fatalf("%s: serialize: %v", q.Name, err)
+		}
+		if body != wx {
+			t.Errorf("%s: server response differs from single-shot result\nserver: %.200q\nlocal:  %.200q", q.Name, body, wx)
+		}
+		if c := hdr.Get("X-Query-Cache"); c != "miss" {
+			t.Errorf("%s: first run X-Query-Cache = %q, want miss", q.Name, c)
+		}
+	}
+	// Second pass: every query hits the prepared-plan cache and still
+	// returns identical bytes.
+	for _, q := range xmarkq.All() {
+		status, body, hdr := get(t, queryURL(base, q.Text))
+		if status != http.StatusOK {
+			t.Fatalf("%s (cached): status %d", q.Name, status)
+		}
+		want, _ := ref.Query(q.Text)
+		wx, _ := want.XML()
+		if body != wx {
+			t.Errorf("%s: cached response differs from single-shot result", q.Name)
+		}
+		if c := hdr.Get("X-Query-Cache"); c != "hit" {
+			t.Errorf("%s: second run X-Query-Cache = %q, want hit", q.Name, c)
+		}
+	}
+}
+
+func TestServerErrorStatuses(t *testing.T) {
+	s, base := startServer(t, Config{MaxDocBytes: 4096})
+	s.Engine().LoadDocumentString("t.xml", "<r><x/><x/></r>")
+
+	t.Run("parse error 400", func(t *testing.T) {
+		status, body, _ := get(t, queryURL(base, "for $x in"))
+		if status != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400: %s", status, body)
+		}
+		if !strings.Contains(body, `"phase"`) {
+			t.Errorf("error body missing phase: %s", body)
+		}
+	})
+	t.Run("missing q 400", func(t *testing.T) {
+		if status, _, _ := get(t, base+"/query"); status != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", status)
+		}
+	})
+	t.Run("bad timeout 400", func(t *testing.T) {
+		if status, _, _ := get(t, queryURL(base, "1+1")+"&timeout=banana"); status != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", status)
+		}
+	})
+	t.Run("timeout 408", func(t *testing.T) {
+		status, body, _ := get(t, queryURL(base, `count(doc("t.xml")//x)`)+"&timeout=1ns")
+		if status != http.StatusRequestTimeout {
+			t.Fatalf("status %d, want 408: %s", status, body)
+		}
+	})
+	t.Run("upload too large 413", func(t *testing.T) {
+		big := "<r>" + strings.Repeat("<x>payload</x>", 1000) + "</r>"
+		req, _ := http.NewRequest(http.MethodPut, base+"/documents/big.xml", strings.NewReader(big))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("PUT: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status %d, want 413", resp.StatusCode)
+		}
+	})
+	t.Run("delete unknown 404", func(t *testing.T) {
+		req, _ := http.NewRequest(http.MethodDelete, base+"/documents/nope.xml", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("DELETE: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("status %d, want 404", resp.StatusCode)
+		}
+	})
+	t.Run("method not allowed", func(t *testing.T) {
+		resp, err := http.Post(base+"/metrics", "text/plain", nil)
+		if err != nil {
+			t.Fatalf("POST /metrics: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("status %d, want 405", resp.StatusCode)
+		}
+	})
+}
+
+// TestServerOverloadBurst drives a burst of concurrent queries through a
+// single admission slot with an aggressive queue deadline and asserts the
+// shed requests answer 429 with a well-formed Retry-After.
+func TestServerOverloadBurst(t *testing.T) {
+	s, base := startServer(t, Config{
+		Governor: exrquy.GovernorConfig{MaxConcurrent: 1, MaxQueue: 2, QueueTimeout: time.Millisecond},
+	})
+	s.Engine().LoadXMark("auction.xml", 0.01)
+	heavy := xmarkq.Get(11).Text // the paper's join-heavy query
+
+	// Warm the plan cache so the burst measures admission, not compilation.
+	if status, body, _ := get(t, queryURL(base, heavy)); status != http.StatusOK {
+		t.Fatalf("warm-up: status %d: %s", status, body)
+	}
+
+	for attempt := 0; attempt < 5; attempt++ {
+		const burst = 16
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			ok, shed int
+		)
+		start := make(chan struct{})
+		for i := 0; i < burst; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				resp, err := http.Get(queryURL(base, heavy))
+				if err != nil {
+					t.Errorf("burst GET: %v", err)
+					return
+				}
+				defer resp.Body.Close()
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				mu.Lock()
+				defer mu.Unlock()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok++
+				case http.StatusTooManyRequests:
+					shed++
+					ra := resp.Header.Get("Retry-After")
+					secs, err := strconv.Atoi(ra)
+					if err != nil || secs < 1 {
+						t.Errorf("429 Retry-After = %q, want integer seconds >= 1", ra)
+					}
+				default:
+					t.Errorf("burst status %d, want 200 or 429", resp.StatusCode)
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		if ok >= 1 && shed >= 1 {
+			return // saw both outcomes: admission worked and shedding worked
+		}
+	}
+	t.Fatal("no burst attempt produced both a 200 and a 429")
+}
+
+func TestServerAuthAndQuotas(t *testing.T) {
+	s, base := startServer(t, Config{
+		Clients: map[string]Client{
+			"open-sesame": {Name: "analytics"},
+			"thimble":     {Name: "tiny", QueryBytes: 64},
+		},
+	})
+	s.Engine().LoadXMark("auction.xml", 0.002)
+	q := xmarkq.Get(1).Text
+
+	t.Run("no key 401", func(t *testing.T) {
+		if status, _, _ := get(t, queryURL(base, q)); status != http.StatusUnauthorized {
+			t.Fatalf("status %d, want 401", status)
+		}
+	})
+	t.Run("wrong key 401", func(t *testing.T) {
+		if status, _, _ := get(t, queryURL(base, q)+"&key=wrong"); status != http.StatusUnauthorized {
+			t.Fatalf("status %d, want 401", status)
+		}
+	})
+	t.Run("query param key", func(t *testing.T) {
+		if status, body, _ := get(t, queryURL(base, q)+"&key=open-sesame"); status != http.StatusOK {
+			t.Fatalf("status %d, want 200: %s", status, body)
+		}
+	})
+	t.Run("bearer key", func(t *testing.T) {
+		req, _ := http.NewRequest(http.MethodGet, queryURL(base, q), nil)
+		req.Header.Set("Authorization", "Bearer open-sesame")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d, want 200", resp.StatusCode)
+		}
+	})
+	t.Run("x-api-key header", func(t *testing.T) {
+		req, _ := http.NewRequest(http.MethodGet, queryURL(base, q), nil)
+		req.Header.Set("X-API-Key", "open-sesame")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d, want 200", resp.StatusCode)
+		}
+	})
+	t.Run("per-client quota 413", func(t *testing.T) {
+		// The tiny client's 64-byte governor account cannot materialize
+		// Q8's join intermediates: its queries cut off with ErrMemoryLimit
+		// while the analytics client runs the same text fine.
+		heavy := xmarkq.Get(8).Text
+		status, body, _ := get(t, queryURL(base, heavy)+"&key=thimble")
+		if status != http.StatusRequestEntityTooLarge {
+			t.Fatalf("tiny client status %d, want 413: %s", status, body)
+		}
+		if status, body, _ := get(t, queryURL(base, heavy)+"&key=open-sesame"); status != http.StatusOK {
+			t.Fatalf("analytics client status %d, want 200: %s", status, body)
+		}
+	})
+}
+
+func TestServerAnalyze(t *testing.T) {
+	s, base := startServer(t, Config{})
+	s.Engine().LoadXMark("auction.xml", 0.002)
+	status, body, hdr := get(t, queryURL(base, xmarkq.Get(1).Text)+"&analyze=1")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+	if !strings.Contains(body, "rows=") || !strings.Contains(body, "elapsed") {
+		t.Errorf("analyze output missing annotations:\n%s", body)
+	}
+}
+
+func TestServerDocumentLifecycleAndCacheInvalidation(t *testing.T) {
+	s, base := startServer(t, Config{})
+
+	put := func(name, content string) (int, string) {
+		req, _ := http.NewRequest(http.MethodPut, base+"/documents/"+name, strings.NewReader(content))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("PUT %s: %v", name, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	// Create: 201, then query it (plan lands in the cache).
+	if status, body := put("d.xml", "<r><x/><x/></r>"); status != http.StatusCreated {
+		t.Fatalf("create status %d: %s", status, body)
+	}
+	count := `count(doc("d.xml")/r/x)`
+	if status, body, _ := get(t, queryURL(base, count)); status != http.StatusOK || body != "2" {
+		t.Fatalf("count = %d %q, want 200 \"2\"", status, body)
+	}
+	if _, _, hdr := get(t, queryURL(base, count)); hdr.Get("X-Query-Cache") != "hit" {
+		t.Fatal("expected a cache hit on the repeated query")
+	}
+
+	// Hot reload: 200, the cache is invalidated, and the same query text
+	// immediately sees the new content.
+	if status, body := put("d.xml", "<r><x/><x/><x/><x/><x/></r>"); status != http.StatusOK {
+		t.Fatalf("reload status %d: %s", status, body)
+	}
+	status, body, hdr := get(t, queryURL(base, count))
+	if status != http.StatusOK || body != "5" {
+		t.Fatalf("count after reload = %d %q, want 200 \"5\"", status, body)
+	}
+	if hdr.Get("X-Query-Cache") != "miss" {
+		t.Fatal("reload did not invalidate the prepared-plan cache")
+	}
+	if st := s.cache.stats(); st.Invalidations < 1 {
+		t.Fatalf("cache stats = %+v, want >= 1 invalidation", st)
+	}
+
+	// Delete: 204, then the query fails (the document is gone).
+	req, _ := http.NewRequest(http.MethodDelete, base+"/documents/d.xml", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d, want 204", resp.StatusCode)
+	}
+	if status, _, _ := get(t, queryURL(base, count)); status == http.StatusOK {
+		t.Fatal("query of a deleted document succeeded")
+	}
+
+	// GET /documents reflects the registry.
+	status, body, _ = get(t, base+"/documents")
+	if status != http.StatusOK || strings.Contains(body, "d.xml") {
+		t.Fatalf("documents after delete = %d %s", status, body)
+	}
+}
+
+// TestServerGracefulShutdown checks the drain ladder: in-flight queries
+// finish, new arrivals answer 503 with Retry-After, and the process ends
+// with no leaked goroutines.
+func TestServerGracefulShutdown(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	s := New(Config{})
+	s.Engine().LoadXMark("auction.xml", 0.02)
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+	base := "http://" + s.Addr()
+
+	// Launch an in-flight query, then shut down while it runs.
+	heavy := xmarkq.Get(11).Text
+	type result struct {
+		status int
+		err    error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(queryURL(base, heavy))
+		if err != nil {
+			inflight <- result{0, err}
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		inflight <- result{resp.StatusCode, nil}
+	}()
+	// Give the request a beat to reach the engine before draining.
+	time.Sleep(20 * time.Millisecond)
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// New arrivals during the drain answer 503 + Retry-After. The handler
+	// path rejects before touching the engine, so this holds even while
+	// the in-flight query still runs. (If the drain already finished, the
+	// connection is refused instead — also an acceptable outcome.)
+	time.Sleep(5 * time.Millisecond)
+	if resp, err := http.Get(queryURL(base, "1+1")); err == nil {
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("during drain: status %d, want 503", resp.StatusCode)
+		} else if resp.Header.Get("Retry-After") == "" {
+			t.Error("503 during drain missing Retry-After")
+		}
+		resp.Body.Close()
+	}
+
+	r := <-inflight
+	if r.err != nil {
+		t.Fatalf("in-flight query failed during drain: %v", r.err)
+	}
+	if r.status != http.StatusOK && r.status != http.StatusServiceUnavailable {
+		t.Fatalf("in-flight query status %d, want 200 (drained) or 503 (arrived after drain began)", r.status)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-done; err != http.ErrServerClosed {
+		t.Fatalf("serve returned %v", err)
+	}
+	if st := s.Governor().Stats(); st.Running != 0 || st.BytesInUse != 0 {
+		t.Fatalf("governor not drained after shutdown: %+v", st)
+	}
+	waitNoGoroutineLeak(t, baseline)
+}
+
+// TestServerMetricsAndStats sanity-checks the observability endpoints.
+func TestServerMetricsAndStats(t *testing.T) {
+	s, base := startServer(t, Config{})
+	s.Engine().LoadDocumentString("m.xml", "<r><x/></r>")
+	if status, _, _ := get(t, queryURL(base, `count(doc("m.xml")//x)`)); status != http.StatusOK {
+		t.Fatal("query failed")
+	}
+	status, body, _ := get(t, base+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	for _, want := range []string{"engine_queries_total", "governor_admitted_total", "server_requests_total", "server_plan_cache_misses_total"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	status, body, _ = get(t, base+"/debug/stats")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/stats status %d", status)
+	}
+	for _, want := range []string{`"governor"`, `"cache"`, `"documents"`, `"uptime_ms"`, "m.xml"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/stats missing %s: %s", want, body)
+		}
+	}
+	if status, body, _ := get(t, base+"/healthz"); status != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", status, body)
+	}
+}
+
+func TestParseAPIKeys(t *testing.T) {
+	got, err := ParseAPIKeys("s3cret=analytics:1048576, t0ken=dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := got["s3cret"]; c.Name != "analytics" || c.QueryBytes != 1<<20 {
+		t.Fatalf("s3cret = %+v", c)
+	}
+	if c := got["t0ken"]; c.Name != "dashboard" || c.QueryBytes != 0 {
+		t.Fatalf("t0ken = %+v", c)
+	}
+	if m, err := ParseAPIKeys("  "); err != nil || m != nil {
+		t.Fatalf("blank spec = %v, %v", m, err)
+	}
+	for _, bad := range []string{"nokey", "=name", "k=", "k=n:notanumber", "k=a,k=b"} {
+		if _, err := ParseAPIKeys(bad); err == nil {
+			t.Errorf("ParseAPIKeys(%q) did not fail", bad)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the exrquyd daemon, used by the CI
+# server-smoke job and runnable locally: boot on an ephemeral port with a
+# single admission slot, upload a small XMark document, then assert the
+# status codes of a normal query, an EXPLAIN ANALYZE query, a
+# 429-inducing burst (Retry-After present), and a graceful SIGTERM drain.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+echo "== build"
+go build -o "$workdir/exrquyd" ./cmd/exrquyd
+go build -o "$workdir/xmarkgen" ./cmd/xmarkgen
+
+echo "== boot (1 admission slot, zero-depth queue request, 10ms wait bound)"
+"$workdir/exrquyd" -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
+    -gov-slots 1 -gov-queue 0 -gov-wait 10ms >"$workdir/daemon.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$workdir/addr" ] && break
+    sleep 0.1
+done
+[ -s "$workdir/addr" ] || { echo "daemon never wrote addr file"; cat "$workdir/daemon.log"; exit 1; }
+base="http://$(cat "$workdir/addr")"
+echo "   $base"
+
+assert_status() { # assert_status <want> <got> <label>
+    if [ "$2" != "$1" ]; then
+        echo "FAIL: $3: want status $1, got $2"
+        cat "$workdir/daemon.log"
+        exit 1
+    fi
+    echo "   ok: $3 -> $2"
+}
+
+echo "== upload a small XMark document"
+"$workdir/xmarkgen" -factor 0.01 -o "$workdir/auction.xml"
+status=$(curl -s -o "$workdir/put.out" -w '%{http_code}' -X PUT \
+    --data-binary @"$workdir/auction.xml" "$base/documents/auction.xml")
+assert_status 201 "$status" "PUT /documents/auction.xml"
+
+echo "== query 1: plain count"
+status=$(curl -s -o "$workdir/q1.out" -w '%{http_code}' \
+    --data 'count(doc("auction.xml")//item)' "$base/query")
+assert_status 200 "$status" "POST /query count(//item)"
+grep -qE '^[0-9]+$' "$workdir/q1.out" || { echo "FAIL: count result not a number: $(cat "$workdir/q1.out")"; exit 1; }
+
+echo "== query 2: EXPLAIN ANALYZE"
+status=$(curl -s -o "$workdir/q2.out" -w '%{http_code}' -G \
+    --data-urlencode 'q=for $i in doc("auction.xml")/site/regions//item return $i/name' \
+    --data-urlencode 'analyze=1' "$base/query")
+assert_status 200 "$status" "GET /query analyze=1"
+grep -q 'rows=' "$workdir/q2.out" || { echo "FAIL: analyze output has no rows= annotations"; exit 1; }
+
+echo "== query 3: burst against one admission slot must shed 429s"
+burst_query='for $p in doc("auction.xml")//person, $q in doc("auction.xml")//person where $p/name = $q/name return $p/name'
+curl_pids=()
+for i in $(seq 1 24); do
+    curl -s -o /dev/null -D "$workdir/hdr.$i" -G \
+        --data-urlencode "q=$burst_query" "$base/query" &
+    curl_pids+=("$!")
+done
+wait "${curl_pids[@]}"   # not bare wait: that would also wait on the daemon
+codes=$(awk 'FNR==1{print $2}' "$workdir"/hdr.*)
+n200=$(echo "$codes" | grep -c '^200$' || true)
+n429=$(echo "$codes" | grep -c '^429$' || true)
+nother=$(echo "$codes" | grep -vc '^\(200\|429\)$' || true)
+echo "   burst: $n200 x 200, $n429 x 429, $nother other"
+[ "$nother" -eq 0 ] || { echo "FAIL: unexpected statuses in burst: $codes"; exit 1; }
+[ "$n200" -ge 1 ] || { echo "FAIL: burst produced no successful query"; exit 1; }
+[ "$n429" -ge 1 ] || { echo "FAIL: burst against 1 slot produced no 429"; exit 1; }
+hint=$(grep -ih '^retry-after:' "$workdir"/hdr.* | head -1 | tr -dc '0-9')
+[ -n "$hint" ] && [ "$hint" -ge 1 ] || { echo "FAIL: 429 without a positive Retry-After"; exit 1; }
+echo "   ok: Retry-After: $hint"
+
+echo "== graceful shutdown"
+kill -TERM "$daemon_pid"
+for _ in $(seq 1 100); do
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "FAIL: daemon still running 10s after SIGTERM"
+    exit 1
+fi
+wait "$daemon_pid" && drain_rc=0 || drain_rc=$?
+[ "$drain_rc" -eq 0 ] || { echo "FAIL: daemon exited $drain_rc"; cat "$workdir/daemon.log"; exit 1; }
+grep -q 'drained, bye' "$workdir/daemon.log" || { echo "FAIL: no drain confirmation in log"; cat "$workdir/daemon.log"; exit 1; }
+
+echo "server smoke: all checks passed"
