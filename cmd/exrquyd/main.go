@@ -1,7 +1,11 @@
 // Command exrquyd is the eXrQuy network query service: a long-running
 // HTTP daemon serving concurrent XQuery traffic over the engine, with
 // governor-backed admission control, a prepared-query plan cache,
-// per-client API keys and graceful shutdown. See README "Serving".
+// per-client API keys and graceful shutdown, plus a resilience layer —
+// per-client rate limits (-rate-qps), a stuck-query watchdog
+// (-watchdog), per-client circuit breakers (-breaker-failures) and a
+// deterministic fault-injection hook for chaos drills (-chaos). See
+// README "Serving" and "Resilience".
 //
 // Usage:
 //
@@ -41,6 +45,7 @@ import (
 	"time"
 
 	exrquy "repro"
+	"repro/internal/resilience"
 	"repro/internal/server"
 )
 
@@ -59,14 +64,27 @@ func main() {
 		govWait   = flag.Duration("gov-wait", 0, "max time a query may wait queued before shedding (0 = unbounded)")
 		govBytes  = flag.Int64("gov-bytes", 0, "shared memory ledger for all queries, bytes (0 = unlimited)")
 		govQuery  = flag.Int64("gov-query-bytes", 0, "default per-query ledger quota, bytes (0 = bounded only by -gov-bytes)")
-		apiKeys   = flag.String("api-keys", "", "comma-separated key=name[:quotaBytes] API keys (empty = open access)")
+		apiKeys   = flag.String("api-keys", "", "comma-separated key=name[:quotaBytes[:qps[:burst]]] API keys (empty = open access)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain bound")
+		rateQPS   = flag.Float64("rate-qps", 0, "default per-client sustained rate limit, queries/second (0 = off)")
+		rateBurst = flag.Int("rate-burst", 0, "default per-client token-bucket burst (0 = ceil of -rate-qps)")
+		watchdog  = flag.Duration("watchdog", 0, "stuck-query heartbeat threshold; silent queries are cancelled within 2x this (0 = off)")
+		brkFails  = flag.Int("breaker-failures", 0, "per-client circuit-breaker trip threshold, consecutive serving failures (0 = off)")
+		brkCool   = flag.Duration("breaker-cooldown", 0, "open-circuit cooldown before a half-open probe (0 = 5s)")
+		chaos     = flag.String("chaos", "", "TESTING ONLY: arm deterministic fault injection on /query, e.g. seed=7,err500=17,reset=23,truncate=29:64,latency=13:3ms")
 	)
 	flag.Parse()
 
 	clients, err := server.ParseAPIKeys(*apiKeys)
 	if err != nil {
 		fatal("%v", err)
+	}
+	faults, err := resilience.ParseFaultSpec(*chaos)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if faults != nil {
+		fmt.Fprintf(os.Stderr, "exrquyd: WARNING: fault injection armed on /query (-chaos %q) — chaos drills only\n", *chaos)
 	}
 	s := server.New(server.Config{
 		Governor: exrquy.GovernorConfig{
@@ -76,13 +94,19 @@ func main() {
 			MaxBytes:      *govBytes,
 			QueryBytes:    *govQuery,
 		},
-		Parallelism:  *parallelN,
-		Timeout:      *timeout,
-		MaxTimeout:   *maxTime,
-		MaxDocBytes:  *maxDoc,
-		CacheSize:    *cacheSize,
-		Clients:      clients,
-		DrainTimeout: *drain,
+		Parallelism:     *parallelN,
+		Timeout:         *timeout,
+		MaxTimeout:      *maxTime,
+		MaxDocBytes:     *maxDoc,
+		CacheSize:       *cacheSize,
+		Clients:         clients,
+		DrainTimeout:    *drain,
+		RateQPS:         *rateQPS,
+		RateBurst:       *rateBurst,
+		WatchdogTimeout: *watchdog,
+		BreakerFailures: *brkFails,
+		BreakerCooldown: *brkCool,
+		Faults:          faults,
 	})
 
 	for _, path := range flag.Args() {

@@ -20,16 +20,24 @@
 // With -provision-xmark F the generator first uploads a synthetic XMark
 // instance as auction.xml via PUT /documents, so it can drive a freshly
 // booted empty daemon.
+//
+// Query traffic goes through the resilient internal/client: -retries N
+// re-issues failed queries with capped jittered backoff (honoring the
+// server's Retry-After hints, bounded by -retry-budget), and -hedge
+// races a speculative duplicate against slow queries after -hedge-delay
+// (default: the p95 of observed latencies). Safe because query reads
+// are idempotent under order indifference; the run report and
+// trajectory rows carry the retry/hedge/watchdog-kill counts.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
-	"net/url"
 	"os"
 	"runtime"
 	"sort"
@@ -39,21 +47,26 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/client"
 	"repro/internal/xmark"
 	"repro/internal/xmarkq"
 )
 
 func main() {
 	var (
-		base      = flag.String("url", "http://127.0.0.1:8345", "exrquyd base URL")
-		qps       = flag.Float64("qps", 50, "target aggregate arrival rate, queries/second")
-		clients   = flag.Int("clients", 8, "concurrent worker connections")
-		duration  = flag.Duration("duration", 10*time.Second, "measured run length")
-		queryList = flag.String("queries", "1,2,8,9,11", "comma-separated XMark query numbers for the mix")
-		jsonOut   = flag.String("json", "", "write the run as a bench trajectory JSON file")
-		key       = flag.String("key", "", "API key sent as X-API-Key")
-		provision = flag.Float64("provision-xmark", 0, "upload a synthetic XMark instance at this factor as auction.xml before the run")
-		warm      = flag.Bool("warm", true, "run each mix query once before measuring (warms the plan cache)")
+		base       = flag.String("url", "http://127.0.0.1:8345", "exrquyd base URL")
+		qps        = flag.Float64("qps", 50, "target aggregate arrival rate, queries/second")
+		clients    = flag.Int("clients", 8, "concurrent worker connections")
+		duration   = flag.Duration("duration", 10*time.Second, "measured run length")
+		queryList  = flag.String("queries", "1,2,8,9,11", "comma-separated XMark query numbers for the mix")
+		jsonOut    = flag.String("json", "", "write the run as a bench trajectory JSON file")
+		key        = flag.String("key", "", "API key sent as X-API-Key")
+		provision  = flag.Float64("provision-xmark", 0, "upload a synthetic XMark instance at this factor as auction.xml before the run")
+		warm       = flag.Bool("warm", true, "run each mix query once before measuring (warms the plan cache)")
+		retries    = flag.Int("retries", 0, "retries per query beyond the first attempt (0 = give up immediately)")
+		budget     = flag.Float64("retry-budget", 0.2, "retry budget: retries allowed as a fraction of requests")
+		hedge      = flag.Bool("hedge", false, "hedge slow queries with a speculative duplicate (idempotent GETs only)")
+		hedgeDelay = flag.Duration("hedge-delay", 0, "fixed hedge trigger (0 = p95 of observed latencies)")
 	)
 	flag.Parse()
 	if *qps <= 0 || *clients <= 0 {
@@ -64,8 +77,17 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	lg := &generator{base: strings.TrimRight(*base, "/"), key: *key,
-		client: &http.Client{Timeout: 60 * time.Second}}
+	baseURL := strings.TrimRight(*base, "/")
+	lg := &generator{base: baseURL, key: *key,
+		client: &http.Client{Timeout: 60 * time.Second},
+		rc: client.New(client.Config{
+			BaseURL:     baseURL,
+			APIKey:      *key,
+			MaxAttempts: *retries + 1,
+			RetryBudget: *budget,
+			Hedge:       *hedge,
+			HedgeDelay:  *hedgeDelay,
+		})}
 
 	if *provision > 0 {
 		var doc bytes.Buffer
@@ -102,10 +124,12 @@ func main() {
 	if hits+misses > 0 {
 		hitPct = 100 * float64(hits) / float64(hits+misses)
 	}
+	cst := lg.rc.Stats()
+	kills := after.Resilience.WatchdogKills - before.Resilience.WatchdogKills
 
-	res.report(os.Stdout, *qps, *clients, hitPct)
+	res.report(os.Stdout, *qps, *clients, hitPct, cst, kills)
 	if *jsonOut != "" {
-		rep := res.trajectory(*clients, *provision, hitPct)
+		rep := res.trajectory(*clients, *provision, hitPct, cst, kills)
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fatal("marshal: %v", err)
@@ -120,11 +144,14 @@ func main() {
 	}
 }
 
-// generator holds the HTTP plumbing shared by all workers.
+// generator holds the HTTP plumbing shared by all workers: a raw
+// http.Client for document uploads and the resilient internal/client
+// (retries, budget, hedging) for query traffic.
 type generator struct {
 	base   string
 	key    string
 	client *http.Client
+	rc     *client.Client
 }
 
 func (g *generator) do(req *http.Request) (int, []byte, error) {
@@ -141,12 +168,11 @@ func (g *generator) do(req *http.Request) (int, []byte, error) {
 }
 
 func (g *generator) query(id int) (int, []byte, error) {
-	u := g.base + "/query?q=" + url.QueryEscape(xmarkq.Get(id).Text)
-	req, err := http.NewRequest(http.MethodGet, u, nil)
+	resp, err := g.rc.Query(context.Background(), xmarkq.Get(id).Text)
 	if err != nil {
 		return 0, nil, err
 	}
-	return g.do(req)
+	return resp.Status, resp.Body, nil
 }
 
 func (g *generator) putDocument(name string, doc []byte) error {
@@ -170,6 +196,9 @@ type daemonStats struct {
 		Hits   int64 `json:"hits"`
 		Misses int64 `json:"misses"`
 	} `json:"cache"`
+	Resilience struct {
+		WatchdogKills int64 `json:"watchdog_kills"`
+	} `json:"resilience"`
 }
 
 func (g *generator) stats() (daemonStats, error) {
@@ -328,12 +357,14 @@ func pct(sorted []time.Duration, p float64) time.Duration {
 	return sorted[i]
 }
 
-func (r *result) report(w io.Writer, qps float64, clients int, hitPct float64) {
+func (r *result) report(w io.Writer, qps float64, clients int, hitPct float64, cst client.Stats, kills int64) {
 	total := int64(len(r.samples))
 	achieved := float64(total) / r.wall.Seconds()
 	fmt.Fprintf(w, "open loop: target %.0f qps, %d clients, %s wall\n", qps, clients, r.wall.Round(time.Millisecond))
 	fmt.Fprintf(w, "completed %d (%.1f qps achieved), %d queue overflows, %d errors, cache hit rate %.1f%%\n",
 		total, achieved, r.overflow, r.errors, hitPct)
+	fmt.Fprintf(w, "resilience: %d retries (%d budget-denied), %d hedges (%d wins), %d watchdog kills\n",
+		cst.Retries, cst.BudgetDenied, cst.Hedges, cst.HedgeWins, kills)
 	fmt.Fprintf(w, "%-6s %8s %8s %12s %12s %12s\n", "query", "ok", "shed", "p50", "p95", "p99")
 	for _, q := range r.byQuery() {
 		fmt.Fprintf(w, "Q%-5d %8d %8d %12s %12s %12s\n", q.id, q.ok, q.shed,
@@ -346,7 +377,8 @@ func (r *result) report(w io.Writer, qps float64, clients int, hitPct float64) {
 // trajectory renders the run as a bench.TrajectoryReport with one
 // "server<clients>" row per query in the mix. NsPerOp carries the p50 as
 // in the contention rows; the benchdiff gate skips server* modes.
-func (r *result) trajectory(clients int, factor, hitPct float64) *bench.TrajectoryReport {
+// Retries/hedges/watchdog kills are run totals repeated on each row.
+func (r *result) trajectory(clients int, factor, hitPct float64, cst client.Stats, kills int64) *bench.TrajectoryReport {
 	rep := &bench.TrajectoryReport{
 		Factor:      factor,
 		Workers:     clients,
@@ -363,15 +395,18 @@ func (r *result) trajectory(clients int, factor, hitPct float64) *bench.Trajecto
 	for _, q := range r.byQuery() {
 		qps := float64(q.ok) / r.wall.Seconds()
 		rep.Rows = append(rep.Rows, bench.TrajectoryRow{
-			Query:       "Q" + strconv.Itoa(q.id),
-			Mode:        mode,
-			Typed:       true,
-			NsPerOp:     pct(q.latencies, 50).Nanoseconds(),
-			P95NsPerOp:  pct(q.latencies, 95).Nanoseconds(),
-			P99NsPerOp:  pct(q.latencies, 99).Nanoseconds(),
-			QPS:         qps,
-			Shed:        q.shed,
-			CacheHitPct: hitPct,
+			Query:         "Q" + strconv.Itoa(q.id),
+			Mode:          mode,
+			Typed:         true,
+			NsPerOp:       pct(q.latencies, 50).Nanoseconds(),
+			P95NsPerOp:    pct(q.latencies, 95).Nanoseconds(),
+			P99NsPerOp:    pct(q.latencies, 99).Nanoseconds(),
+			QPS:           qps,
+			Shed:          q.shed,
+			CacheHitPct:   hitPct,
+			Retries:       cst.Retries,
+			Hedges:        cst.Hedges,
+			WatchdogKills: kills,
 		})
 	}
 	return rep

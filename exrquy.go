@@ -87,11 +87,17 @@ var (
 	// or its queue deadline passed. Overload errors are retryable and may
 	// carry a retry hint (RetryAfterOf).
 	ErrOverload = qerr.ErrOverload
+	// ErrRateLimited marks rejection by a per-client rate limit (the
+	// serving layer's token buckets): this client is over its own budget,
+	// independent of overall load. Distinct from ErrOverload by design —
+	// both answer HTTP 429, but errors.Is tells them apart. Retryable;
+	// RetryAfterOf carries the bucket's refill time.
+	ErrRateLimited = qerr.ErrRateLimited
 )
 
-// IsRetryable reports whether err is transient — overload, timeout or
-// cancellation — so the same query may succeed if simply retried
-// (after the RetryAfterOf hint, for overloads).
+// IsRetryable reports whether err is transient — overload, rate
+// limiting, timeout or cancellation — so the same query may succeed if
+// simply retried (after the RetryAfterOf hint, when one is carried).
 func IsRetryable(err error) bool { return qerr.IsRetryable(err) }
 
 // RetryAfterOf extracts the retry hint from an overload error; ok is
@@ -638,6 +644,12 @@ func (q *Query) AnalyzeContext(ctx context.Context) (*Result, string, error) {
 
 // Text returns the query source.
 func (q *Query) Text() string { return q.text }
+
+// Documents returns the fn:doc() URIs the compiled plan reads, in
+// first-reference order. The set is exact and static (doc() only accepts
+// string literals), which is what lets a serving layer invalidate cached
+// plans for exactly the documents a reload touched.
+func (q *Query) Documents() []string { return q.prepared.Documents() }
 
 // OpCounts summarizes a plan: total operators, ρ sorts, # stamps.
 type OpCounts struct {

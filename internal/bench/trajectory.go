@@ -43,6 +43,14 @@ type TrajectoryRow struct {
 	// CacheHitPct is the prepared-plan cache hit rate observed during a
 	// loadgen run, in percent (server rows only).
 	CacheHitPct float64 `json:"cache_hit_pct,omitempty"`
+	// Resilience extras (cmd/loadgen with retries/hedging enabled):
+	// client-side retries and hedges issued and server-side watchdog
+	// kills observed. All three are per-run totals repeated on each row
+	// of the run (the client does not attribute them per query). Zero
+	// for non-server rows; the benchdiff gate ignores them.
+	Retries       int64 `json:"retries,omitempty"`
+	Hedges        int64 `json:"hedges,omitempty"`
+	WatchdogKills int64 `json:"watchdog_kills,omitempty"`
 }
 
 // TrajectoryMeta stamps the run configuration into the trajectory file:

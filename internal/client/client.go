@@ -1,0 +1,413 @@
+// Package client is a resilient HTTP client for exrquyd: capped
+// exponential backoff with jitter that honors the server's Retry-After
+// hints, a retry budget that stops retries from amplifying an outage,
+// and optional hedged requests for the query endpoint.
+//
+// Everything here leans on the paper's order-indifference result: an
+// XQuery read over an immutable document snapshot is a pure function of
+// (query, snapshot), so re-issuing it — after a failure, or
+// speculatively as a hedge racing a slow primary — can only ever produce
+// byte-identical output. Retries and hedges are therefore safe by
+// construction, not by protocol convention; the differential tests pin
+// exactly that (hedged/retried responses match single-shot execution for
+// the whole XMark suite).
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a Client. The zero value (plus BaseURL) works:
+// 4 attempts, 50ms base / 2s cap backoff, a 0.2 retry budget, hedging
+// off.
+type Config struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8345".
+	BaseURL string
+	// APIKey, when set, is sent as X-API-Key on every request.
+	APIKey string
+	// HTTPClient overrides the transport; nil uses a 60s-timeout client.
+	HTTPClient *http.Client
+
+	// MaxAttempts bounds tries per logical request, first included;
+	// <= 0 means 4.
+	MaxAttempts int
+	// BaseBackoff is the first retry delay before jitter; 0 means 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth; 0 means 2s.
+	MaxBackoff time.Duration
+	// RetryBudget is the fraction of logical requests that may be
+	// retried: each request earns this many retry tokens, each retry
+	// spends one, and an exhausted budget fails fast instead of piling
+	// retries onto a struggling server. 0 means 0.2; negative disables
+	// retries outright.
+	RetryBudget float64
+
+	// Hedge enables speculative duplicates for Query: when the primary
+	// has not answered within the hedge delay, an identical request
+	// races it and the first complete success wins. Safe because query
+	// reads are idempotent (order indifference; see the package doc).
+	Hedge bool
+	// HedgeDelay fixes the hedge trigger; 0 derives it from the p95 of
+	// recently observed successful-request latencies (no hedging until
+	// enough samples accumulate).
+	HedgeDelay time.Duration
+
+	// Seed makes the jitter stream deterministic for tests; 0 means 1.
+	Seed int64
+}
+
+// Stats counts what the resilience machinery did. Snapshot via
+// Client.Stats.
+type Stats struct {
+	// Requests is the number of logical requests issued.
+	Requests int64 `json:"requests"`
+	// Attempts is the total HTTP attempts, retries and hedges included.
+	Attempts int64 `json:"attempts"`
+	// Retries counts re-issues after a retryable failure.
+	Retries int64 `json:"retries"`
+	// BudgetDenied counts retries the budget refused.
+	BudgetDenied int64 `json:"budget_denied"`
+	// Hedges counts speculative duplicates launched; HedgeWins how many
+	// of them answered before their primary.
+	Hedges    int64 `json:"hedges"`
+	HedgeWins int64 `json:"hedge_wins"`
+}
+
+// Response is one completed exchange: the final status, the full body
+// (a read error mid-body is a transport failure, never a short
+// Response) and the response headers.
+type Response struct {
+	Status int
+	Body   []byte
+	Header http.Header
+}
+
+// budgetCap bounds banked retry tokens so a long quiet stretch cannot
+// bankroll a retry storm later.
+const budgetCap = 16
+
+// minHedgeSamples is how many successful latencies must accumulate
+// before a p95-derived hedge delay is trusted.
+const minHedgeSamples = 16
+
+// latWindow is the sliding-window size for latency samples.
+const latWindow = 128
+
+// Client issues resilient requests against one exrquyd daemon. Safe for
+// concurrent use.
+type Client struct {
+	cfg Config
+	hc  *http.Client
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	budget float64
+	lat    []time.Duration // ring buffer of successful-request latencies
+	latIdx int
+	latLen int
+	stats  Stats
+}
+
+// New builds a Client for cfg (zero fields take the documented
+// defaults).
+func New(cfg Config) *Client {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	if cfg.RetryBudget == 0 {
+		cfg.RetryBudget = 0.2
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &Client{
+		cfg: cfg,
+		hc:  hc,
+		rng: rand.New(rand.NewSource(seed)),
+		// Seed the budget with one token so the very first request can
+		// retry; steady state is governed by RetryBudget.
+		budget: 1,
+		lat:    make([]time.Duration, latWindow),
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Query runs an XQuery via GET /query?q=, with retries and (when
+// configured) hedging.
+func (c *Client) Query(ctx context.Context, query string) (*Response, error) {
+	u := c.cfg.BaseURL + "/query?q=" + url.QueryEscape(query)
+	return c.get(ctx, u, c.cfg.Hedge)
+}
+
+// Get issues a retried (never hedged) GET against an absolute URL on
+// the daemon, e.g. BaseURL+"/debug/stats".
+func (c *Client) Get(ctx context.Context, rawURL string) (*Response, error) {
+	return c.get(ctx, rawURL, false)
+}
+
+// get is the retry loop around one logical GET.
+func (c *Client) get(ctx context.Context, u string, hedge bool) (*Response, error) {
+	c.mu.Lock()
+	c.stats.Requests++
+	if c.cfg.RetryBudget > 0 {
+		c.budget = min(c.budget+c.cfg.RetryBudget, budgetCap)
+	}
+	c.mu.Unlock()
+
+	var resp *Response
+	var err error
+	for attempt := 1; ; attempt++ {
+		resp, err = c.once(ctx, u, hedge)
+		if err == nil && !retryableStatus(resp.Status) {
+			return resp, nil
+		}
+		if ctx.Err() != nil {
+			break // the caller gave up; don't spin on a dead context
+		}
+		if attempt >= c.cfg.MaxAttempts || !c.spendRetryToken() {
+			break
+		}
+		c.mu.Lock()
+		c.stats.Retries++
+		c.mu.Unlock()
+		delay := c.backoff(attempt)
+		if hint, ok := retryAfterOf(resp); ok && hint > delay {
+			delay = hint // the server knows when capacity returns; believe it
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return resp, ctx.Err()
+		}
+	}
+	// Out of attempts or budget: surface the last outcome as-is, so the
+	// caller sees the true final status (e.g. 429/503) or transport error.
+	return resp, err
+}
+
+// once performs one attempt, racing a hedge against the primary when
+// enabled and a hedge delay is known.
+func (c *Client) once(ctx context.Context, u string, hedge bool) (*Response, error) {
+	delay := c.hedgeDelay()
+	if !hedge || delay <= 0 {
+		return c.roundTrip(ctx, u)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // aborts whichever sibling lost the race
+
+	type outcome struct {
+		resp   *Response
+		err    error
+		hedged bool
+	}
+	results := make(chan outcome, 2) // both goroutines can always report
+	go func() {
+		r, err := c.roundTrip(ctx, u)
+		results <- outcome{r, err, false}
+	}()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	timerC := timer.C
+	outstanding := 1
+	hedged := false
+	var fallback *outcome
+	for {
+		select {
+		case o := <-results:
+			outstanding--
+			if o.err == nil && !retryableStatus(o.resp.Status) {
+				if o.hedged {
+					c.mu.Lock()
+					c.stats.HedgeWins++
+					c.mu.Unlock()
+				}
+				return o.resp, o.err
+			}
+			if !hedged {
+				// The primary failed before the hedge launched; report the
+				// failure and let the retry loop handle it.
+				return o.resp, o.err
+			}
+			if fallback == nil {
+				fallback = &o
+			}
+			if outstanding == 0 {
+				// Both raced and both failed; surface the first failure.
+				return fallback.resp, fallback.err
+			}
+		case <-timerC:
+			timerC = nil
+			hedged = true
+			c.mu.Lock()
+			c.stats.Hedges++
+			c.mu.Unlock()
+			outstanding++
+			go func() {
+				r, err := c.roundTrip(ctx, u)
+				results <- outcome{r, err, true}
+			}()
+		}
+	}
+}
+
+// roundTrip performs exactly one HTTP exchange, reading the body in
+// full. A mid-body read failure (connection reset, truncated chunked
+// encoding from an aborted handler) is reported as a transport error,
+// not a Response — a partial 200 must never be mistaken for a result.
+func (c *Client) roundTrip(ctx context.Context, u string) (*Response, error) {
+	c.mu.Lock()
+	c.stats.Attempts++
+	c.mu.Unlock()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.APIKey != "" {
+		req.Header.Set("X-API-Key", c.cfg.APIKey)
+	}
+	start := time.Now()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("read body of %s: %w", u, err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		c.observeLatency(time.Since(start))
+	}
+	return &Response{Status: resp.StatusCode, Body: body, Header: resp.Header}, nil
+}
+
+// retryableStatus classifies statuses worth re-issuing: throttling and
+// server-side failures. 4xx (other than 429) means the request itself is
+// wrong and will be wrong again.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests,
+		http.StatusInternalServerError,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryAfterOf extracts the server's backoff hint, preferring the
+// millisecond-precision retry_after_ms JSON field over the whole-second
+// Retry-After header.
+func retryAfterOf(r *Response) (time.Duration, bool) {
+	if r == nil {
+		return 0, false
+	}
+	var body struct {
+		RetryAfterMS int64 `json:"retry_after_ms"`
+	}
+	if json.Unmarshal(r.Body, &body) == nil && body.RetryAfterMS > 0 {
+		return time.Duration(body.RetryAfterMS) * time.Millisecond, true
+	}
+	if s := r.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second, true
+		}
+	}
+	return 0, false
+}
+
+// spendRetryToken consumes one token, or reports the budget exhausted.
+func (c *Client) spendRetryToken() bool {
+	if c.cfg.RetryBudget < 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget >= 1 {
+		c.budget--
+		return true
+	}
+	c.stats.BudgetDenied++
+	return false
+}
+
+// backoff computes the delay before retry number `attempt` (1-based
+// count of completed attempts): capped exponential with full jitter in
+// [d/2, d], so synchronized clients desynchronize.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BaseBackoff << (attempt - 1)
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+}
+
+// observeLatency records one successful exchange for the p95 estimate.
+func (c *Client) observeLatency(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lat[c.latIdx] = d
+	c.latIdx = (c.latIdx + 1) % latWindow
+	if c.latLen < latWindow {
+		c.latLen++
+	}
+}
+
+// hedgeDelay resolves the speculative-request trigger: the configured
+// override, else the p95 of the latency window once it holds enough
+// samples, else 0 (don't hedge yet).
+func (c *Client) hedgeDelay() time.Duration {
+	if c.cfg.HedgeDelay > 0 {
+		return c.cfg.HedgeDelay
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.latLen < minHedgeSamples {
+		return 0
+	}
+	sorted := make([]time.Duration, c.latLen)
+	copy(sorted, c.lat[:c.latLen])
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(0.95*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	d := sorted[i]
+	if d <= 0 {
+		d = time.Millisecond // degenerate clocks; hedge, but not in a busy loop
+	}
+	return d
+}

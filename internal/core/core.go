@@ -27,6 +27,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/parallel"
 	"repro/internal/qerr"
+	"repro/internal/resilience"
 	"repro/internal/xdm"
 	"repro/internal/xmltree"
 	"repro/internal/xquery"
@@ -259,6 +260,10 @@ func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs ma
 	if p.cfg.Collect {
 		collect = obs.NewCollector()
 	}
+	// Watchdog liveness: when a serving-layer watchdog registered a
+	// heartbeat on this context (resilience.Watch), hand it to the engine
+	// so every cooperative poll point proves the query is making progress.
+	beat := resilience.HeartbeatFrom(ctx)
 	end := p.cfg.span("execute")
 	var res *engine.Result
 	var err error
@@ -272,6 +277,7 @@ func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs ma
 			InterestingOrders: p.cfg.InterestingOrders,
 			Collect:           collect,
 			Tracer:            p.cfg.Tracer,
+			Heartbeat:         beat,
 		})
 	} else {
 		res, err = engine.Run(p.Plan.Root, store, docs, engine.Options{
@@ -282,6 +288,7 @@ func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs ma
 			InterestingOrders: p.cfg.InterestingOrders,
 			Collect:           collect,
 			Tracer:            p.cfg.Tracer,
+			Heartbeat:         beat,
 		})
 	}
 	end()
@@ -304,6 +311,34 @@ func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs ma
 
 // Explain renders the (optimized) plan DAG as text.
 func (p *Prepared) Explain() string { return opt.Explain(p.Plan.Root) }
+
+// Documents returns the fn:doc() URIs the plan reads, in first-reference
+// order. The set is exact and static: the compiler only accepts
+// string-literal doc() arguments, so every document access is an OpDoc
+// node with a fixed URI — which is what lets a serving layer scope
+// plan-cache invalidation to the documents a plan actually mentions
+// (plans are document-independent until execution binds the registry).
+func (p *Prepared) Documents() []string {
+	var uris []string
+	seenURI := make(map[string]bool)
+	seen := make(map[*algebra.Node]bool)
+	var visit func(n *algebra.Node)
+	visit = func(n *algebra.Node) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		if n.Kind == algebra.OpDoc && !seenURI[n.URI] {
+			seenURI[n.URI] = true
+			uris = append(uris, n.URI)
+		}
+		for _, in := range n.Ins {
+			visit(in)
+		}
+	}
+	visit(p.Plan.Root)
+	return uris
+}
 
 // ExplainAnalyze renders the plan annotated with the measured statistics
 // of an actual execution — the EXPLAIN ANALYZE view. st is the RunStats

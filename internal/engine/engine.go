@@ -57,6 +57,12 @@ type Options struct {
 	// evaluation (category "op", track 0). Pipeline-phase spans are the
 	// caller's job (package core).
 	Tracer obs.Tracer
+	// Heartbeat, when non-nil, is bumped at every cooperative poll point
+	// (CheckCancel and everything routed through it) — the liveness
+	// signal a serving-layer watchdog (internal/resilience) uses to tell
+	// a slow query from a wedged one. One atomic add per poll; nil costs
+	// a single pointer comparison.
+	Heartbeat *atomic.Int64
 }
 
 // ErrCutoff is returned (wrapped) when an execution exceeds its time or
@@ -160,6 +166,9 @@ type Exec struct {
 	// the disabled path allocates nothing), tracer the span sink.
 	collect *obs.Collector
 	tracer  obs.Tracer
+	// beat is the watchdog heartbeat (Options.Heartbeat); nil when no one
+	// is watching. Bumped in CheckCancel, shared with parallel workers.
+	beat *atomic.Int64
 }
 
 // NewExec prepares an execution over a derived store.
@@ -175,6 +184,7 @@ func NewExec(base *xmltree.Store, docs map[string]uint32, opts Options) *Exec {
 		intOrders: opts.InterestingOrders,
 		collect:   opts.Collect,
 		tracer:    opts.Tracer,
+		beat:      opts.Heartbeat,
 	}
 	if ex.collect != nil {
 		ex.collect.SetPoolBaseline(xdm.PoolStats())
@@ -259,14 +269,25 @@ func (ex *Exec) ReleaseInputs(n *algebra.Node) {
 // CheckCancel reports a cancellation error once the execution's context
 // is done. Safe for concurrent use (the done channel is immutable); a
 // single select on a cached channel, cheap enough for per-chunk polling
-// inside operator kernels.
+// inside operator kernels. Reaching any poll point is also the query's
+// proof of life: the watchdog heartbeat, when armed, is bumped here —
+// before the done check, so heartbeats flow even for executions with no
+// cancellable context.
 func (ex *Exec) CheckCancel() error {
+	if ex.beat != nil {
+		ex.beat.Add(1)
+	}
 	if ex.done == nil {
 		return nil
 	}
 	select {
 	case <-ex.done:
-		cause := ex.ctx.Err()
+		// context.Cause preserves the canceller's reason (e.g. the
+		// watchdog's ErrStuck) where ctx.Err flattens it to Canceled.
+		cause := context.Cause(ex.ctx)
+		if cause == nil {
+			cause = ex.ctx.Err()
+		}
 		kind := qerr.ErrCanceled
 		if errors.Is(cause, context.DeadlineExceeded) {
 			kind = qerr.ErrTimeout

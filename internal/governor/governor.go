@@ -54,8 +54,14 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/qerr"
+	"repro/internal/resilience"
 	"repro/internal/xdm"
 )
+
+// queueBeatInterval is how often a queued admission bumps its watchdog
+// heartbeat (resilience.WithHeartbeat on the request context): a query
+// waiting its turn is waiting, not stuck, and must not look silent.
+const queueBeatInterval = 100 * time.Millisecond
 
 // Config tunes a Governor. The zero value is usable: DefaultConfig's
 // documented defaults are substituted for zero fields by New.
@@ -272,37 +278,50 @@ func (g *Governor) Admit(ctx context.Context) (*Lease, error) {
 		defer t.Stop()
 		deadline = t.C
 	}
+	// A watchdog-watched request carries a heartbeat: beat it while
+	// queued so admission waits never read as wedged queries.
+	var beatTick <-chan time.Time
+	beat := resilience.HeartbeatFrom(ctx)
+	if beat != nil {
+		tick := time.NewTicker(queueBeatInterval)
+		defer tick.Stop()
+		beatTick = tick.C
+	}
 	enqueued := time.Now()
-	select {
-	case <-w.ready:
-		wait := time.Since(enqueued)
-		obs.QueueWaitNanos.Observe(wait.Nanoseconds())
-		g.mu.Lock()
-		lease := g.newLeaseLocked(fault, quota, wait)
-		g.mu.Unlock()
-		return lease, nil
-	case <-ctx.Done():
-		if lease := g.abandonWait(w, fault, quota, enqueued); lease != nil {
-			// Granted concurrently with cancellation: the slot is ours, but
-			// the query is dead. Hand the slot back and report the abort.
-			lease.Release()
+	for {
+		select {
+		case <-w.ready:
+			wait := time.Since(enqueued)
+			obs.QueueWaitNanos.Observe(wait.Nanoseconds())
+			g.mu.Lock()
+			lease := g.newLeaseLocked(fault, quota, wait)
+			g.mu.Unlock()
+			return lease, nil
+		case <-ctx.Done():
+			if lease := g.abandonWait(w, fault, quota, enqueued); lease != nil {
+				// Granted concurrently with cancellation: the slot is ours, but
+				// the query is dead. Hand the slot back and report the abort.
+				lease.Release()
+			}
+			cause := ctx.Err()
+			kind := qerr.ErrCanceled
+			if errors.Is(cause, context.DeadlineExceeded) {
+				kind = qerr.ErrTimeout
+			}
+			return nil, qerr.New(kind, "admit",
+				fmt.Errorf("governor: context done while queued for admission: %w", cause))
+		case <-deadline:
+			if lease := g.abandonWait(w, fault, quota, enqueued); lease != nil {
+				lease.Release()
+			}
+			g.shed.Add(1)
+			obs.ShedTotal.Inc()
+			return nil, qerr.Overload(g.retryHint(),
+				"governor: queue deadline (%s) passed before a slot opened: %w",
+				g.cfg.QueueTimeout, qerr.ErrOverload)
+		case <-beatTick:
+			beat.Add(1)
 		}
-		cause := ctx.Err()
-		kind := qerr.ErrCanceled
-		if errors.Is(cause, context.DeadlineExceeded) {
-			kind = qerr.ErrTimeout
-		}
-		return nil, qerr.New(kind, "admit",
-			fmt.Errorf("governor: context done while queued for admission: %w", cause))
-	case <-deadline:
-		if lease := g.abandonWait(w, fault, quota, enqueued); lease != nil {
-			lease.Release()
-		}
-		g.shed.Add(1)
-		obs.ShedTotal.Inc()
-		return nil, qerr.Overload(g.retryHint(),
-			"governor: queue deadline (%s) passed before a slot opened: %w",
-			g.cfg.QueueTimeout, qerr.ErrOverload)
 	}
 }
 

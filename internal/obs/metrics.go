@@ -256,3 +256,25 @@ var (
 	// admission (admitted queries only; shed queries don't report).
 	QueueWaitNanos = Default.Histogram("governor_queue_wait_ns")
 )
+
+// Resilience metrics (internal/resilience): per-client rate limiting,
+// the stuck-query watchdog, circuit breakers and HTTP fault injection.
+var (
+	// RateAllowedTotal counts requests admitted by per-client rate limits.
+	RateAllowedTotal = Default.Counter("ratelimit_allowed_total")
+	// RateLimitedTotal counts requests rejected with ErrRateLimited (429).
+	RateLimitedTotal = Default.Counter("ratelimit_limited_total")
+	// RateClients gauges the number of per-client token buckets alive.
+	RateClients = Default.Gauge("ratelimit_clients")
+	// WatchdogWatchedTotal counts queries registered with the watchdog.
+	WatchdogWatchedTotal = Default.Counter("watchdog_watched_total")
+	// WatchdogKillsTotal counts queries cancelled for missing heartbeats.
+	WatchdogKillsTotal = Default.Counter("watchdog_kills_total")
+	// BreakerOpensTotal counts closed→open (and half-open→open) trips.
+	BreakerOpensTotal = Default.Counter("breaker_opens_total")
+	// BreakerRejectsTotal counts requests rejected by an open breaker.
+	BreakerRejectsTotal = Default.Counter("breaker_rejects_total")
+	// HTTPFaultsInjected counts faults injected by an armed
+	// resilience.HTTPFaultPlan (zero in production).
+	HTTPFaultsInjected = Default.Counter("httpfault_injected_total")
+)

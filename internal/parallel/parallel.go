@@ -62,6 +62,11 @@ type Options struct {
 	// (workers trace on track worker+1).
 	Collect *obs.Collector
 	Tracer  obs.Tracer
+	// Heartbeat mirrors engine.Options.Heartbeat: the watchdog liveness
+	// counter, bumped at the shared budget-check sites — workers beat
+	// between morsels through the same CheckDeadline the serial kernels
+	// poll, so a healthy parallel query never looks silent.
+	Heartbeat *atomic.Int64
 }
 
 // MorselHook, when non-nil, runs at the start of every morsel task inside
@@ -104,6 +109,7 @@ func Run(root *algebra.Node, base *xmltree.Store, docs map[string]uint32, opts O
 		InterestingOrders: opts.InterestingOrders,
 		Collect:           opts.Collect,
 		Tracer:            opts.Tracer,
+		Heartbeat:         opts.Heartbeat,
 	}
 	if w == 1 {
 		return engine.Run(root, base, docs, eopts)

@@ -24,14 +24,18 @@ const StatusClientClosedRequest = 499
 //	ErrTimeout      408  wall-clock cutoff
 //	ErrCanceled     499  client went away mid-query
 //	ErrOverload     429  shed by admission control (send Retry-After)
+//	ErrRateLimited  429  per-client rate limit (send Retry-After)
 //	ErrInternal     500  recovered engine panic
 //	other *Error    400  classified dynamic failure (the request's fault)
 //	unclassified    500  the engine broke its own contract
 //
 // ErrLimit is checked before ErrParse (it wraps it), and ErrMemoryLimit/
-// ErrTimeout before ErrCutoff. A 503 is deliberately absent: the taxonomy
-// never says "the whole service is down" — that answer belongs to the
-// serving layer itself (e.g. during graceful shutdown).
+// ErrTimeout before ErrCutoff. ErrOverload and ErrRateLimited share 429
+// but stay distinguishable through the JSON body's machine-readable code
+// (Code below) — "you are over budget" vs "the service is saturated".
+// A 503 is deliberately absent: the taxonomy never says "the whole
+// service is down" — that answer belongs to the serving layer itself
+// (e.g. during graceful shutdown).
 func HTTPStatus(err error) int {
 	switch {
 	case err == nil:
@@ -46,7 +50,7 @@ func HTTPStatus(err error) int {
 		return http.StatusRequestTimeout
 	case errors.Is(err, ErrCanceled):
 		return StatusClientClosedRequest
-	case errors.Is(err, ErrOverload):
+	case errors.Is(err, ErrOverload), errors.Is(err, ErrRateLimited):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrInternal):
 		return http.StatusInternalServerError
@@ -56,4 +60,38 @@ func HTTPStatus(err error) int {
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
+}
+
+// Code maps a classified error to a stable machine-readable token for
+// JSON error bodies. Statuses shared by several kinds (429, 413) stay
+// distinguishable through it: clients dispatch on the code, humans read
+// the message.
+func Code(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrRateLimited):
+		return "rate_limited"
+	case errors.Is(err, ErrOverload):
+		return "overloaded"
+	case errors.Is(err, ErrLimit):
+		return "input_limit"
+	case errors.Is(err, ErrParse):
+		return "parse_error"
+	case errors.Is(err, ErrCompile):
+		return "compile_error"
+	case errors.Is(err, ErrMemoryLimit):
+		return "memory_limit"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrInternal):
+		return "internal"
+	}
+	var qe *Error
+	if errors.As(err, &qe) {
+		return "query_error"
+	}
+	return "internal"
 }

@@ -28,6 +28,7 @@ func TestHTTPStatus(t *testing.T) {
 		// fault: classified → 400.
 		{"bare cutoff", New(ErrCutoff, "execute", errors.New("cut")), http.StatusBadRequest},
 		{"overload", Overload(50*time.Millisecond, "queue full: %w", ErrOverload), http.StatusTooManyRequests},
+		{"rate limited", RateLimited(100*time.Millisecond, "client over budget: %w", ErrRateLimited), http.StatusTooManyRequests},
 		{"internal", FromPanic("execute", "index out of range", nil), http.StatusInternalServerError},
 		{"classified other", New(errors.New("dynamic error"), "execute", errors.New("unknown document")), http.StatusBadRequest},
 		{"unclassified", errors.New("mystery"), http.StatusInternalServerError},
@@ -45,12 +46,59 @@ func TestHTTPStatus(t *testing.T) {
 // TestHTTPStatusRetryAfterAgreement pins the contract the serving layer
 // relies on: every 429 the taxonomy produces carries a Retry-After hint.
 func TestHTTPStatusRetryAfterAgreement(t *testing.T) {
-	err := Overload(250*time.Millisecond, "governor: queue full: %w", ErrOverload)
-	if got := HTTPStatus(err); got != http.StatusTooManyRequests {
-		t.Fatalf("HTTPStatus = %d, want 429", got)
+	for name, err := range map[string]error{
+		"overload":     Overload(250*time.Millisecond, "governor: queue full: %w", ErrOverload),
+		"rate limited": RateLimited(250*time.Millisecond, "client over budget: %w", ErrRateLimited),
+	} {
+		if got := HTTPStatus(err); got != http.StatusTooManyRequests {
+			t.Fatalf("%s: HTTPStatus = %d, want 429", name, got)
+		}
+		hint, ok := RetryAfterOf(err)
+		if !ok || hint != 250*time.Millisecond {
+			t.Fatalf("%s: RetryAfterOf = %v, %v; want 250ms, true", name, hint, ok)
+		}
 	}
-	hint, ok := RetryAfterOf(err)
-	if !ok || hint != 250*time.Millisecond {
-		t.Fatalf("RetryAfterOf = %v, %v; want 250ms, true", hint, ok)
+}
+
+// TestRateLimitedDistinctFromOverload pins the two-429 design: the
+// sentinels never match each other, so a client (or test) can tell "slow
+// down" from "service saturated" by errors.Is alone.
+func TestRateLimitedDistinctFromOverload(t *testing.T) {
+	rl := RateLimited(time.Second, "over budget: %w", ErrRateLimited)
+	ov := Overload(time.Second, "queue full: %w", ErrOverload)
+	if errors.Is(rl, ErrOverload) {
+		t.Fatal("ErrRateLimited matches ErrOverload")
+	}
+	if errors.Is(ov, ErrRateLimited) {
+		t.Fatal("ErrOverload matches ErrRateLimited")
+	}
+	if !IsRetryable(rl) || !IsRetryable(ov) {
+		t.Fatal("both 429 classes must be retryable")
+	}
+}
+
+func TestCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{RateLimited(time.Second, "x: %w", ErrRateLimited), "rate_limited"},
+		{Overload(time.Second, "x: %w", ErrOverload), "overloaded"},
+		{New(ErrLimit, "parse", errors.New("big")), "input_limit"},
+		{New(ErrParse, "parse", errors.New("bad")), "parse_error"},
+		{New(ErrCompile, "compile", errors.New("bad")), "compile_error"},
+		{New(ErrMemoryLimit, "execute", errors.New("budget")), "memory_limit"},
+		{New(ErrTimeout, "execute", context.DeadlineExceeded), "timeout"},
+		{New(ErrCanceled, "execute", context.Canceled), "canceled"},
+		{FromPanic("execute", "boom", nil), "internal"},
+		{New(errors.New("dynamic"), "execute", errors.New("no doc")), "query_error"},
+		{errors.New("mystery"), "internal"},
+		{fmt.Errorf("wrapped: %w", RateLimited(time.Second, "x: %w", ErrRateLimited)), "rate_limited"},
+	}
+	for _, tc := range cases {
+		if got := Code(tc.err); got != tc.want {
+			t.Errorf("Code(%v) = %q, want %q", tc.err, got, tc.want)
+		}
 	}
 }

@@ -11,6 +11,9 @@
 //	ErrInternal     engine invariant violation (a recovered panic)
 //	ErrLimit        input guard tripped during parsing (wraps ErrParse)
 //	ErrOverload     admission control shed the query (retryable; RetryAfter hint)
+//	ErrRateLimited  a per-client rate limit rejected the request (retryable;
+//	                RetryAfter from the token bucket's refill — distinct from
+//	                ErrOverload: over-budget vs. saturated)
 //
 // The carrier type Error attaches the pipeline phase, a source position
 // when one is known, and — for internal errors — the optimized plan dump
@@ -46,21 +49,38 @@ var (
 	// failed — and the carrier Error's RetryAfter field gives a backoff
 	// hint (RetryAfterOf reads it from a wrapped chain).
 	ErrOverload = errors.New("overloaded")
+	// ErrRateLimited marks rejection by a per-client rate limit: this
+	// client is sending too fast, regardless of how busy the process is.
+	// Deliberately NOT wrapping ErrOverload — both map to HTTP 429, but
+	// "you are over your budget" and "the service is saturated" are
+	// different facts with different remedies (waiting out Retry-After
+	// always fixes the former; the latter depends on everyone else), so
+	// errors.Is keeps them distinguishable. Retryable, with the carrier's
+	// RetryAfter computed from the token bucket's refill time.
+	ErrRateLimited = errors.New("rate limited")
 )
 
 // IsRetryable reports whether err describes a transient condition that a
 // caller may reasonably retry unchanged: load shedding (ErrOverload),
-// wall-clock cutoffs (ErrTimeout) and cooperative cancellation
-// (ErrCanceled). Memory-limit cutoffs, static errors and internal errors
-// are not retryable — repeating them reproduces them.
+// per-client rate limiting (ErrRateLimited), wall-clock cutoffs
+// (ErrTimeout) and cooperative cancellation (ErrCanceled). Memory-limit
+// cutoffs, static errors and internal errors are not retryable —
+// repeating them reproduces them.
 func IsRetryable(err error) bool {
-	return errors.Is(err, ErrOverload) || errors.Is(err, ErrTimeout) || errors.Is(err, ErrCanceled)
+	return errors.Is(err, ErrOverload) || errors.Is(err, ErrRateLimited) ||
+		errors.Is(err, ErrTimeout) || errors.Is(err, ErrCanceled)
 }
 
 // Overload builds an ErrOverload Error with a Retry-After-style backoff
 // hint and a formatted message.
 func Overload(retryAfter time.Duration, format string, args ...any) *Error {
 	return &Error{Kind: ErrOverload, Phase: "admit", RetryAfter: retryAfter, Err: fmt.Errorf(format, args...)}
+}
+
+// RateLimited builds an ErrRateLimited Error whose RetryAfter is the
+// token bucket's refill time — the accurate wait, not a guess.
+func RateLimited(retryAfter time.Duration, format string, args ...any) *Error {
+	return &Error{Kind: ErrRateLimited, Phase: "admit", RetryAfter: retryAfter, Err: fmt.Errorf(format, args...)}
 }
 
 // RetryAfterOf returns the backoff hint recorded in err's chain and

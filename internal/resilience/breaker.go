@@ -1,0 +1,187 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// BreakerConfig parameterizes the per-client circuit breakers. Failures
+// <= 0 disables breaking entirely.
+type BreakerConfig struct {
+	// Failures is the consecutive-failure count that trips a closed
+	// breaker open (watchdog kills and internal 5xx both count).
+	Failures int
+	// Cooldown is how long an open breaker rejects before letting a
+	// single half-open probe through. <= 0 defaults to 5s.
+	Cooldown time.Duration
+}
+
+// cooldown returns the effective open duration.
+func (c BreakerConfig) cooldown() time.Duration {
+	if c.Cooldown > 0 {
+		return c.Cooldown
+	}
+	return 5 * time.Second
+}
+
+// breakerState is one client's circuit state.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // requests flow; failures counted
+	breakerOpen                         // requests rejected until cooldown
+	breakerHalfOpen                     // one probe in flight decides
+)
+
+// String names the state for /debug/stats.
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one client's circuit: consecutive failures observed while
+// closed, the instant it opened, and whether a half-open probe is out.
+type breaker struct {
+	state    breakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+// BreakerSet holds one circuit breaker per client key.
+//
+// The classic three-state machine: closed counts consecutive failures and
+// trips open at the threshold; open rejects everything (fail-fast, with a
+// Retry-After equal to the cooldown remainder) until the cooldown
+// elapses; then exactly one request is let through as a half-open probe —
+// its success closes the circuit, its failure re-opens it for another
+// cooldown. Concurrent requests during half-open are rejected, so a
+// recovering backend sees one query, not a thundering herd.
+//
+// A nil *BreakerSet is valid and never breaks.
+type BreakerSet struct {
+	cfg BreakerConfig
+
+	mu sync.Mutex
+	m  map[string]*breaker
+	// now is the clock, injectable for deterministic tests.
+	now func() time.Time
+}
+
+// NewBreakerSet returns a breaker set, or nil (disabled) when
+// cfg.Failures <= 0.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	if cfg.Failures <= 0 {
+		return nil
+	}
+	return &BreakerSet{cfg: cfg, m: make(map[string]*breaker), now: time.Now}
+}
+
+// Allow asks whether a request for key may proceed. When the circuit is
+// open it reports ok=false and the cooldown remainder as the Retry-After
+// hint. When it admits a half-open probe, the caller MUST call Record for
+// that request — the probe's outcome is what decides the circuit.
+func (b *BreakerSet) Allow(key string) (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br, found := b.m[key]
+	if !found {
+		br = &breaker{}
+		b.m[key] = br
+	}
+	switch br.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		remaining := b.cfg.cooldown() - b.now().Sub(br.openedAt)
+		if remaining > 0 {
+			obs.BreakerRejectsTotal.Inc()
+			return false, remaining
+		}
+		// Cooldown over: this request becomes the half-open probe.
+		br.state = breakerHalfOpen
+		br.probing = true
+		return true, 0
+	default: // half-open
+		if br.probing {
+			// A probe is already out; don't pile on a recovering client.
+			obs.BreakerRejectsTotal.Inc()
+			return false, b.cfg.cooldown()
+		}
+		br.probing = true
+		return true, 0
+	}
+}
+
+// Record reports the outcome of an allowed request for key. Failures are
+// the caller's definition of "the serving path broke" — watchdog kills
+// and internal errors, not client mistakes like parse errors.
+func (b *BreakerSet) Record(key string, failed bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br, found := b.m[key]
+	if !found {
+		return
+	}
+	switch br.state {
+	case breakerClosed:
+		if !failed {
+			br.fails = 0
+			return
+		}
+		br.fails++
+		if br.fails >= b.cfg.Failures {
+			br.state = breakerOpen
+			br.openedAt = b.now()
+			br.fails = 0
+			obs.BreakerOpensTotal.Inc()
+		}
+	case breakerHalfOpen:
+		br.probing = false
+		if failed {
+			br.state = breakerOpen
+			br.openedAt = b.now()
+			obs.BreakerOpensTotal.Inc()
+			return
+		}
+		br.state = breakerClosed
+		br.fails = 0
+	case breakerOpen:
+		// A request admitted before the trip finishing late; ignore.
+	}
+}
+
+// States snapshots every non-closed breaker for /debug/stats (closed
+// circuits are the uninteresting steady state and are omitted).
+func (b *BreakerSet) States() map[string]string {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out map[string]string
+	for key, br := range b.m {
+		if br.state == breakerClosed {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]string)
+		}
+		out[key] = br.state.String()
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package resilience
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Rate is a per-client rate limit: a token bucket holding at most Burst
+// tokens, refilled at QPS tokens per second. QPS <= 0 disables limiting
+// for the client; Burst <= 0 defaults to max(1, ceil(QPS)).
+type Rate struct {
+	QPS   float64
+	Burst int
+}
+
+// Enabled reports whether the rate actually limits anything.
+func (r Rate) Enabled() bool { return r.QPS > 0 }
+
+// burst returns the effective bucket capacity.
+func (r Rate) burst() float64 {
+	if r.Burst > 0 {
+		return float64(r.Burst)
+	}
+	return math.Max(1, math.Ceil(r.QPS))
+}
+
+// Limiter holds one token bucket per client key. Buckets are created
+// lazily on first use and live for the process lifetime (the key space is
+// the configured API-key set, which is small and bounded).
+//
+// The zero Limiter is not usable; call NewLimiter.
+type Limiter struct {
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	// now is the clock, injectable for deterministic tests.
+	now func() time.Time
+}
+
+// bucket is one client's token bucket state, guarded by Limiter.mu: the
+// fractional token count and the instant it was last refilled.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter returns an empty limiter using the real clock.
+func NewLimiter() *Limiter {
+	return &Limiter{buckets: make(map[string]*bucket), now: time.Now}
+}
+
+// Allow spends one token from key's bucket under rate. When the bucket is
+// empty it reports ok=false and the duration after which one full token
+// will have refilled — the accurate Retry-After for a 429. A nil limiter
+// or a disabled rate always allows.
+func (l *Limiter) Allow(key string, rate Rate) (ok bool, retryAfter time.Duration) {
+	if l == nil || !rate.Enabled() {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, found := l.buckets[key]
+	if !found {
+		// A new bucket starts full: a client's first contact may burst.
+		b = &bucket{tokens: rate.burst(), last: now}
+		l.buckets[key] = b
+		obs.RateClients.Set(int64(len(l.buckets)))
+	}
+	// Refill for the time elapsed since the last decision, capped at the
+	// burst capacity. A clock that stands still (tests) refills nothing.
+	if dt := now.Sub(b.last); dt > 0 {
+		b.tokens = math.Min(rate.burst(), b.tokens+dt.Seconds()*rate.QPS)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		obs.RateAllowedTotal.Inc()
+		return true, 0
+	}
+	obs.RateLimitedTotal.Inc()
+	// Time until the deficit to one whole token refills at QPS.
+	need := 1 - b.tokens
+	retryAfter = time.Duration(need / rate.QPS * float64(time.Second))
+	if retryAfter <= 0 {
+		retryAfter = time.Millisecond
+	}
+	return false, retryAfter
+}

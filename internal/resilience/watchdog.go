@@ -1,0 +1,142 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrStuck is the cancellation cause recorded when the watchdog kills a
+// query that stopped heartbeating. context.Cause(ctx) returns it (wrapped)
+// after a kill, so the serving layer can distinguish a watchdog kill from
+// a client disconnect or a deadline.
+var ErrStuck = errors.New("watchdog: query made no progress within the heartbeat threshold")
+
+// heartbeatKey carries a query's heartbeat counter through its context.
+type heartbeatKey struct{}
+
+// WithHeartbeat attaches beat to ctx so lower layers (engine poll points,
+// governor queue waits) can find and bump it without depending on this
+// package's watchdog.
+func WithHeartbeat(ctx context.Context, beat *atomic.Int64) context.Context {
+	return context.WithValue(ctx, heartbeatKey{}, beat)
+}
+
+// HeartbeatFrom returns the heartbeat counter attached to ctx, or nil.
+func HeartbeatFrom(ctx context.Context) *atomic.Int64 {
+	beat, _ := ctx.Value(heartbeatKey{}).(*atomic.Int64)
+	return beat
+}
+
+// Beat bumps the heartbeat attached to ctx, if any. It is the one-liner
+// for layers that wait on a query's behalf (e.g. the governor's admission
+// queue) — a queued query is waiting, not stuck.
+func Beat(ctx context.Context) {
+	if beat := HeartbeatFrom(ctx); beat != nil {
+		beat.Add(1)
+	}
+}
+
+// Watchdog cancels queries whose heartbeat goes silent for a full
+// Threshold. Detection is per-probe timer based — no central goroutine,
+// no polling loop: each probe re-arms a time.AfterFunc every Threshold
+// and kills when two consecutive firings observe the same beat count.
+// A wedged query is therefore cancelled after at least one and at most
+// two thresholds of silence.
+//
+// A nil *Watchdog is valid and watches nothing.
+type Watchdog struct {
+	// Threshold is the maximum tolerated heartbeat silence.
+	Threshold time.Duration
+
+	kills atomic.Int64
+}
+
+// NewWatchdog returns a watchdog with the given silence threshold.
+// threshold <= 0 returns nil (disabled).
+func NewWatchdog(threshold time.Duration) *Watchdog {
+	if threshold <= 0 {
+		return nil
+	}
+	return &Watchdog{Threshold: threshold}
+}
+
+// Kills returns the number of queries this watchdog has cancelled.
+func (w *Watchdog) Kills() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.kills.Load()
+}
+
+// Probe is one watched query's registration. Close it when the query
+// finishes (normally or not); Close is idempotent and a nil probe is
+// valid to close.
+type Probe struct {
+	beat atomic.Int64
+	last int64 // beat count seen by the previous timer firing
+
+	mu     sync.Mutex
+	timer  *time.Timer
+	closed bool
+}
+
+// Watch registers a query and returns a derived context that is cancelled
+// (with ErrStuck as the cause) if the query's heartbeat stays silent for
+// a full threshold between two timer firings. The returned context
+// carries the probe's heartbeat counter (HeartbeatFrom finds it), so the
+// engine's poll points keep it alive. On a nil watchdog, Watch returns
+// ctx unchanged and a nil probe.
+func (w *Watchdog) Watch(ctx context.Context) (context.Context, *Probe) {
+	if w == nil {
+		return ctx, nil
+	}
+	obs.WatchdogWatchedTotal.Inc()
+	ctx, cancel := context.WithCancelCause(ctx)
+	p := &Probe{}
+	ctx = WithHeartbeat(ctx, &p.beat)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.timer = time.AfterFunc(w.Threshold, func() { w.check(p, cancel) })
+	return ctx, p
+}
+
+// check is the timer body: re-arm if the query beat since last time,
+// kill it otherwise.
+func (w *Watchdog) check(p *Probe, cancel context.CancelCauseFunc) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	if now := p.beat.Load(); now != p.last {
+		p.last = now
+		p.timer.Reset(w.Threshold)
+		return
+	}
+	w.kills.Add(1)
+	obs.WatchdogKillsTotal.Inc()
+	cancel(ErrStuck)
+}
+
+// Close deregisters the probe: the timer is stopped and no further kill
+// can fire. The caller still owns the context's normal cancellation.
+func (p *Probe) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+}
+
+// IsStuck reports whether err (or the cancellation cause chain of a
+// context error) records a watchdog kill.
+func IsStuck(err error) bool { return errors.Is(err, ErrStuck) }

@@ -5,33 +5,40 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"repro/internal/resilience"
 )
 
-// Client is one authenticated API principal, mapped onto the governor:
-// every query the client runs draws its ledger account with the client's
-// QueryBytes quota (via governor.WithQuota on the request context), so
-// per-client memory isolation rides the same shared ledger as everything
-// else in the process.
+// Client is one authenticated API principal, mapped onto the governor
+// and the resilience layers: every query the client runs draws its
+// ledger account with the client's QueryBytes quota (via governor.
+// WithQuota on the request context), spends a token from the client's
+// rate-limit bucket, and is tracked by the client's circuit breaker.
 type Client struct {
 	// Name labels the client in stats and logs.
 	Name string `json:"name"`
 	// QueryBytes is the per-query ledger quota for this client's queries;
 	// 0 inherits the governor's configured default.
 	QueryBytes int64 `json:"query_bytes,omitempty"`
+	// RateQPS overrides the server's default sustained rate limit for
+	// this client; 0 inherits Config.RateQPS.
+	RateQPS float64 `json:"rate_qps,omitempty"`
+	// RateBurst overrides the token-bucket burst for this client; only
+	// consulted when RateQPS overrides (0 there means ceil(RateQPS)).
+	RateBurst int `json:"rate_burst,omitempty"`
 }
 
 // anonymous is the principal used when no API keys are configured (open
 // access, e.g. local development and the CI smoke job).
 var anonymous = Client{Name: "anonymous"}
 
-// clientFor authenticates a request against the configured key table.
-// The key travels as "Authorization: Bearer <key>", an "X-API-Key"
-// header, or a "key" query parameter (in that precedence). With no keys
-// configured every request is the anonymous client.
-func (s *Server) clientFor(r *http.Request) (Client, bool) {
-	if len(s.cfg.Clients) == 0 {
-		return anonymous, true
-	}
+// clientFor authenticates a request against the configured key table,
+// returning the principal and the API key it presented — the key is the
+// identity the rate limiter and circuit breakers bucket on. The key
+// travels as "Authorization: Bearer <key>", an "X-API-Key" header, or a
+// "key" query parameter (in that precedence). With no keys configured
+// every request is the anonymous client (one shared bucket, key "").
+func (s *Server) clientFor(r *http.Request) (Client, string, bool) {
 	key := ""
 	if h := r.Header.Get("Authorization"); strings.HasPrefix(h, "Bearer ") {
 		key = strings.TrimPrefix(h, "Bearer ")
@@ -40,17 +47,37 @@ func (s *Server) clientFor(r *http.Request) (Client, bool) {
 	} else {
 		key = r.URL.Query().Get("key")
 	}
+	if len(s.cfg.Clients) == 0 {
+		return anonymous, "", true
+	}
 	c, ok := s.cfg.Clients[key]
-	return c, ok
+	return c, key, ok
+}
+
+// rateFor resolves the effective rate limit for a client: the client's
+// own override when set, otherwise the server default.
+func (s *Server) rateFor(c Client) resilience.Rate {
+	if c.RateQPS > 0 {
+		return resilience.Rate{QPS: c.RateQPS, Burst: c.RateBurst}
+	}
+	return resilience.Rate{QPS: s.cfg.RateQPS, Burst: s.cfg.RateBurst}
 }
 
 // ParseAPIKeys parses the exrquyd -api-keys flag syntax: a comma-
-// separated list of key=name or key=name:quotaBytes entries, e.g.
+// separated list of key=name with up to three optional colon-separated
+// numeric fields — per-query ledger quota (bytes), sustained rate limit
+// (QPS, may be fractional) and burst:
 //
-//	-api-keys "s3cret=analytics:104857600,t0ken=dashboard"
+//	key=name[:quotaBytes[:qps[:burst]]]
 //
-// maps key "s3cret" to client "analytics" with a 100 MiB per-query ledger
-// quota and key "t0ken" to client "dashboard" with the governor default.
+// e.g.
+//
+//	-api-keys "s3cret=analytics:104857600:50:100,t0ken=dashboard"
+//
+// maps key "s3cret" to client "analytics" with a 100 MiB per-query
+// quota, 50 QPS sustained and a burst of 100, and key "t0ken" to client
+// "dashboard" with all server defaults. A zero field inherits the
+// corresponding default (use 0 as a placeholder to set a later field).
 func ParseAPIKeys(spec string) (map[string]Client, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, nil
@@ -60,16 +87,33 @@ func ParseAPIKeys(spec string) (map[string]Client, error) {
 		entry = strings.TrimSpace(entry)
 		key, rest, ok := strings.Cut(entry, "=")
 		if !ok || key == "" || rest == "" {
-			return nil, fmt.Errorf("api-keys: entry %q is not key=name[:quotaBytes]", entry)
+			return nil, fmt.Errorf("api-keys: entry %q is not key=name[:quotaBytes[:qps[:burst]]]", entry)
 		}
-		name, quotaStr, hasQuota := strings.Cut(rest, ":")
-		c := Client{Name: name}
-		if hasQuota {
-			q, err := strconv.ParseInt(quotaStr, 10, 64)
+		fields := strings.Split(rest, ":")
+		if len(fields) > 4 {
+			return nil, fmt.Errorf("api-keys: entry %q has too many fields", entry)
+		}
+		c := Client{Name: fields[0]}
+		if len(fields) > 1 && fields[1] != "" {
+			q, err := strconv.ParseInt(fields[1], 10, 64)
 			if err != nil || q < 0 {
-				return nil, fmt.Errorf("api-keys: entry %q: bad quota %q", entry, quotaStr)
+				return nil, fmt.Errorf("api-keys: entry %q: bad quota %q", entry, fields[1])
 			}
 			c.QueryBytes = q
+		}
+		if len(fields) > 2 && fields[2] != "" {
+			qps, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || qps < 0 {
+				return nil, fmt.Errorf("api-keys: entry %q: bad qps %q", entry, fields[2])
+			}
+			c.RateQPS = qps
+		}
+		if len(fields) > 3 && fields[3] != "" {
+			b, err := strconv.Atoi(fields[3])
+			if err != nil || b < 0 {
+				return nil, fmt.Errorf("api-keys: entry %q: bad burst %q", entry, fields[3])
+			}
+			c.RateBurst = b
 		}
 		if _, dup := out[key]; dup {
 			return nil, fmt.Errorf("api-keys: duplicate key %q", key)

@@ -17,6 +17,11 @@ var (
 	cacheEvictsTotal = obs.Default.Counter("server_plan_cache_evictions_total")
 	cacheInvalTotal  = obs.Default.Counter("server_plan_cache_invalidations_total")
 	cacheSizeGauge   = obs.Default.Gauge("server_plan_cache_entries")
+	// cacheScopedInvalTotal counts document-scoped invalidations, and
+	// cacheScopedDropTotal the entries they actually dropped — the gap
+	// between the two and a full flush is the win of scoping.
+	cacheScopedInvalTotal = obs.Default.Counter("server_plan_cache_scoped_invalidations_total")
+	cacheScopedDropTotal  = obs.Default.Counter("server_plan_cache_scoped_dropped_total")
 )
 
 // planCache is an LRU of compiled queries keyed on normalized query text
@@ -33,11 +38,15 @@ type planCache struct {
 	entries map[string]*list.Element
 
 	hits, misses, evictions, invalidations int64
+	scopedInvalidations, scopedDropped     int64
 }
 
 type cacheEntry struct {
 	key string
 	q   *exrquy.Query
+	// docs is the exact fn:doc() URI set the plan reads
+	// (exrquy.Query.Documents) — the scope of invalidateDoc.
+	docs []string
 }
 
 // CacheStats is the cache's /debug/stats snapshot.
@@ -48,6 +57,10 @@ type CacheStats struct {
 	Misses        int64 `json:"misses"`
 	Evictions     int64 `json:"evictions"`
 	Invalidations int64 `json:"invalidations"`
+	// ScopedInvalidations counts invalidateDoc calls; ScopedDropped the
+	// entries those calls removed (the rest of the cache survived).
+	ScopedInvalidations int64 `json:"scoped_invalidations"`
+	ScopedDropped       int64 `json:"scoped_dropped"`
 }
 
 func newPlanCache(capacity int) *planCache {
@@ -73,18 +86,20 @@ func (c *planCache) get(key string) (*exrquy.Query, bool) {
 	return e.Value.(*cacheEntry).q, true
 }
 
-// put inserts (or refreshes) a compiled plan, evicting the least recently
-// used entry past capacity. Concurrent misses may compile the same query
-// twice; last writer wins and both plans are valid, so no singleflight.
-func (c *planCache) put(key string, q *exrquy.Query) {
+// put inserts (or refreshes) a compiled plan with the document URIs it
+// reads, evicting the least recently used entry past capacity. Concurrent
+// misses may compile the same query twice; last writer wins and both
+// plans are valid, so no singleflight.
+func (c *planCache) put(key string, q *exrquy.Query, docs []string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[key]; ok {
-		e.Value.(*cacheEntry).q = q
+		ent := e.Value.(*cacheEntry)
+		ent.q, ent.docs = q, docs
 		c.lru.MoveToFront(e)
 		return
 	}
-	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, q: q})
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, q: q, docs: docs})
 	for c.lru.Len() > c.cap {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
@@ -95,12 +110,8 @@ func (c *planCache) put(key string, q *exrquy.Query) {
 	cacheSizeGauge.Set(int64(c.lru.Len()))
 }
 
-// invalidate flushes every entry. The server calls it on document upload,
-// reload and delete: prepared plans stay *correct* across reloads (they
-// bind the document registry at execution time), but flushing keeps the
-// contract simple — after a document change, no plan predates it — and
-// leaves room for future document-dependent plan specialization (value
-// indexes, cost-based join orders) without revisiting every call site.
+// invalidate flushes every entry — the conservative big hammer, kept for
+// configuration-level changes where scoping has no meaning.
 func (c *planCache) invalidate() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -117,17 +128,54 @@ func (c *planCache) invalidate() {
 	cacheSizeGauge.Set(0)
 }
 
+// invalidateDoc drops exactly the entries whose plans read document name.
+// Prepared plans are document-independent until execution binds the
+// registry snapshot (DESIGN "Plan caching"), and the compiler only
+// accepts string-literal doc() URIs, so an entry's doc set is exact and
+// static: a reload of "a.xml" cannot affect a cached plan that never
+// mentions it. Plans over other documents — and document-free plans —
+// survive, keeping a busy multi-tenant cache warm across hot reloads.
+// Returns the number of entries dropped.
+func (c *planCache) invalidateDoc(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	var next *list.Element
+	for e := c.lru.Front(); e != nil; e = next {
+		next = e.Next()
+		ent := e.Value.(*cacheEntry)
+		for _, d := range ent.docs {
+			if d == name {
+				c.lru.Remove(e)
+				delete(c.entries, ent.key)
+				dropped++
+				break
+			}
+		}
+	}
+	c.invalidations++
+	cacheInvalTotal.Inc()
+	cacheScopedInvalTotal.Inc()
+	cacheScopedDropTotal.Add(int64(dropped))
+	c.scopedInvalidations++
+	c.scopedDropped += int64(dropped)
+	cacheSizeGauge.Set(int64(c.lru.Len()))
+	return dropped
+}
+
 // stats snapshots the cache.
 func (c *planCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:       c.lru.Len(),
-		Capacity:      c.cap,
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Evictions:     c.evictions,
-		Invalidations: c.invalidations,
+		Entries:             c.lru.Len(),
+		Capacity:            c.cap,
+		Hits:                c.hits,
+		Misses:              c.misses,
+		Evictions:           c.evictions,
+		Invalidations:       c.invalidations,
+		ScopedInvalidations: c.scopedInvalidations,
+		ScopedDropped:       c.scopedDropped,
 	}
 }
 

@@ -72,13 +72,13 @@ func TestPlanCacheLRU(t *testing.T) {
 		return q
 	}
 	c := newPlanCache(2)
-	c.put("a", mk(1))
-	c.put("b", mk(2))
+	c.put("a", mk(1), nil)
+	c.put("b", mk(2), nil)
 	if _, ok := c.get("a"); !ok {
 		t.Fatal("a missing before eviction")
 	}
 	// a is now most recent; inserting c must evict b.
-	c.put("c", mk(3))
+	c.put("c", mk(3), nil)
 	if _, ok := c.get("b"); ok {
 		t.Fatal("b should have been evicted (LRU)")
 	}
@@ -97,5 +97,48 @@ func TestPlanCacheLRU(t *testing.T) {
 	st = c.stats()
 	if st.Entries != 0 || st.Invalidations != 1 {
 		t.Fatalf("stats after invalidate = %+v", st)
+	}
+}
+
+// TestPlanCacheScopedInvalidation pins the scoped-invalidation contract:
+// reloading one document drops exactly the cached plans that read it —
+// plans over other documents and document-free plans stay cached.
+func TestPlanCacheScopedInvalidation(t *testing.T) {
+	eng := exrquy.New()
+	mk := func(i int) *exrquy.Query {
+		q, err := eng.Compile(fmt.Sprintf("%d + 0", i))
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		return q
+	}
+	c := newPlanCache(8)
+	c.put("reads-a", mk(1), []string{"a.xml"})
+	c.put("reads-b", mk(2), []string{"b.xml"})
+	c.put("reads-ab", mk(3), []string{"a.xml", "b.xml"})
+	c.put("pure", mk(4), nil)
+
+	if dropped := c.invalidateDoc("a.xml"); dropped != 2 {
+		t.Fatalf("invalidateDoc(a.xml) dropped %d entries, want 2", dropped)
+	}
+	for key, want := range map[string]bool{
+		"reads-a": false, "reads-ab": false, // read a.xml → stale
+		"reads-b": true, "pure": true, // untouched → warm
+	} {
+		if _, ok := c.get(key); ok != want {
+			t.Errorf("after invalidateDoc(a.xml): get(%q) = %v, want %v", key, ok, want)
+		}
+	}
+	st := c.stats()
+	if st.ScopedInvalidations != 1 || st.ScopedDropped != 2 {
+		t.Fatalf("scoped stats = %+v, want 1 scoped invalidation dropping 2", st)
+	}
+
+	// A reload of a document no cached plan reads drops nothing.
+	if dropped := c.invalidateDoc("zzz.xml"); dropped != 0 {
+		t.Fatalf("invalidateDoc(zzz.xml) dropped %d entries, want 0", dropped)
+	}
+	if _, ok := c.get("pure"); !ok {
+		t.Fatal("document-free plan lost to an unrelated invalidation")
 	}
 }

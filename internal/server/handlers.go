@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,12 +13,17 @@ import (
 	exrquy "repro"
 	"repro/internal/obs"
 	"repro/internal/qerr"
+	"repro/internal/resilience"
 )
 
-// routes wires the endpoint table (Go 1.22 method patterns).
+// routes wires the endpoint table (Go 1.22 method patterns). Only the
+// /query route passes through the fault-injection middleware (a no-op on
+// the nil plan of a production config): chaos drills target the query
+// path, while health checks and document management stay truthful.
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /query", s.handleQuery)
-	s.mux.HandleFunc("POST /query", s.handleQuery)
+	query := http.HandlerFunc(s.handleQuery)
+	s.mux.Handle("GET /query", s.cfg.Faults.Wrap(query))
+	s.mux.Handle("POST /query", s.cfg.Faults.Wrap(query))
 	s.mux.HandleFunc("PUT /documents/{name}", s.handlePutDocument)
 	s.mux.HandleFunc("DELETE /documents/{name}", s.handleDeleteDocument)
 	s.mux.HandleFunc("GET /documents", s.handleListDocuments)
@@ -28,8 +34,14 @@ func (s *Server) routes() {
 
 // errorBody is the JSON error envelope every non-2xx answer carries.
 type errorBody struct {
-	Error        string `json:"error"`
-	Status       int    `json:"status"`
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+	// Code is the machine-readable error class (qerr.Code plus the
+	// serving layer's own "draining", "breaker_open", "watchdog_killed",
+	// "unauthorized"). Clients branch on it instead of parsing Error —
+	// in particular it is how a retrying client tells the two 429 classes
+	// ("rate_limited" vs "overloaded") apart.
+	Code         string `json:"code,omitempty"`
 	Phase        string `json:"phase,omitempty"`
 	Line         int    `json:"line,omitempty"`
 	Col          int    `json:"col,omitempty"`
@@ -37,11 +49,12 @@ type errorBody struct {
 }
 
 // writeError maps err through qerr.HTTPStatus and renders the envelope.
-// Overload answers carry Retry-After (whole seconds, rounded up, so a
-// 100ms hint still tells the client to back off a beat).
+// Overload and rate-limit answers carry Retry-After (whole seconds,
+// rounded up, so a 100ms hint still tells the client to back off a beat)
+// and the exact hint as retry_after_ms in the body.
 func writeError(w http.ResponseWriter, err error) {
 	status := qerr.HTTPStatus(err)
-	body := errorBody{Error: err.Error(), Status: status, Phase: qerr.PhaseOf(err)}
+	body := errorBody{Error: err.Error(), Status: status, Code: qerr.Code(err), Phase: qerr.PhaseOf(err)}
 	if line, col, ok := qerr.PositionOf(err); ok {
 		body.Line, body.Col = line, col
 	}
@@ -75,6 +88,7 @@ func writeDraining(w http.ResponseWriter) {
 	writeJSON(w, http.StatusServiceUnavailable, errorBody{
 		Error:        "server is draining for shutdown",
 		Status:       http.StatusServiceUnavailable,
+		Code:         "draining",
 		RetryAfterMS: 1000,
 	})
 }
@@ -84,7 +98,27 @@ func writeUnauthorized(w http.ResponseWriter) {
 	writeJSON(w, http.StatusUnauthorized, errorBody{
 		Error:  "missing or unknown API key",
 		Status: http.StatusUnauthorized,
+		Code:   "unauthorized",
 	})
+}
+
+// writeBreakerOpen answers a request rejected by the client's tripped
+// circuit breaker: fail fast with the cooldown remainder as the hint.
+// 503 rather than 429 — the problem is the serving path for this client,
+// not the client's request rate.
+func writeBreakerOpen(w http.ResponseWriter, clientName string, retryAfter time.Duration) {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeJSON(w, http.StatusServiceUnavailable, errorBody{
+		Error:        fmt.Sprintf("circuit breaker open for client %q; backing off", clientName),
+		Status:       http.StatusServiceUnavailable,
+		Code:         "breaker_open",
+		RetryAfterMS: retryAfter.Milliseconds(),
+	})
+	requestErrorsTotal.Inc()
 }
 
 // queryText extracts the query from ?q= (GET) or the request body (POST),
@@ -141,7 +175,7 @@ func (s *Server) plan(query string) (q *exrquy.Query, hit bool, err error) {
 	if err != nil {
 		return nil, false, err
 	}
-	s.cache.put(key, q)
+	s.cache.put(key, q, q.Documents())
 	return q, false, nil
 }
 
@@ -153,15 +187,59 @@ func (s *Server) cacheKey(query string) string {
 	return fmt.Sprintf("par=%d\x00%s", s.cfg.Parallelism, normalizeQuery(query))
 }
 
+// finishQuery records the request's outcome with the client's circuit
+// breaker and, when err is non-nil, writes the error response. The
+// breaker's definition of failure is "the serving path broke" — watchdog
+// kills and internal errors — never client mistakes (parse errors,
+// quota cutoffs), which say nothing about the server's health. A
+// watchdog kill surfaces as 503 "watchdog_killed" rather than the 499
+// its underlying cancellation would map to: the client did nothing
+// wrong and should retry (order indifference makes the retry safe).
+// Reports whether a response was written.
+func (s *Server) finishQuery(w http.ResponseWriter, key string, err error) bool {
+	stuck := resilience.IsStuck(err)
+	s.breakers.Record(key, stuck || errors.Is(err, qerr.ErrInternal))
+	if err == nil {
+		return false
+	}
+	if stuck {
+		watchdogRejects.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{
+			Error:        err.Error(),
+			Status:       http.StatusServiceUnavailable,
+			Code:         "watchdog_killed",
+			Phase:        qerr.PhaseOf(err),
+			RetryAfterMS: 1000,
+		})
+		requestErrorsTotal.Inc()
+		return true
+	}
+	writeError(w, err)
+	return true
+}
+
 // handleQuery serves GET /query?q= and POST /query.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeDraining(w)
 		return
 	}
-	client, ok := s.clientFor(r)
+	client, key, ok := s.clientFor(r)
 	if !ok {
 		writeUnauthorized(w)
+		return
+	}
+	// Resilience gates, cheapest first and both per-client: the token
+	// bucket answers "is this client too fast", the breaker "is this
+	// client's serving path broken". Governor admission ("is the process
+	// too busy") still runs inside ExecuteContext — the layers compose.
+	if allowed, retryAfter := s.limiter.Allow(key, s.rateFor(client)); !allowed {
+		writeError(w, qerr.RateLimited(retryAfter, "client %q over rate limit: %w", client.Name, qerr.ErrRateLimited))
+		return
+	}
+	if allowed, retryAfter := s.breakers.Allow(key); !allowed {
+		writeBreakerOpen(w, client.Name, retryAfter)
 		return
 	}
 	requestsTotal.Inc()
@@ -196,6 +274,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if client.QueryBytes > 0 {
 		ctx = exrquy.WithQuotaContext(ctx, client.QueryBytes)
 	}
+	// The watchdog wraps the governed execution: the probe's heartbeat
+	// counter rides the context down to the engine's poll points (and the
+	// governor's queue wait), and a query silent past the threshold is
+	// cancelled with ErrStuck as the cause.
+	ctx, probe := s.watchdog.Watch(ctx)
+	defer probe.Close()
 
 	cacheHdr := "miss"
 	if hit {
@@ -203,8 +287,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.URL.Query().Get("analyze") == "1" {
 		res, text, err := q.AnalyzeContext(ctx)
-		if err != nil {
-			writeError(w, err)
+		if s.finishQuery(w, key, err) {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -214,8 +297,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := q.ExecuteContext(ctx)
-	if err != nil {
-		writeError(w, err)
+	if s.finishQuery(w, key, err) {
 		return
 	}
 	xml, err := res.XML()
@@ -257,7 +339,7 @@ func (s *Server) handlePutDocument(w http.ResponseWriter, r *http.Request) {
 		writeDraining(w)
 		return
 	}
-	if _, ok := s.clientFor(r); !ok {
+	if _, _, ok := s.clientFor(r); !ok {
 		writeUnauthorized(w)
 		return
 	}
@@ -282,7 +364,10 @@ func (s *Server) handlePutDocument(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	s.cache.invalidate()
+	// Scoped invalidation: only plans that read this document are stale
+	// (doc() URIs are static, so the scope is exact); the rest of the
+	// cache stays warm across the reload.
+	s.cache.invalidateDoc(name)
 	docReloadsTotal.Inc()
 	info, err := s.documentInfo(name)
 	if err != nil {
@@ -303,7 +388,7 @@ func (s *Server) handleDeleteDocument(w http.ResponseWriter, r *http.Request) {
 		writeDraining(w)
 		return
 	}
-	if _, ok := s.clientFor(r); !ok {
+	if _, _, ok := s.clientFor(r); !ok {
 		writeUnauthorized(w)
 		return
 	}
@@ -315,13 +400,13 @@ func (s *Server) handleDeleteDocument(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	s.cache.invalidate()
+	s.cache.invalidateDoc(name)
 	docDeletesTotal.Inc()
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleListDocuments(w http.ResponseWriter, r *http.Request) {
-	if _, ok := s.clientFor(r); !ok {
+	if _, _, ok := s.clientFor(r); !ok {
 		writeUnauthorized(w)
 		return
 	}
@@ -342,18 +427,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	obs.Default.Write(w) //nolint:errcheck
 }
 
+// resilienceStats is the /debug/stats resilience section.
+type resilienceStats struct {
+	// WatchdogKills counts queries cancelled for heartbeat silence.
+	WatchdogKills int64 `json:"watchdog_kills"`
+	// Breakers maps client keys to non-closed circuit states
+	// ("open"/"half-open"); empty when all circuits are closed.
+	Breakers map[string]string `json:"breakers,omitempty"`
+}
+
 // statsBody is GET /debug/stats: a structured snapshot of the daemon.
 type statsBody struct {
-	UptimeMS  int64                `json:"uptime_ms"`
-	Draining  bool                 `json:"draining"`
-	Inflight  int64                `json:"inflight"`
-	Documents []documentInfo       `json:"documents"`
-	Governor  exrquy.GovernorStats `json:"governor"`
-	Cache     CacheStats           `json:"cache"`
+	UptimeMS   int64                `json:"uptime_ms"`
+	Draining   bool                 `json:"draining"`
+	Inflight   int64                `json:"inflight"`
+	Documents  []documentInfo       `json:"documents"`
+	Governor   exrquy.GovernorStats `json:"governor"`
+	Cache      CacheStats           `json:"cache"`
+	Resilience resilienceStats      `json:"resilience"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if _, ok := s.clientFor(r); !ok {
+	if _, _, ok := s.clientFor(r); !ok {
 		writeUnauthorized(w)
 		return
 	}
@@ -371,6 +466,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Documents: docs,
 		Governor:  s.gov.Stats(),
 		Cache:     s.cache.stats(),
+		Resilience: resilienceStats{
+			WatchdogKills: s.watchdog.Kills(),
+			Breakers:      s.breakers.States(),
+		},
 	})
 }
 

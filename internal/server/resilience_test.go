@@ -1,0 +1,271 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/engine"
+)
+
+// getWithKey issues a GET with an API key and returns status, body,
+// headers.
+func getWithKey(t *testing.T, rawURL, key string) (int, string, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, rawURL, nil)
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", rawURL, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+// decodeErrorBody parses the server's JSON error envelope.
+func decodeErrorBody(t *testing.T, body string) errorBody {
+	t.Helper()
+	var eb errorBody
+	if err := json.Unmarshal([]byte(body), &eb); err != nil {
+		t.Fatalf("error body is not the JSON envelope: %v\n%s", err, body)
+	}
+	return eb
+}
+
+// TestRateLimitIsolation pins the per-client token bucket: one client
+// exceeding its budget gets 429 with an accurate Retry-After while a
+// second client's traffic is untouched.
+func TestRateLimitIsolation(t *testing.T) {
+	_, base := startServer(t, Config{
+		RateQPS:   5,
+		RateBurst: 2,
+		Clients: map[string]Client{
+			"ka": {Name: "alice"},
+			"kb": {Name: "bob"},
+		},
+	})
+	u := queryURL(base, "1+1")
+
+	// Alice's burst of 2 passes; the third is over budget.
+	for i := 0; i < 2; i++ {
+		if status, body, _ := getWithKey(t, u, "ka"); status != http.StatusOK {
+			t.Fatalf("alice burst request %d: status %d: %s", i, status, body)
+		}
+	}
+	status, body, hdr := getWithKey(t, u, "ka")
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("alice over-burst: status %d, want 429: %s", status, body)
+	}
+	eb := decodeErrorBody(t, body)
+	if eb.Code != "rate_limited" {
+		t.Fatalf("429 code = %q, want rate_limited (distinct from overloaded)", eb.Code)
+	}
+	// At 5 QPS with an empty bucket the next token is ~200ms away; the
+	// hint must say so accurately (not zero, not a default second).
+	if eb.RetryAfterMS <= 0 || eb.RetryAfterMS > 250 {
+		t.Fatalf("retry_after_ms = %d, want ~200 (1 token at 5 QPS)", eb.RetryAfterMS)
+	}
+	// The header is the same hint in whole seconds, rounded up.
+	if secs, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || secs < 1 {
+		t.Fatalf("Retry-After header = %q, want >= 1s", hdr.Get("Retry-After"))
+	}
+
+	// Bob is a different bucket: while Alice is limited, Bob proceeds.
+	if status, body, _ := getWithKey(t, u, "kb"); status != http.StatusOK {
+		t.Fatalf("bob during alice's limit: status %d: %s", status, body)
+	}
+
+	// After the hinted wait, Alice's bucket has refilled a token.
+	time.Sleep(time.Duration(eb.RetryAfterMS)*time.Millisecond + 100*time.Millisecond)
+	if status, body, _ := getWithKey(t, u, "ka"); status != http.StatusOK {
+		t.Fatalf("alice after waiting the hint: status %d: %s", status, body)
+	}
+}
+
+// TestRetryAfterHeaderBodyAgreement pins satellite (b) at the HTTP
+// layer: a real 429's Retry-After header and retry_after_ms body field
+// describe the same hint (header = body rounded up to whole seconds).
+func TestRetryAfterHeaderBodyAgreement(t *testing.T) {
+	_, base := startServer(t, Config{
+		RateQPS:   0.5, // one token every 2s: the hint crosses the 1s boundary
+		RateBurst: 1,
+	})
+	u := queryURL(base, "1+1")
+	if status, body, _ := getWithKey(t, u, ""); status != http.StatusOK {
+		t.Fatalf("burst request: status %d: %s", status, body)
+	}
+	status, body, hdr := getWithKey(t, u, "")
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", status, body)
+	}
+	eb := decodeErrorBody(t, body)
+	if eb.RetryAfterMS <= 0 {
+		t.Fatal("429 body carries no retry_after_ms")
+	}
+	secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After header = %q, not an integer", hdr.Get("Retry-After"))
+	}
+	wantSecs := (eb.RetryAfterMS + 999) / 1000
+	if int64(secs) != wantSecs {
+		t.Fatalf("header %ds disagrees with body %dms (want ceil = %ds)", secs, eb.RetryAfterMS, wantSecs)
+	}
+}
+
+// TestWatchdogKillsWedgedQuery wedges a query inside an operator kernel
+// (no poll points → no heartbeat) and asserts the watchdog cancels it
+// within twice the threshold, surfacing 503 watchdog_killed.
+func TestWatchdogKillsWedgedQuery(t *testing.T) {
+	const threshold = 100 * time.Millisecond
+	s, base := startServer(t, Config{WatchdogTimeout: threshold})
+	s.Engine().LoadDocumentString("t.xml", "<r><x/><x/><x/></r>")
+
+	release := make(chan struct{})
+	var wedged atomic.Bool
+	engine.EvalHook = func(n *algebra.Node) {
+		if wedged.CompareAndSwap(false, true) {
+			<-release
+		}
+	}
+	defer func() { engine.EvalHook = nil }()
+
+	start := time.Now()
+	type answer struct {
+		status int
+		body   string
+		err    error
+	}
+	respCh := make(chan answer, 1)
+	go func() {
+		resp, err := http.Get(queryURL(base, `doc("t.xml")//x`))
+		if err != nil {
+			respCh <- answer{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		respCh <- answer{status: resp.StatusCode, body: string(body), err: err}
+	}()
+
+	// The kill is observable before the wedged handler returns: poll the
+	// stats endpoint for the watchdog counter.
+	deadline := time.Now().Add(5 * time.Second)
+	var killedAt time.Duration
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never killed the wedged query")
+		}
+		_, body, _ := getWithKey(t, base+"/debug/stats", "")
+		var st statsBody
+		if err := json.Unmarshal([]byte(body), &st); err == nil && st.Resilience.WatchdogKills >= 1 {
+			killedAt = time.Since(start)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if killedAt < threshold {
+		t.Fatalf("kill observed after %v, before one full threshold %v of silence", killedAt, threshold)
+	}
+	// Mechanism bound is 2×threshold after the last heartbeat; allow
+	// generous scheduling slack on top for loaded CI machines.
+	if killedAt > 2*threshold+500*time.Millisecond {
+		t.Fatalf("kill observed after %v, want within ~2×%v", killedAt, threshold)
+	}
+
+	// Release the kernel: the handler finishes and must report the kill
+	// as a retryable 503, not a client-fault 499.
+	close(release)
+	r := <-respCh
+	if r.err != nil {
+		t.Fatalf("wedged query request: %v", r.err)
+	}
+	if r.status != http.StatusServiceUnavailable {
+		t.Fatalf("wedged query answered status %d: %s", r.status, r.body)
+	}
+	if eb := decodeErrorBody(t, r.body); eb.Code != "watchdog_killed" {
+		t.Fatalf("wedged query code = %q, want watchdog_killed", eb.Code)
+	}
+}
+
+// TestBreakerServerLifecycle drives a client's circuit through
+// closed → open → half-open → closed against the real serving stack,
+// with a second client proving per-client isolation.
+func TestBreakerServerLifecycle(t *testing.T) {
+	const cooldown = 150 * time.Millisecond
+	_, base := startServer(t, Config{
+		BreakerFailures: 2,
+		BreakerCooldown: cooldown,
+		Clients: map[string]Client{
+			"ka": {Name: "alice"},
+			"kb": {Name: "bob"},
+		},
+	})
+	u := queryURL(base, "1+1")
+
+	// Every kernel evaluation panics → qerr.ErrInternal → 500, which the
+	// breaker counts as a serving-path failure.
+	engine.EvalHook = func(n *algebra.Node) { panic("injected kernel fault") }
+	hooked := true
+	defer func() {
+		if hooked {
+			engine.EvalHook = nil
+		}
+	}()
+
+	for i := 0; i < 2; i++ {
+		if status, body, _ := getWithKey(t, u, "ka"); status != http.StatusInternalServerError {
+			t.Fatalf("alice failure %d: status %d, want 500: %s", i, status, body)
+		}
+	}
+	// Two consecutive failures tripped alice's circuit: fail fast now.
+	status, body, hdr := getWithKey(t, u, "ka")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("alice with open breaker: status %d, want 503: %s", status, body)
+	}
+	eb := decodeErrorBody(t, body)
+	if eb.Code != "breaker_open" {
+		t.Fatalf("open-breaker code = %q, want breaker_open", eb.Code)
+	}
+	if eb.RetryAfterMS <= 0 || hdr.Get("Retry-After") == "" {
+		t.Fatalf("open-breaker answer lacks a Retry-After hint: %+v", eb)
+	}
+	// Bob's circuit is separate: he still reaches the (faulty) engine.
+	if status, _, _ := getWithKey(t, u, "kb"); status != http.StatusInternalServerError {
+		t.Fatalf("bob during alice's open circuit: status %d, want 500 (not broken)", status)
+	}
+	// The open circuit is visible in /debug/stats.
+	_, sbody, _ := getWithKey(t, base+"/debug/stats", "ka")
+	var st statsBody
+	if err := json.Unmarshal([]byte(sbody), &st); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Resilience.Breakers["ka"] != "open" {
+		t.Fatalf("stats breakers = %v, want ka open", st.Resilience.Breakers)
+	}
+
+	// Heal the engine, wait out the cooldown: the next request is the
+	// half-open probe, its success closes the circuit.
+	engine.EvalHook = nil
+	hooked = false
+	time.Sleep(cooldown + 50*time.Millisecond)
+	if status, body, _ := getWithKey(t, u, "ka"); status != http.StatusOK {
+		t.Fatalf("alice half-open probe: status %d: %s", status, body)
+	}
+	if status, body, _ := getWithKey(t, u, "ka"); status != http.StatusOK {
+		t.Fatalf("alice after recovery: status %d: %s", status, body)
+	}
+}

@@ -34,6 +34,7 @@ import (
 
 	exrquy "repro"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // Request-level metrics, alongside the engine/governor/cache families in
@@ -46,6 +47,7 @@ var (
 	docReloadsTotal    = obs.Default.Counter("server_document_reloads_total")
 	docDeletesTotal    = obs.Default.Counter("server_document_deletes_total")
 	drainRejectsTotal  = obs.Default.Counter("server_drain_rejects_total")
+	watchdogRejects    = obs.Default.Counter("server_watchdog_rejects_total")
 )
 
 // Config assembles a Server. The zero value is usable: an ungoverned-
@@ -77,6 +79,34 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown: once it passes, still-running
 	// queries are cut off by closing their connections. 0 means 10 s.
 	DrainTimeout time.Duration
+
+	// RateQPS is the default per-client sustained rate limit in queries
+	// per second (token-bucket refill rate); 0 disables rate limiting for
+	// clients without their own Client.RateQPS. Rate limiting composes
+	// with — never replaces — governor admission: the bucket answers "is
+	// this client too fast", the governor answers "is the process too
+	// busy", and the two rejections stay distinguishable
+	// (ErrRateLimited vs ErrOverload).
+	RateQPS float64
+	// RateBurst is the default token-bucket capacity (instantaneous
+	// burst); 0 means ceil(RateQPS), minimum 1.
+	RateBurst int
+	// WatchdogTimeout is the stuck-query heartbeat threshold: a query
+	// silent (no engine poll point reached) for this long is cancelled
+	// with resilience.ErrStuck, within at most twice the threshold.
+	// 0 disables the watchdog.
+	WatchdogTimeout time.Duration
+	// BreakerFailures is the per-client circuit-breaker trip threshold
+	// (consecutive watchdog kills or internal errors); 0 disables
+	// breakers.
+	BreakerFailures int
+	// BreakerCooldown is how long a tripped breaker rejects before
+	// admitting a half-open probe; 0 means 5 s.
+	BreakerCooldown time.Duration
+	// Faults, when non-nil, arms deterministic fault injection on the
+	// /query route (injected latency, forced 500/503, connection resets,
+	// body truncation). Test/chaos hook only — leave nil in production.
+	Faults *resilience.HTTPFaultPlan
 }
 
 // Server is the daemon: one Engine, one Governor, one plan cache, one
@@ -88,6 +118,14 @@ type Server struct {
 	cache *planCache
 	mux   *http.ServeMux
 	httpS *http.Server
+
+	// Resilience layers (internal/resilience), checked in this order in
+	// front of every query: per-client token buckets, per-client circuit
+	// breakers, then the per-query stuck-detection watchdog around the
+	// execution itself. Watchdog and breakers are nil when disabled.
+	limiter  *resilience.Limiter
+	watchdog *resilience.Watchdog
+	breakers *resilience.BreakerSet
 
 	draining atomic.Bool
 	listener net.Listener
@@ -118,11 +156,17 @@ func New(cfg Config) *Server {
 		opts = append(opts, exrquy.WithParallelism(cfg.Parallelism))
 	}
 	s := &Server{
-		cfg:     cfg,
-		eng:     exrquy.New(opts...),
-		gov:     gov,
-		cache:   newPlanCache(cfg.CacheSize),
-		mux:     http.NewServeMux(),
+		cfg:      cfg,
+		eng:      exrquy.New(opts...),
+		gov:      gov,
+		cache:    newPlanCache(cfg.CacheSize),
+		mux:      http.NewServeMux(),
+		limiter:  resilience.NewLimiter(),
+		watchdog: resilience.NewWatchdog(cfg.WatchdogTimeout),
+		breakers: resilience.NewBreakerSet(resilience.BreakerConfig{
+			Failures: cfg.BreakerFailures,
+			Cooldown: cfg.BreakerCooldown,
+		}),
 		started: time.Now(),
 	}
 	s.routes()

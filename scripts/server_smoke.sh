@@ -19,11 +19,28 @@ echo "== boot (1 admission slot, zero-depth queue request, 10ms wait bound)"
 daemon_pid=$!
 for _ in $(seq 1 100); do
     [ -s "$workdir/addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { echo "FAIL: daemon exited during boot"; cat "$workdir/daemon.log"; exit 1; }
     sleep 0.1
 done
 [ -s "$workdir/addr" ] || { echo "daemon never wrote addr file"; cat "$workdir/daemon.log"; exit 1; }
 base="http://$(cat "$workdir/addr")"
 echo "   $base"
+
+# The addr file proves the listener is bound, not that the accept loop
+# is serving; poll /healthz with a deadline so a wedged boot fails loud
+# (with the daemon's own stderr) instead of racing the first request.
+echo "== wait for /healthz"
+healthy=""
+for _ in $(seq 1 100); do
+    if curl -sf --max-time 2 "$base/healthz" >/dev/null 2>&1; then
+        healthy=1
+        break
+    fi
+    kill -0 "$daemon_pid" 2>/dev/null || { echo "FAIL: daemon exited before becoming healthy"; cat "$workdir/daemon.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$healthy" ] || { echo "FAIL: /healthz not answering within 10s"; cat "$workdir/daemon.log"; exit 1; }
+echo "   ok: healthy"
 
 assert_status() { # assert_status <want> <got> <label>
     if [ "$2" != "$1" ]; then
