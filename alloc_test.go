@@ -34,6 +34,44 @@ func TestAllocXMarkQ1EndToEnd(t *testing.T) {
 	}
 }
 
+// TestAllocCompiledNotWorseThanWalked pins the bytecode executor's
+// allocation discipline: a compiled program run must allocate no more
+// than the tree-walking engine evaluating the same plan. The VM's frame
+// pool, precomputed release lists and skipped memo map are exactly the
+// allocations the walked engine pays per run, so compiled should sit
+// strictly below; the bound tolerates equality plus 2% for pool-reuse
+// jitter in AllocsPerRun sampling.
+func TestAllocCompiledNotWorseThanWalked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation bound needs the factor-0.01 instance")
+	}
+	env := benv()
+	measure := func(qn int, compiled bool) float64 {
+		cfg := unorderedCfg()
+		cfg.Compiled = compiled
+		p, err := core.Prepare(xmarkq.Get(qn).Text, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func() {
+			if _, err := p.Run(env.Store, env.Docs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm-up: buffer pools, frame pool, GC heap target
+		return testing.AllocsPerRun(5, run)
+	}
+	for _, qn := range []int{1, 8} {
+		compiled := measure(qn, true)
+		walked := measure(qn, false)
+		if compiled > walked*1.02 {
+			t.Errorf("XMark Q%d: compiled %.0f allocs/run vs walked %.0f — the bytecode executor must not out-allocate the tree walker", qn, compiled, walked)
+		} else {
+			t.Logf("XMark Q%d: compiled %.0f allocs/run, walked %.0f", qn, compiled, walked)
+		}
+	}
+}
+
 // TestAllocCollectDisabledZeroOverhead pins the observability contract:
 // with Config.Collect off (the default), the per-operator statistics
 // machinery must add zero allocations to the execution hot path — its

@@ -6,7 +6,8 @@
 //	xmarkbench -ablation            per-rewrite timing ablation
 //	xmarkbench -parallel            serial vs morsel-wise parallel execution
 //	xmarkbench -json FILE           benchmark trajectory (typed vs boxed,
-//	                                serial vs parallel) as JSON
+//	                                serial vs parallel, compiled vs
+//	                                tree-walking) as JSON
 //	xmarkbench -json FILE -concurrency N
 //	                                also measure N concurrent clients through
 //	                                a shared resource governor (throughput,
@@ -43,6 +44,7 @@ func main() {
 		cutoff    = flag.Duration("cutoff", 30*time.Second, "per-run cutoff (paper: 30s)")
 		repeats   = flag.Int("repeats", 3, "measurements per point (median)")
 		stats     = flag.Bool("stats", false, "attach per-operator statistics (obs.OpStats) to every -json trajectory row")
+		compileOn = flag.Bool("compile", true, "execute bytecode-compiled programs for -json rows; off runs everything tree-walking and drops the 'walked' control rows")
 		concN     = flag.Int("concurrency", 0, "add contention rows to -json: N clients pushing queries through a shared resource governor (throughput, p50/p95 latency, shed and degraded counts)")
 	)
 	flag.Parse()
@@ -101,6 +103,7 @@ func main() {
 			Repeats:     *repeats,
 			Stats:       *stats,
 			Concurrency: *concN,
+			NoCompile:   !*compileOn,
 		}
 		if err := bench.WriteTrajectoryJSON(*jsonPath, opts, os.Stdout); err != nil {
 			fatal("json: %v", err)

@@ -142,6 +142,7 @@ type options struct {
 	maxCells     int64
 	intOrders    bool
 	parallelism  int
+	compiled     bool
 	collect      bool
 	tracer       Tracer
 	governor     *governor.Governor
@@ -204,6 +205,18 @@ func WithParallelism(n int) Option {
 		}
 		o.parallelism = n
 	}
+}
+
+// WithCompiled toggles bytecode compilation of prepared plans. Enabled
+// (the default), Compile flattens the optimized plan DAG into a linear
+// register program once, and every execution of the Query runs the
+// program instead of re-walking the DAG — which is what makes repeated
+// executions of a cached plan cheap. Disabled, queries run on the
+// tree-walking engine; results are byte-identical either way (the
+// walked engine remains the differential reference), so off is purely a
+// debugging/measurement escape hatch.
+func WithCompiled(on bool) Option {
+	return func(o *options) { o.compiled = on }
 }
 
 // Resource-governance re-exports. The governor lives in
@@ -331,7 +344,7 @@ func (e *Engine) docsSnapshot() map[string]uint32 {
 // New creates an engine. By default order indifference and all plan
 // rewrites are enabled and queries follow their prolog's ordering mode.
 func New(opts ...Option) *Engine {
-	o := options{indifference: true, optim: AllOptimizations()}
+	o := options{indifference: true, optim: AllOptimizations(), compiled: true}
 	for _, f := range opts {
 		f(&o)
 	}
@@ -447,6 +460,7 @@ func (e *Engine) coreConfig() core.Config {
 		MaxCells:          e.opts.maxCells,
 		InterestingOrders: e.opts.intOrders,
 		Parallelism:       e.opts.parallelism,
+		Compiled:          e.opts.compiled,
 		Collect:           e.opts.collect,
 		Tracer:            e.opts.tracer,
 		Governor:          e.opts.governor,
@@ -619,6 +633,13 @@ func (q *Query) ExecuteContext(ctx context.Context) (*Result, error) {
 
 // Explain renders the optimized plan DAG as indented text.
 func (q *Query) Explain() string { return q.prepared.Explain() }
+
+// ExplainProgram renders the bytecode program the plan compiled to:
+// register assignments, pre-resolved operands, inferred column types and
+// buffer release points, with each instruction joined back to its plan
+// node by #id. Under WithCompiled(false) it reports that the plan is not
+// compiled. The companion view to Explain.
+func (q *Query) ExplainProgram() string { return q.prepared.ExplainProgram() }
 
 // Analyze is EXPLAIN ANALYZE: it executes the query with statistics
 // collection forced on (regardless of WithCollect) and returns the

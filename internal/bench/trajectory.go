@@ -23,7 +23,7 @@ import (
 // after the timed runs, so collection never perturbs the measurements.
 type TrajectoryRow struct {
 	Query       string        `json:"query"`
-	Mode        string        `json:"mode"`  // "serial", "parallel", "concurrent<N>" or "server<N>"
+	Mode        string        `json:"mode"`  // "serial", "walked", "parallel", "concurrent<N>" or "server<N>"
 	Typed       bool          `json:"typed"` // false = boxed []Item storage (xdm.ForceBoxed)
 	NsPerOp     int64         `json:"ns_per_op"`
 	AllocsPerOp uint64        `json:"allocs_per_op"`
@@ -64,6 +64,11 @@ type TrajectoryMeta struct {
 	Parallelism int    `json:"parallelism"` // worker-pool size of the "parallel" rows
 	Recycling   bool   `json:"recycling"`   // engine buffer recycling (always on today)
 	ForceBoxed  bool   `json:"force_boxed"` // ambient xdm.ForceBoxed at entry (the "typed" rows are meaningless if true)
+	// Compiled records whether the "serial"/"parallel" rows executed
+	// bytecode-compiled programs (internal/vm). When false (-compile=off)
+	// every row is tree-walking and no "walked" rows are emitted — they
+	// would duplicate "serial".
+	Compiled bool `json:"compiled"`
 }
 
 // TrajectorySummary compares the typed column layer against the boxed
@@ -74,6 +79,19 @@ type TrajectorySummary struct {
 	Mode        string  `json:"mode"`
 	Speedup     float64 `json:"speedup_typed_vs_boxed"`
 	AllocsRatio float64 `json:"allocs_ratio_boxed_vs_typed"`
+}
+
+// CompiledSummary compares bytecode-compiled serial execution against the
+// tree-walking engine on the same plan (typed rows): Speedup is
+// walked-ns / compiled-ns, AllocsRatio is walked-allocs / compiled-allocs
+// (both >1 when the compiled program wins). Both sides execute an
+// already-prepared plan, so this isolates the executor — the larger
+// warm-path win, skipping parse→normalize→compile→optimize→flatten
+// entirely on a plan-cache hit, is on top of this.
+type CompiledSummary struct {
+	Query       string  `json:"query"`
+	Speedup     float64 `json:"speedup_compiled_vs_walked"`
+	AllocsRatio float64 `json:"allocs_ratio_walked_vs_compiled"`
 }
 
 // TrajectoryReport is the benchmark-trajectory file (BENCH_PR<n>.json):
@@ -90,6 +108,9 @@ type TrajectoryReport struct {
 	Meta        TrajectoryMeta      `json:"meta"`
 	Rows        []TrajectoryRow     `json:"rows"`
 	Summaries   []TrajectorySummary `json:"summaries"`
+	// CompiledSummaries holds the per-query compiled-vs-walked comparison
+	// (absent when compilation is off: there is nothing to compare).
+	CompiledSummaries []CompiledSummary `json:"compiled_summaries,omitempty"`
 }
 
 // TrajectoryOptions configures a trajectory measurement.
@@ -100,6 +121,10 @@ type TrajectoryOptions struct {
 	Repeats     int   // timed runs per row; <1 means 3
 	Stats       bool  // attach per-operator OpStats to every row
 	Concurrency int   // >0 adds "concurrent<N>" contention rows with N clients
+	// NoCompile runs every mode on the tree-walking engine instead of
+	// bytecode programs (and drops the "walked" rows, which would then
+	// duplicate "serial"). Recorded in TrajectoryMeta.Compiled.
+	NoCompile bool
 }
 
 // measureOne runs a prepared query repeats times and reports the median
@@ -179,15 +204,29 @@ func Trajectory(opts TrajectoryOptions, w io.Writer) (*TrajectoryReport, error) 
 			Parallelism: workers,
 			Recycling:   true,
 			ForceBoxed:  xdm.ForceBoxed,
+			Compiled:    !opts.NoCompile,
 		},
 	}
 	scfg := indifferenceCfg(0)
+	scfg.Compiled = !opts.NoCompile
 	pcfg := indifferenceCfg(0)
+	pcfg.Compiled = !opts.NoCompile
 	pcfg.Parallelism = workers
 	modes := []struct {
 		name string
 		cfg  core.Config
 	}{{"serial", scfg}, {"parallel", pcfg}}
+	if !opts.NoCompile {
+		// A tree-walking control row per query: same plan, same storage
+		// model, only the executor differs — the compiled-vs-walked
+		// summaries below divide these against the "serial" rows.
+		wcfg := indifferenceCfg(0)
+		wcfg.Compiled = false
+		modes = append(modes, struct {
+			name string
+			cfg  core.Config
+		}{"walked", wcfg})
+	}
 	if w != nil {
 		fmt.Fprintf(w, "benchmark trajectory at factor %g (~%.1f MB, %d nodes), %d workers, %d repeats\n",
 			factor, float64(env.Bytes)/(1<<20), env.Nodes, workers, repeats)
@@ -254,6 +293,29 @@ func Trajectory(opts TrajectoryOptions, w io.Writer) (*TrajectoryReport, error) 
 			if w != nil {
 				fmt.Fprintf(w, "%-6s %-9s typed vs boxed: %.2fx faster, %.2fx fewer allocs\n",
 					s.Query, s.Mode, s.Speedup, s.AllocsRatio)
+			}
+		}
+	}
+	// Compiled-versus-walked summaries per query (typed rows, serial):
+	// the "serial" and "walked" rows ran the same plan on the same data,
+	// so the ratio isolates the executor.
+	if !opts.NoCompile {
+		for _, id := range queryIDs {
+			q := xmarkq.Get(id)
+			c := byKey[[2]string{q.Name, "serial"}][true]
+			walked := byKey[[2]string{q.Name, "walked"}][true]
+			if c.NsPerOp == 0 || c.AllocsPerOp == 0 {
+				continue
+			}
+			s := CompiledSummary{
+				Query:       q.Name,
+				Speedup:     float64(walked.NsPerOp) / float64(c.NsPerOp),
+				AllocsRatio: float64(walked.AllocsPerOp) / float64(c.AllocsPerOp),
+			}
+			rep.CompiledSummaries = append(rep.CompiledSummaries, s)
+			if w != nil {
+				fmt.Fprintf(w, "%-6s compiled vs walked: %.2fx faster, %.2fx fewer allocs\n",
+					s.Query, s.Speedup, s.AllocsRatio)
 			}
 		}
 	}

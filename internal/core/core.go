@@ -28,6 +28,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/qerr"
 	"repro/internal/resilience"
+	"repro/internal/vm"
 	"repro/internal/xdm"
 	"repro/internal/xmltree"
 	"repro/internal/xquery"
@@ -60,6 +61,13 @@ type Config struct {
 	// worker pool of this size. 0 or 1 keeps the serial engine (the
 	// paper's configuration); negative means runtime.GOMAXPROCS(0).
 	Parallelism int
+	// Compiled flattens the optimized plan into a linear register program
+	// (internal/vm) at Prepare time; executions then run the bytecode
+	// instead of walking the DAG, and a cached Prepared skips every
+	// static phase including the flatten. On in DefaultConfig; off keeps
+	// the tree-walking engine, which remains the differential reference
+	// (results are byte-identical either way).
+	Compiled bool
 	// Vars binds external prolog variables (declare variable $x external).
 	Vars map[string][]xdm.Item
 	// Collect turns on per-operator statistics collection (obs.OpStats):
@@ -86,7 +94,7 @@ type Config struct {
 // DefaultConfig enables everything — the paper's "order indifference
 // enabled" configuration.
 func DefaultConfig() Config {
-	return Config{Indifference: true, Opt: opt.AllOptions()}
+	return Config{Indifference: true, Opt: opt.AllOptions(), Compiled: true}
 }
 
 // BaselineConfig is the order-ignorant configuration of §5.
@@ -102,7 +110,13 @@ type Prepared struct {
 	StatsBefore, StatsAfter struct {
 		Operators, RowNums, RowIDs int
 	}
-	cfg Config
+	// Program is the bytecode-compiled form of the optimized plan, built
+	// once at Prepare time (nil unless Config.Compiled). Document
+	// bindings stay parameter slots resolved at each Run, so a cached
+	// Prepared — the exrquyd plan cache stores these — is safe across
+	// document reloads and concurrent executions.
+	Program *vm.Program
+	cfg     Config
 }
 
 // Prepare parses, normalizes, compiles and optimizes a query. Every
@@ -157,7 +171,29 @@ func PrepareModule(mod *xquery.Module, cfg Config) (p *Prepared, err error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Compiled {
+		end = cfg.span("flatten")
+		err = flatten(p)
+		end()
+		if err != nil {
+			return nil, err
+		}
+	}
 	return p, nil
+}
+
+// flatten compiles the optimized plan to bytecode with panic isolation;
+// a compiler bug surfaces as ErrInternal naming the phase, with the
+// algebra plan attached for diagnosis.
+func flatten(p *Prepared) (err error) {
+	defer func() {
+		if err != nil {
+			qerr.AttachPlan(err, opt.Explain(p.Plan.Root))
+		}
+	}()
+	defer qerr.RecoverInto("flatten", &err)
+	p.Program = vm.Compile(p.Plan.Root)
+	return nil
 }
 
 // normalize runs the normalization phase with panic isolation and error
@@ -267,7 +303,28 @@ func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs ma
 	end := p.cfg.span("execute")
 	var res *engine.Result
 	var err error
-	if w := parallelWorkers(p.cfg.Parallelism); w > 1 && !degraded {
+	if p.Program != nil {
+		// Bytecode path: the program was flattened at Prepare time and is
+		// shared across executions; Par-marked fork/join instructions use
+		// the morsel pool unless the admission was degraded.
+		w := parallelWorkers(p.cfg.Parallelism)
+		if degraded {
+			w = 1
+		}
+		res, err = vm.Run(p.Program, store, docs, vm.Options{
+			Options: engine.Options{
+				Context:           ctx,
+				Timeout:           p.cfg.Timeout,
+				MaxCells:          p.cfg.MaxCells,
+				Memory:            memory,
+				InterestingOrders: p.cfg.InterestingOrders,
+				Collect:           collect,
+				Tracer:            p.cfg.Tracer,
+				Heartbeat:         beat,
+			},
+			Workers: w,
+		})
+	} else if w := parallelWorkers(p.cfg.Parallelism); w > 1 && !degraded {
 		res, err = parallel.Run(p.Plan.Root, store, docs, parallel.Options{
 			Context:           ctx,
 			Workers:           w,
@@ -311,6 +368,17 @@ func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs ma
 
 // Explain renders the (optimized) plan DAG as text.
 func (p *Prepared) Explain() string { return opt.Explain(p.Plan.Root) }
+
+// ExplainProgram renders the bytecode program the plan compiled to —
+// register assignments, pre-resolved operands, inferred column types and
+// buffer release points — as the companion view to Explain's annotated
+// algebra. Plans prepared with Config.Compiled off report that instead.
+func (p *Prepared) ExplainProgram() string {
+	if p.Program == nil {
+		return "(plan not compiled: Config.Compiled off)\n"
+	}
+	return p.Program.Explain()
+}
 
 // Documents returns the fn:doc() URIs the plan reads, in first-reference
 // order. The set is exact and static: the compiler only accepts

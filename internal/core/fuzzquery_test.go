@@ -22,9 +22,12 @@ var bigLiteral = regexp.MustCompile(`[0-9]{4,}`)
 //
 //   - no input may panic the public pipeline (ErrInternal anywhere fails),
 //   - static failures are ErrParse/ErrCompile, runtime overruns are
-//     cutoffs — all classified, and
+//     cutoffs — all classified,
 //   - when both evaluators succeed, their item bags agree (order-free
-//     comparison; the hand-written corpus pins exact order separately).
+//     comparison; the hand-written corpus pins exact order separately), and
+//   - the bytecode VM (Config.Compiled, the default) and the tree-walking
+//     engine agree byte-for-byte on the same plan — same kernels, same
+//     deterministic order, so equality is exact.
 func FuzzQuery(f *testing.F) {
 	for _, seed := range []string{
 		`for $x in doc("f.xml")/r/e return $x/v`,
@@ -59,7 +62,7 @@ func FuzzQuery(f *testing.F) {
 		cfg := DefaultConfig()
 		cfg.MaxCells = 1 << 18
 		cfg.Timeout = 2 * time.Second
-		_, gotBag, err := tryPipeline(store, docs, src, cfg)
+		gotXML, gotBag, err := tryPipeline(store, docs, src, cfg)
 		if err != nil {
 			if errors.Is(err, qerr.ErrInternal) {
 				t.Fatalf("pipeline panic on %q: %v", src, err)
@@ -67,6 +70,24 @@ func FuzzQuery(f *testing.F) {
 			// Static and dynamic failures are expected outcomes for fuzzed
 			// queries — but static ones must carry their classification.
 			return
+		}
+		// Executor differential: the same plan through the tree-walking
+		// engine must serialize identically. Walked-side dynamic errors are
+		// not tolerated here — both executors run the same kernels on the
+		// same data, so any divergence (result or error) is a bug.
+		wcfg := cfg
+		wcfg.Compiled = false
+		walkedXML, _, werr := tryPipeline(store, docs, src, wcfg)
+		if werr != nil {
+			// A borderline query can hit the wall-clock cutoff on one
+			// executor and not the other; any other divergent error is a bug.
+			if errors.Is(werr, qerr.ErrTimeout) {
+				return
+			}
+			t.Fatalf("walked engine failed where compiled succeeded on %q: %v", src, werr)
+		}
+		if walkedXML != gotXML {
+			t.Fatalf("compiled/walked divergence on %q:\n compiled: %q\n walked:   %q", src, gotXML, walkedXML)
 		}
 		// The pipeline produced a result: the interpreter is the oracle.
 		// Its own dynamic errors are tolerated (it evaluates lazily where

@@ -176,7 +176,6 @@ func NewExec(base *xmltree.Store, docs map[string]uint32, opts Options) *Exec {
 	ex := &Exec{
 		store:     base.Derive(),
 		docs:      docs,
-		memo:      make(map[*algebra.Node]*Table),
 		prof:      make(map[string]*ProfileEntry),
 		ctx:       opts.Context,
 		maxCells:  opts.MaxCells,
@@ -504,7 +503,13 @@ func (ex *Exec) CollectOp(n *algebra.Node, d time.Duration, ins []*Table, t *Tab
 // Memoize stores an evaluated table for a node, so shared DAG nodes are
 // evaluated exactly once. Under recycling it also references the table's
 // columns, keeping aliased buffers alive until every holding table dies.
+// The memo map is built lazily: the bytecode VM (internal/vm) drives an
+// Exec without ever memoizing — its compiler turned the DAG sharing into
+// register reuse — so it never pays for the map.
 func (ex *Exec) Memoize(n *algebra.Node, t *Table) {
+	if ex.memo == nil {
+		ex.memo = make(map[*algebra.Node]*Table)
+	}
 	ex.memo[n] = t
 	if ex.colRefs != nil {
 		for _, c := range t.Data {

@@ -35,19 +35,39 @@ type Table struct {
 	idx  map[string]int
 }
 
+// smallTableCols bounds the linear-scan path of Col: tables at or below
+// this width never build the name index (plan tables are almost always
+// 1-4 columns, so the per-operator map allocation was pure overhead).
+const smallTableCols = 8
+
 // NewTable builds a table over the given column names with empty data.
+// The name index is built lazily on the first wide-table Col call; name
+// resolution happens on the coordinator goroutine only, so the lazy
+// build is unsynchronized by design (see BuildIndex for shared tables).
 func NewTable(cols []string) *Table {
-	t := &Table{Cols: cols, Data: make([]*xdm.Column, len(cols))}
-	t.buildIndex()
-	return t
+	return &Table{Cols: cols, Data: make([]*xdm.Column, len(cols))}
+}
+
+// NewTableFromCols builds a table over already-materialized columns,
+// row-aligned with names. Used by the bytecode VM, whose opcodes resolve
+// columns positionally at compile time and never need the name index.
+func NewTableFromCols(cols []string, data []*xdm.Column) *Table {
+	return &Table{Cols: cols, Data: data}
 }
 
 func (t *Table) buildIndex() {
-	t.idx = make(map[string]int, len(t.Cols))
+	idx := make(map[string]int, len(t.Cols))
 	for i, c := range t.Cols {
-		t.idx[c] = i
+		idx[c] = i
 	}
+	t.idx = idx
 }
+
+// BuildIndex eagerly builds the column-name index. Tables reachable from
+// several goroutines at once (the prebuilt literal tables a compiled
+// program shares across concurrent executions) must call this once at
+// construction, since the lazy build inside Col is unsynchronized.
+func (t *Table) BuildIndex() { t.buildIndex() }
 
 // NumRows returns the row count.
 func (t *Table) NumRows() int {
@@ -58,8 +78,20 @@ func (t *Table) NumRows() int {
 }
 
 // Col returns the column by name; it panics on unknown columns (schema
-// errors are compiler bugs, caught by the algebra layer).
+// errors are compiler bugs, caught by the algebra layer). Narrow tables
+// resolve by linear scan; wide ones build the name index on first use.
 func (t *Table) Col(name string) *xdm.Column {
+	if t.idx == nil {
+		if len(t.Cols) <= smallTableCols {
+			for i, c := range t.Cols {
+				if c == name {
+					return t.Data[i]
+				}
+			}
+			panic(fmt.Sprintf("engine: unknown column %q in %v", name, t.Cols))
+		}
+		t.buildIndex()
+	}
 	i, ok := t.idx[name]
 	if !ok {
 		panic(fmt.Sprintf("engine: unknown column %q in %v", name, t.Cols))
@@ -69,8 +101,12 @@ func (t *Table) Col(name string) *xdm.Column {
 
 // HasCol reports whether the table has the named column.
 func (t *Table) HasCol(name string) bool {
-	_, ok := t.idx[name]
-	return ok
+	for _, c := range t.Cols {
+		if c == name {
+			return true
+		}
+	}
+	return false
 }
 
 // permute returns a new table with rows reordered by perm.
@@ -88,12 +124,10 @@ func (t *Table) filter(keep []int32) *Table { return t.permute(keep) }
 // withColumn returns a table extended by one column (aliasing existing
 // columns).
 func (t *Table) withColumn(name string, col *xdm.Column) *Table {
-	out := &Table{
+	return &Table{
 		Cols: append(append([]string{}, t.Cols...), name),
 		Data: append(append([]*xdm.Column{}, t.Data...), col),
 	}
-	out.buildIndex()
-	return out
 }
 
 // WithColumn returns a table extended by one column (aliasing existing

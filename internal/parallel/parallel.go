@@ -234,6 +234,25 @@ func (e *executor) parOp(n *algebra.Node, ins []*engine.Table) (*opResult, error
 	return nil, nil
 }
 
+// EvalParOp evaluates one Par-marked operator morsel-wise over
+// already-evaluated inputs, on behalf of an external driver (the bytecode
+// VM's fork/join instruction pair). ok=false means the operator or its
+// input size is not worth partitioning and the caller should run the
+// serial kernel instead. busy is the summed per-worker time (for profile
+// attribution) and charged reports whether the workers already charged
+// the output cells against the shared budget.
+func EvalParOp(ex *engine.Exec, workers, minMorselRows int, n *algebra.Node, ins []*engine.Table) (t *engine.Table, busy time.Duration, charged, ok bool, err error) {
+	e := &executor{ex: ex, workers: workers, minRows: minMorselRows}
+	if e.minRows <= 0 {
+		e.minRows = defaultMinMorselRows
+	}
+	r, err := e.parOp(n, ins)
+	if err != nil || r == nil {
+		return nil, 0, false, false, err
+	}
+	return r.t, r.busy, r.charged, true, nil
+}
+
 // runTasks drains n's morsel tasks over up to e.workers goroutines
 // (atomic index pull, so uneven morsels balance). Workers check the
 // shared deadline between tasks and stop after the first error; the

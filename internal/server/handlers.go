@@ -165,7 +165,10 @@ func (s *Server) deadlineFor(r *http.Request) (time.Duration, error) {
 }
 
 // plan resolves the request's compiled query through the prepared-plan
-// cache; hit reports whether compilation was skipped.
+// cache; hit reports whether compilation was skipped. A cached entry
+// carries the bytecode program (unless Config.NoCompile), so a warm hit
+// skips parse→normalize→compile→optimize→flatten entirely and goes
+// straight to executing the register program.
 func (s *Server) plan(query string) (q *exrquy.Query, hit bool, err error) {
 	key := s.cacheKey(query)
 	if q, ok := s.cache.get(key); ok {
@@ -184,7 +187,7 @@ func (s *Server) plan(query string) (q *exrquy.Query, hit bool, err error) {
 // configuration that compiled it (one Server has one configuration, but
 // the key says so rather than assumes so).
 func (s *Server) cacheKey(query string) string {
-	return fmt.Sprintf("par=%d\x00%s", s.cfg.Parallelism, normalizeQuery(query))
+	return fmt.Sprintf("par=%d,compile=%t\x00%s", s.cfg.Parallelism, !s.cfg.NoCompile, normalizeQuery(query))
 }
 
 // finishQuery records the request's outcome with the client's circuit

@@ -107,6 +107,12 @@ type Config struct {
 	// /query route (injected latency, forced 500/503, connection resets,
 	// body truncation). Test/chaos hook only — leave nil in production.
 	Faults *resilience.HTTPFaultPlan
+
+	// NoCompile disables bytecode plan compilation: the cache then stores
+	// tree-walking plans (exrquy.WithCompiled(false)). Debugging escape
+	// hatch — the flag is part of the plan-cache key, so flipping it can
+	// never serve a plan prepared under the other mode.
+	NoCompile bool
 }
 
 // Server is the daemon: one Engine, one Governor, one plan cache, one
@@ -154,6 +160,9 @@ func New(cfg Config) *Server {
 	opts := []exrquy.Option{exrquy.WithGovernor(gov)}
 	if cfg.Parallelism != 0 {
 		opts = append(opts, exrquy.WithParallelism(cfg.Parallelism))
+	}
+	if cfg.NoCompile {
+		opts = append(opts, exrquy.WithCompiled(false))
 	}
 	s := &Server{
 		cfg:      cfg,

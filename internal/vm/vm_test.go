@@ -1,0 +1,164 @@
+package vm
+
+// Structural invariants of Compile, independent of the end-to-end
+// differential suite in internal/core: register discipline (topological
+// sources, last-consumer release, root never released), memo-use counts
+// on shared nodes, document parameter-slot dedup, and a program executed
+// through Run agreeing with the engine on a hand-built DAG.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/engine"
+	"repro/internal/xdm"
+	"repro/internal/xmltree"
+	"repro/internal/xquery"
+)
+
+// sharedPlan builds a small DAG with one node consumed twice: a doc scan
+// stepped to //b, whose output feeds both sides of a cross product.
+func sharedPlan() *algebra.Node {
+	b := algebra.NewBuilder()
+	doc := b.Doc("d.xml")
+	ctx := b.Cross(b.LitCol("iter", xdm.NewInt(1)), doc)
+	shared := b.Step(ctx, xquery.AxisDescendant, xquery.NodeTest{Kind: xquery.TestName, Name: "b"})
+	left := b.Project(shared, algebra.ColPair{New: "l", Old: "item"})
+	right := b.Project(shared, algebra.ColPair{New: "r", Old: "item"})
+	return b.Cross(left, right)
+}
+
+func TestCompileRegisterDiscipline(t *testing.T) {
+	root := sharedPlan()
+	p := Compile(root)
+	if p.NumInstrs() != len(algebra.Nodes(root)) {
+		t.Fatalf("%d instructions for %d plan nodes", p.NumInstrs(), len(algebra.Nodes(root)))
+	}
+	lastUse := map[uint32]int{}
+	for i, ins := range p.instrs {
+		if int(ins.dst) != i {
+			t.Errorf("instr %d writes register %d (registers are topo positions)", i, ins.dst)
+		}
+		for _, s := range ins.srcs {
+			if s >= ins.dst {
+				t.Errorf("instr %d reads register %d, not yet written", i, s)
+			}
+			lastUse[s] = i
+		}
+	}
+	released := map[uint32]int{}
+	for i, ins := range p.instrs {
+		for _, r := range ins.release {
+			if prev, dup := released[r]; dup {
+				t.Errorf("register %d released twice (instr %d and %d)", r, prev, i)
+			}
+			released[r] = i
+			if i < lastUse[r] {
+				t.Errorf("register %d released at instr %d but read later at %d", r, i, lastUse[r])
+			}
+		}
+	}
+	rootReg := p.instrs[len(p.instrs)-1].dst
+	if _, ok := released[rootReg]; ok {
+		t.Error("root register released inside the program (Finish reads it after)")
+	}
+	// Every non-root register with a consumer is released exactly once.
+	for r, last := range lastUse {
+		if _, ok := released[r]; !ok {
+			t.Errorf("register %d (last used at %d) never released", r, last)
+		}
+	}
+}
+
+func TestCompileSharedNodeMemoUses(t *testing.T) {
+	p := Compile(sharedPlan())
+	var sharedExtra int
+	for _, ins := range p.instrs {
+		if ins.node.Kind == algebra.OpStep {
+			sharedExtra = ins.extraUses
+		}
+	}
+	if sharedExtra != 1 {
+		t.Errorf("doubly consumed step node has extraUses=%d, want 1 (one memo hit in the walked engine)", sharedExtra)
+	}
+}
+
+func TestCompileDocSlotsDedup(t *testing.T) {
+	// Structural hash-consing already merges identical Doc nodes; distinct
+	// URIs must get distinct slots in first-use order.
+	b := algebra.NewBuilder()
+	a1 := b.Project(b.Doc("a.xml"), algebra.ColPair{New: "a1", Old: "item"})
+	b1 := b.Project(b.Doc("b.xml"), algebra.ColPair{New: "b1", Old: "item"})
+	a2 := b.Project(b.Doc("a.xml"), algebra.ColPair{New: "a2", Old: "item"})
+	p := Compile(b.Cross(b.Cross(a1, a2), b1))
+	docs := p.Docs()
+	if len(docs) != 2 || docs[0] != "a.xml" || docs[1] != "b.xml" {
+		t.Fatalf("doc slots = %v, want [a.xml b.xml]", docs)
+	}
+}
+
+func TestRunMatchesEngineOnHandBuiltPlan(t *testing.T) {
+	store := xmltree.NewStore()
+	f, err := xmltree.ParseString(`<r><b>x</b><b>y</b></r>`, "d.xml", xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := map[string]uint32{"d.xml": store.Add(f)}
+	// A serializable root: (pos, item) over the //b nodes.
+	b := algebra.NewBuilder()
+	ctx := b.Cross(b.LitCol("iter", xdm.NewInt(1)), b.Doc("d.xml"))
+	s := b.Step(ctx, xquery.AxisDescendant, xquery.NodeTest{Kind: xquery.TestName, Name: "b"})
+	root := b.Keep(b.RowID(s, "pos"), "pos", "item")
+
+	want, err := engine.Run(root, store, docs, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(Compile(root), store, docs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != len(want.Items) || len(got.Items) != 2 {
+		t.Fatalf("compiled %d items, engine %d items, want 2", len(got.Items), len(want.Items))
+	}
+	for i := range want.Items {
+		if got.Items[i] != want.Items[i] {
+			t.Fatalf("item %d: compiled %v, engine %v", i, got.Items[i], want.Items[i])
+		}
+	}
+}
+
+func TestRunUnknownDocumentError(t *testing.T) {
+	b := algebra.NewBuilder()
+	plan := b.Cross(b.LitCol("iter", xdm.NewInt(1)), b.Doc("missing.xml"))
+	_, err := Run(Compile(plan), xmltree.NewStore(), nil, Options{})
+	if err == nil || !strings.Contains(err.Error(), `unknown document "missing.xml"`) {
+		t.Fatalf("err = %v, want unknown document", err)
+	}
+}
+
+func TestExplainShape(t *testing.T) {
+	p := Compile(sharedPlan())
+	out := p.Explain()
+	if !strings.Contains(out, "program: ") || !strings.Contains(out, "d0 = doc \"d.xml\"") {
+		t.Fatalf("explain missing header/doc slots:\n%s", out)
+	}
+	// The shared step is read twice: its line carries the memo-use count,
+	// and some later line frees its register.
+	if !strings.Contains(out, "uses=2") {
+		t.Errorf("shared node's uses=2 missing:\n%s", out)
+	}
+	if !strings.Contains(out, "free=") {
+		t.Errorf("no free lists rendered:\n%s", out)
+	}
+	// Every instruction line names its plan node by #id.
+	for i, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if i == 0 || strings.HasPrefix(strings.TrimSpace(line), "d") { // header, doc slots
+			continue
+		}
+		if !strings.Contains(line, "#") {
+			t.Errorf("instruction line without plan #id: %q", line)
+		}
+	}
+}
