@@ -4,6 +4,7 @@
 //
 //	exrquy [flags] -q 'for $x in ...' doc1.xml doc2.xml
 //	exrquy [flags] -f query.xq auction.xml
+//	exrquy [flags] -xmark 0.01 -xq 8     (built-in XMark query 8)
 //
 // Documents are registered under their base file names for fn:doc().
 // Use -xmark to generate and register a synthetic XMark instance as
@@ -18,6 +19,13 @@
 //	3  cutoff (timeout, memory limit) or cancellation
 //	4  internal error (recovered engine panic; phase and plan printed)
 //	5  overload (shed by the resource governor; retry after the printed hint)
+//	6  corrupt on-disk store (bad magic, checksum mismatch, version skew)
+//
+// On-disk columnar stores built by xmarkgen -store (or Engine.WriteStore)
+// mount with -store DIR; a corpus sharded across several directories
+// mounts as -store DIR1,DIR2,... With -store-bytes N the mounted stores
+// page under a dedicated N-byte budget, so a corpus far larger than RAM
+// stays queryable.
 package main
 
 import (
@@ -31,10 +39,22 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	exrquy "repro"
+	"repro/internal/xmarkq"
 )
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, " ") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
 
 // stdout buffers result serialization; fatal flushes it before os.Exit so
 // output already produced when a query is cut off reaches the terminal
@@ -49,6 +69,7 @@ func main() {
 	var (
 		queryText  = flag.String("q", "", "query text")
 		queryFile  = flag.String("f", "", "file containing the query")
+		xmarkQ     = flag.Int("xq", 0, "run built-in XMark query N (1-20) instead of -q/-f")
 		xmarkF     = flag.Float64("xmark", 0, "generate an XMark instance at this factor and register it as auction.xml")
 		mode       = flag.String("ordering", "prolog", "ordering mode: prolog, ordered, unordered")
 		baseline   = flag.Bool("baseline", false, "disable order indifference (the order-ignorant baseline)")
@@ -71,10 +92,19 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of query execution to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile (after execution) to this file")
 	)
+	var storeDirs multiFlag
+	flag.Var(&storeDirs, "store", "mount an on-disk columnar store directory (repeatable; comma-join directories holding shards of one corpus)")
+	storeBytes := flag.Int64("store-bytes", 0, "dedicated paging budget for mounted stores, bytes (0 = charge the governor's ledger, if any)")
 	flag.Parse()
 
-	if (*queryText == "") == (*queryFile == "") {
-		fatal(nil, "exactly one of -q or -f is required")
+	sources := 0
+	for _, set := range []bool{*queryText != "", *queryFile != "", *xmarkQ != 0} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		fatal(nil, "exactly one of -q, -f or -xq is required")
 	}
 	query := *queryText
 	if *queryFile != "" {
@@ -84,6 +114,13 @@ func main() {
 			fatal(nil, "read query: %v", err)
 		}
 		query = string(data)
+	}
+	if *xmarkQ != 0 {
+		if *xmarkQ < 1 || *xmarkQ > 20 {
+			fatal(nil, "-xq %d: XMark queries are numbered 1-20", *xmarkQ)
+		}
+		q := xmarkq.Get(*xmarkQ)
+		queryName, query = q.Name, q.Text
 	}
 	defer stdout.Flush()
 
@@ -108,6 +145,9 @@ func main() {
 	}
 	if *parallelN != 0 {
 		opts = append(opts, exrquy.WithParallelism(*parallelN))
+	}
+	if *storeBytes > 0 {
+		opts = append(opts, exrquy.WithStoreBudget(*storeBytes))
 	}
 	if *govSlots > 0 || *govBytes > 0 {
 		opts = append(opts, exrquy.WithGovernor(exrquy.NewGovernor(exrquy.GovernorConfig{
@@ -139,6 +179,11 @@ func main() {
 		f.Close()
 		if err != nil {
 			fatal(err, "load %s: %v", path, err)
+		}
+	}
+	for _, spec := range storeDirs {
+		if _, err := eng.AttachStore(strings.Split(spec, ",")...); err != nil {
+			fatal(err, "attach store %s: %v", spec, err)
 		}
 	}
 	if *xmarkF > 0 {
@@ -259,6 +304,8 @@ func exitCode(err error) int {
 		return 3
 	case errors.Is(err, exrquy.ErrInternal):
 		return 4
+	case errors.Is(err, exrquy.ErrCorrupt):
+		return 6
 	}
 	return 1
 }

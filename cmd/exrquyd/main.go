@@ -24,6 +24,9 @@
 //	PUT  /documents/{name}   upload or hot-reload a document
 //	DELETE /documents/{name} unregister a document
 //	GET  /documents          list registered documents
+//	POST /stores             attach an on-disk columnar store ({"dirs":[...]})
+//	GET  /stores             list attached stores with paging residency
+//	DELETE /stores?dir=D     detach the store mounted from D
 //	GET  /metrics            process-wide engine/governor/server metrics
 //	GET  /debug/stats        structured daemon snapshot (JSON)
 //	GET  /healthz            200 while serving, 503 while draining
@@ -41,6 +44,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -74,6 +78,9 @@ func main() {
 		brkCool   = flag.Duration("breaker-cooldown", 0, "open-circuit cooldown before a half-open probe (0 = 5s)")
 		chaos     = flag.String("chaos", "", "TESTING ONLY: arm deterministic fault injection on /query, e.g. seed=7,err500=17,reset=23,truncate=29:64,latency=13:3ms")
 	)
+	var storeDirs multiFlag
+	flag.Var(&storeDirs, "store", "mount an on-disk columnar store directory at boot (repeatable; comma-join directories holding shards of one corpus)")
+	storeBytes := flag.Int64("store-bytes", 0, "dedicated paging budget for mounted stores, bytes (0 = charge the governor's shared ledger)")
 	flag.Parse()
 
 	clients, err := server.ParseAPIKeys(*apiKeys)
@@ -96,6 +103,7 @@ func main() {
 			QueryBytes:    *govQuery,
 		},
 		Parallelism:     *parallelN,
+		StoreBudget:     *storeBytes,
 		NoCompile:       !*compileOn,
 		Timeout:         *timeout,
 		MaxTimeout:      *maxTime,
@@ -126,6 +134,13 @@ func main() {
 	if *xmarkF > 0 {
 		s.Engine().LoadXMark("auction.xml", *xmarkF)
 		fmt.Fprintf(os.Stderr, "exrquyd: generated XMark factor %g as auction.xml\n", *xmarkF)
+	}
+	for _, spec := range storeDirs {
+		uris, err := s.Engine().AttachStore(strings.Split(spec, ",")...)
+		if err != nil {
+			fatal("attach store %s: %v", spec, err)
+		}
+		fmt.Fprintf(os.Stderr, "exrquyd: mounted store %s (%s)\n", spec, strings.Join(uris, ", "))
 	}
 
 	if err := s.Listen(*addr); err != nil {
@@ -163,4 +178,14 @@ func main() {
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "exrquyd: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, " ") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
 }

@@ -12,6 +12,10 @@
 //	                                also measure N concurrent clients through
 //	                                a shared resource governor (throughput,
 //	                                latency, shedding, degradation)
+//	xmarkbench -json FILE -store-shards N
+//	                                also measure the corpus served out-of-core
+//	                                from the mmap'd columnar store, single-part
+//	                                ("ooc") and sharded N ways ("shard<N>")
 //
 // Document sizes are scaled to in-memory Go scale; the paper's 30 s
 // cutoff convention is kept (queries that exceed it report "cutoff", as
@@ -46,6 +50,7 @@ func main() {
 		stats     = flag.Bool("stats", false, "attach per-operator statistics (obs.OpStats) to every -json trajectory row")
 		compileOn = flag.Bool("compile", true, "execute bytecode-compiled programs for -json rows; off runs everything tree-walking and drops the 'walked' control rows")
 		concN     = flag.Int("concurrency", 0, "add contention rows to -json: N clients pushing queries through a shared resource governor (throughput, p50/p95 latency, shed and degraded counts)")
+		shardsN   = flag.Int("store-shards", 0, "add out-of-core rows to -json: mode 'ooc' serves the corpus from a single-part mmap'd store, and N>1 adds mode 'shard<N>' over the corpus sharded N ways, both paging under a ledger a quarter of the mapped size")
 	)
 	flag.Parse()
 
@@ -104,6 +109,7 @@ func main() {
 			Stats:       *stats,
 			Concurrency: *concN,
 			NoCompile:   !*compileOn,
+			StoreShards: *shardsN,
 		}
 		if err := bench.WriteTrajectoryJSON(*jsonPath, opts, os.Stdout); err != nil {
 			fatal("json: %v", err)

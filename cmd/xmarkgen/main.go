@@ -1,5 +1,8 @@
 // Command xmarkgen generates synthetic XMark auction documents (the
-// workload of the paper's evaluation) to stdout or a file.
+// workload of the paper's evaluation) to stdout, to a file, or directly
+// into an on-disk columnar store (optionally sharded). XML text output
+// streams: memory stays bounded by the element stack regardless of
+// factor.
 package main
 
 import (
@@ -7,16 +10,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"repro/internal/store"
 	"repro/internal/xmark"
 )
 
 func main() {
 	var (
-		factor = flag.Float64("factor", 0.01, "XMark scale factor (1.0 ≈ 25,500 persons)")
-		seed   = flag.Uint64("seed", 0, "random seed (0 = fixed default)")
-		out    = flag.String("o", "", "output file (default stdout)")
-		counts = flag.Bool("counts", false, "print entity counts instead of generating")
+		factor   = flag.Float64("factor", 0.01, "XMark scale factor (1.0 ≈ 25,500 persons)")
+		seed     = flag.Uint64("seed", 0, "random seed (0 = fixed default)")
+		out      = flag.String("o", "", "output file (default stdout)")
+		storeDir = flag.String("store", "", "write an on-disk columnar store into this directory instead of XML text")
+		shards   = flag.Int("shards", 1, "with -store: shard the document across N part directories (DIR/shard0..N-1)")
+		uri      = flag.String("uri", "auction.xml", "with -store: document URI to register the corpus under")
+		counts   = flag.Bool("counts", false, "print entity counts instead of generating")
 	)
 	flag.Parse()
 
@@ -25,6 +33,24 @@ func main() {
 		fmt.Printf("factor %g: %d persons, %d open auctions, %d closed auctions, %d items, %d categories (~%.1f MB)\n",
 			*factor, c.Persons, c.OpenAuctions, c.ClosedAuctions, c.TotalItems(), c.Categories,
 			*factor*float64(xmark.ApproxBytesPerFactor)/(1<<20))
+		return
+	}
+
+	if *storeDir != "" {
+		frag := xmark.Generate(xmark.Config{Factor: *factor, Seed: *seed})
+		dirs := []string{*storeDir}
+		if *shards > 1 {
+			dirs = dirs[:0]
+			for k := 0; k < *shards; k++ {
+				dirs = append(dirs, filepath.Join(*storeDir, fmt.Sprintf("shard%d", k)))
+			}
+		}
+		if err := store.WriteDoc(dirs, *uri, frag); err != nil {
+			fmt.Fprintf(os.Stderr, "xmarkgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "xmarkgen: wrote %q (%d nodes, %d part(s)) under %s\n",
+			*uri, frag.Len(), len(dirs), *storeDir)
 		return
 	}
 

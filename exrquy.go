@@ -93,6 +93,11 @@ var (
 	// both answer HTTP 429, but errors.Is tells them apart. Retryable;
 	// RetryAfterOf carries the bucket's refill time.
 	ErrRateLimited = qerr.ErrRateLimited
+	// ErrCorrupt marks an on-disk document store that failed structural
+	// validation when attached (truncated part file, bad magic, format
+	// version skew, checksum mismatch, incomplete shard coverage). Not
+	// retryable — the remedy is rebuilding the store.
+	ErrCorrupt = qerr.ErrCorrupt
 )
 
 // IsRetryable reports whether err is transient — overload, rate
@@ -146,6 +151,7 @@ type options struct {
 	collect      bool
 	tracer       Tracer
 	governor     *governor.Governor
+	storeBudget  int64
 }
 
 // Option configures an Engine.
@@ -262,6 +268,18 @@ func WithGovernor(g *Governor) Option {
 	return func(o *options) { o.governor = g }
 }
 
+// WithStoreBudget gives attached on-disk stores (AttachStore) their own
+// byte ledger of the given size: sampled page residency across all
+// mounts is charged against it, and exceeding it evicts store pages
+// instead of failing queries — the knob that makes a corpus far larger
+// than RAM queryable under a fixed paging budget. Without it, stores
+// charge the governor's shared ledger when one is configured (corpus
+// pages then compete with query intermediates), and run unbudgeted
+// otherwise. 0 disables the dedicated budget.
+func WithStoreBudget(bytes int64) Option {
+	return func(o *options) { o.storeBudget = bytes }
+}
+
 // Observability re-exports. The collection machinery lives in
 // internal/obs; these aliases make the structured statistics usable from
 // the public API without importing internal packages.
@@ -318,25 +336,42 @@ func WithTracer(t Tracer) Option {
 type Engine struct {
 	mu    sync.RWMutex
 	store *xmltree.Store
-	docs  map[string]uint32
+	docs  map[string][]uint32
 	opts  options
+	// mounts tracks attached on-disk stores (AttachStore); mountsMu is
+	// held shared by every execution so DetachStore can wait out queries
+	// still reading mmap'd columns before unmapping them.
+	mounts   map[string]*storeMount
+	mountsMu sync.RWMutex
+	// storeLedger is the dedicated paging budget for attached stores
+	// (WithStoreBudget); nil = charge the governor's ledger, if any.
+	storeLedger *xdm.Ledger
 }
 
 // register adds a parsed fragment to the store and registry.
 func (e *Engine) register(name string, id uint32) {
 	e.mu.Lock()
-	e.docs[name] = id
+	e.docs[name] = []uint32{id}
+	e.mu.Unlock()
+}
+
+// registerParts registers a multi-part (sharded) document: fn:doc(name)
+// returns one root per id, in slice order.
+func (e *Engine) registerParts(name string, ids []uint32) {
+	e.mu.Lock()
+	e.docs[name] = ids
 	e.mu.Unlock()
 }
 
 // docsSnapshot copies the registry for one execution, so a concurrent
-// LoadDocument cannot race with the running query's doc() lookups.
-func (e *Engine) docsSnapshot() map[string]uint32 {
+// LoadDocument cannot race with the running query's doc() lookups. The
+// id slices are shared: they are immutable once registered.
+func (e *Engine) docsSnapshot() map[string][]uint32 {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	snap := make(map[string]uint32, len(e.docs))
-	for n, id := range e.docs {
-		snap[n] = id
+	snap := make(map[string][]uint32, len(e.docs))
+	for n, ids := range e.docs {
+		snap[n] = ids
 	}
 	return snap
 }
@@ -348,7 +383,16 @@ func New(opts ...Option) *Engine {
 	for _, f := range opts {
 		f(&o)
 	}
-	return &Engine{store: xmltree.NewStore(), docs: make(map[string]uint32), opts: o}
+	e := &Engine{
+		store:  xmltree.NewStore(),
+		docs:   make(map[string][]uint32),
+		mounts: make(map[string]*storeMount),
+		opts:   o,
+	}
+	if o.storeBudget > 0 {
+		e.storeLedger = xdm.NewLedger(o.storeBudget)
+	}
+	return e
 }
 
 // LoadDocument parses an XML document from r and registers it under name
@@ -435,22 +479,27 @@ type DocumentInfo struct {
 	MaxDepth   int
 }
 
-// DocumentStats returns node statistics for a loaded document.
+// DocumentStats returns node statistics for a loaded document, summed
+// over all parts for a sharded corpus.
 func (e *Engine) DocumentStats(name string) (DocumentInfo, error) {
 	e.mu.RLock()
-	id, ok := e.docs[name]
+	ids, ok := e.docs[name]
 	e.mu.RUnlock()
 	if !ok {
 		return DocumentInfo{}, fmt.Errorf("exrquy: unknown document %q", name)
 	}
-	st := e.store.Frag(id).ComputeStats()
-	return DocumentInfo{
-		Nodes:      st.Nodes,
-		Elements:   st.Elements,
-		Attributes: st.Attrs,
-		Texts:      st.Texts,
-		MaxDepth:   int(st.MaxLevel),
-	}, nil
+	var info DocumentInfo
+	for _, id := range ids {
+		st := e.store.Frag(id).ComputeStats()
+		info.Nodes += st.Nodes
+		info.Elements += st.Elements
+		info.Attributes += st.Attrs
+		info.Texts += st.Texts
+		if d := int(st.MaxLevel); d > info.MaxDepth {
+			info.MaxDepth = d
+		}
+	}
+	return info, nil
 }
 
 func (e *Engine) coreConfig() core.Config {
@@ -597,12 +646,14 @@ func (e *Engine) QueryContext(ctx context.Context, query string) (*Result, error
 // (strict ordered semantics) — the correctness oracle and the
 // conventional-processor baseline.
 func (e *Engine) Reference(query string) (*Result, error) {
+	e.mountsMu.RLock()
 	ip := interp.New(e.store, e.docsSnapshot())
 	res, err := ip.EvalString(query)
+	e.mountsMu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
-	return &Result{items: res.Items, store: res.Store}, nil
+	return &Result{items: res.Items, store: res.Store, eng: e}, nil
 }
 
 // Query is a compiled query.
@@ -620,12 +671,16 @@ func (q *Query) Execute() (*Result, error) {
 // ExecuteContext runs the plan under a context; see QueryContext for the
 // cancellation contract.
 func (q *Query) ExecuteContext(ctx context.Context) (*Result, error) {
+	// Shared mount lock: a DetachStore must not unmap columns a running
+	// query may still be scanning. Uncontended outside detach windows.
+	q.eng.mountsMu.RLock()
 	res, err := q.prepared.RunContext(ctx, q.eng.store, q.eng.docsSnapshot())
+	q.eng.mountsMu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
-		items: res.Items, store: res.Store, profile: res.Profile,
+		items: res.Items, store: res.Store, eng: q.eng, profile: res.Profile,
 		elapsed: res.Elapsed, stats: res.Stats,
 		degraded: res.Degraded, queueWait: res.QueueWait,
 	}, nil
@@ -652,12 +707,14 @@ func (q *Query) Analyze() (*Result, string, error) {
 // AnalyzeContext is Analyze under a context (see QueryContext for the
 // cancellation contract).
 func (q *Query) AnalyzeContext(ctx context.Context) (*Result, string, error) {
+	q.eng.mountsMu.RLock()
 	res, text, err := q.prepared.Analyze(ctx, q.eng.store, q.eng.docsSnapshot())
+	q.eng.mountsMu.RUnlock()
 	if err != nil {
 		return nil, "", err
 	}
 	return &Result{
-		items: res.Items, store: res.Store, profile: res.Profile,
+		items: res.Items, store: res.Store, eng: q.eng, profile: res.Profile,
 		elapsed: res.Elapsed, stats: res.Stats,
 		degraded: res.Degraded, queueWait: res.QueueWait,
 	}, text, nil
@@ -693,6 +750,7 @@ type ProfileEntry = engine.ProfileEntry
 type Result struct {
 	items     []xdm.Item
 	store     *xmltree.Store
+	eng       *Engine // for the shared mount lock during serialization
 	profile   []ProfileEntry
 	elapsed   time.Duration
 	stats     *RunStats
@@ -706,11 +764,22 @@ func (r *Result) Len() int { return len(r.items) }
 // XML serializes the full result sequence per the XQuery serialization
 // rules.
 func (r *Result) XML() (string, error) {
+	// Node items may reference mmap'd store columns; hold the shared
+	// mount lock so a concurrent DetachStore cannot unmap them while
+	// they serialize.
+	if r.eng != nil {
+		r.eng.mountsMu.RLock()
+		defer r.eng.mountsMu.RUnlock()
+	}
 	return xmltree.SerializeItems(r.store, r.items)
 }
 
 // Items serializes each item individually, preserving sequence order.
 func (r *Result) Items() ([]string, error) {
+	if r.eng != nil {
+		r.eng.mountsMu.RLock()
+		defer r.eng.mountsMu.RUnlock()
+	}
 	out := make([]string, len(r.items))
 	for i := range r.items {
 		s, err := xmltree.SerializeItems(r.store, r.items[i:i+1])

@@ -1,0 +1,170 @@
+package exrquy
+
+// Out-of-core document stores: mount persisted columnar stores
+// (internal/store) into an Engine so fn:doc serves documents straight
+// from mmap'd part files, demand-paged under a byte ledger (the
+// dedicated WithStoreBudget ledger, or the governor's shared one),
+// instead of parsing XML into the heap.
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/store"
+)
+
+// storeMount is one attached on-disk store and the doc URIs it
+// contributed to the registry.
+type storeMount struct {
+	key  string
+	dirs []string
+	uris []string
+	st   *store.Store
+}
+
+// StoreMountInfo describes one attached store for observability.
+type StoreMountInfo struct {
+	Key   string              `json:"key"`
+	Dirs  []string            `json:"dirs"`
+	URIs  []string            `json:"uris"`
+	Stats store.StatsSnapshot `json:"stats"`
+}
+
+// storeKey canonicalizes the mount key: the first directory's absolute
+// path (best effort — a non-resolvable path keys as given).
+func storeKey(dir string) string {
+	if abs, err := filepath.Abs(dir); err == nil {
+		return abs
+	}
+	return dir
+}
+
+// AttachStore mounts the on-disk stores in dirs (a document sharded
+// across several directories is reassembled when the dirs jointly cover
+// its parts) and registers every document they hold, replacing any
+// same-named registry entries. The mount is keyed by the first
+// directory; it returns the mounted document URIs.
+//
+// The store's sampled residency is charged to a byte ledger: the
+// dedicated store ledger when the engine was built WithStoreBudget,
+// else the governor's shared ledger when one is configured (corpus
+// pages then compete with query intermediates). Under pressure the
+// store evicts pages rather than failing queries.
+func (e *Engine) AttachStore(dirs ...string) ([]string, error) {
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("exrquy: AttachStore needs at least one directory")
+	}
+	key := storeKey(dirs[0])
+	e.mu.Lock()
+	_, dup := e.mounts[key]
+	e.mu.Unlock()
+	if dup {
+		return nil, fmt.Errorf("exrquy: store %s already attached", key)
+	}
+	led := e.storeLedger
+	if led == nil && e.opts.governor != nil {
+		led = e.opts.governor.Ledger()
+	}
+	st, err := store.Open(dirs, store.Options{Ledger: led})
+	if err != nil {
+		return nil, err
+	}
+	m := &storeMount{key: key, dirs: append([]string(nil), dirs...), st: st}
+	e.mu.Lock()
+	if _, dup := e.mounts[key]; dup {
+		e.mu.Unlock()
+		st.Close()
+		return nil, fmt.Errorf("exrquy: store %s already attached", key)
+	}
+	for _, d := range st.Docs() {
+		id := e.store.Add(d.Frag)
+		e.docs[d.URI] = []uint32{id}
+		m.uris = append(m.uris, d.URI)
+	}
+	e.mounts[key] = m
+	e.mu.Unlock()
+	return append([]string(nil), m.uris...), nil
+}
+
+// DetachStore unmounts the store attached under dir (the first
+// directory given to AttachStore). Its documents leave the registry
+// immediately — queries started afterwards cannot see them — and the
+// store's mappings are released only after every in-flight query has
+// finished, so running queries are never pulled off their pages.
+// Results that reference a detached store's documents must be
+// serialized before detaching. Returns the URIs that were unmounted.
+func (e *Engine) DetachStore(dir string) ([]string, error) {
+	key := storeKey(dir)
+	e.mu.Lock()
+	m, ok := e.mounts[key]
+	if !ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("exrquy: no store attached at %s", key)
+	}
+	delete(e.mounts, key)
+	for _, uri := range m.uris {
+		delete(e.docs, uri)
+	}
+	e.mu.Unlock()
+
+	// Wait out queries that snapshotted the registry before the removal:
+	// every execution holds mountsMu shared for its whole run, so taking
+	// it exclusively once drains them all.
+	e.mountsMu.Lock()
+	e.mountsMu.Unlock() //nolint:staticcheck // empty critical section is the drain barrier
+	m.st.Close()
+	return append([]string(nil), m.uris...), nil
+}
+
+// Stores lists the attached stores in unspecified order.
+func (e *Engine) Stores() []StoreMountInfo {
+	e.mu.RLock()
+	mounts := make([]*storeMount, 0, len(e.mounts))
+	for _, m := range e.mounts {
+		mounts = append(mounts, m)
+	}
+	e.mu.RUnlock()
+	out := make([]StoreMountInfo, 0, len(mounts))
+	for _, m := range mounts {
+		out = append(out, StoreMountInfo{
+			Key: m.key, Dirs: append([]string(nil), m.dirs...),
+			URIs: append([]string(nil), m.uris...), Stats: m.st.Stats(),
+		})
+	}
+	return out
+}
+
+// SampleStores refreshes page-residency accounting across all attached
+// stores (see store.Store.Sample) and returns the aggregate mapped and
+// resident bytes. Serving layers call it periodically; it is also how
+// ledger pressure translates into store page eviction.
+func (e *Engine) SampleStores() (mapped, resident int64) {
+	e.mu.RLock()
+	mounts := make([]*storeMount, 0, len(e.mounts))
+	for _, m := range e.mounts {
+		mounts = append(mounts, m)
+	}
+	e.mu.RUnlock()
+	for _, m := range mounts {
+		mm, rr := m.st.Sample()
+		mapped += mm
+		resident += rr
+	}
+	return mapped, resident
+}
+
+// WriteStore persists the named loaded document to dirs as an on-disk
+// store: one directory writes a single-part store, N directories shard
+// the document by equal preorder ranges (one part per directory).
+func (e *Engine) WriteStore(name string, dirs ...string) error {
+	e.mu.RLock()
+	ids, ok := e.docs[name]
+	e.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("exrquy: unknown document %q", name)
+	}
+	if len(ids) != 1 {
+		return fmt.Errorf("exrquy: %q is a multi-part collection; write its parts individually", name)
+	}
+	return store.WriteDoc(dirs, name, e.store.Frag(ids[0]))
+}

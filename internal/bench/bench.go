@@ -28,7 +28,7 @@ import (
 // Env is a prepared benchmark environment: one XMark instance.
 type Env struct {
 	Store  *xmltree.Store
-	Docs   map[string]uint32
+	Docs   map[string][]uint32
 	Factor float64
 	Bytes  int64 // serialized size of the instance
 	Nodes  int
@@ -42,7 +42,7 @@ func NewEnv(factor float64) *Env {
 	st := f.ComputeStats()
 	return &Env{
 		Store:  store,
-		Docs:   map[string]uint32{"auction.xml": id},
+		Docs:   map[string][]uint32{"auction.xml": {id}},
 		Factor: factor,
 		Bytes:  int64(float64(xmark.ApproxBytesPerFactor) * factor),
 		Nodes:  st.Nodes,

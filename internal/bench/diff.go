@@ -78,10 +78,14 @@ func Diff(base, cur *TrajectoryReport, th DiffThresholds) ([]DiffEntry, error) {
 		// Load rows — "concurrent<N>" (xmarkbench -concurrency) and
 		// "server<N>" (cmd/loadgen over HTTP against exrquyd) — record
 		// behavior under deliberate overload: queueing, shedding, network
-		// and machine load. Their latency is not a kernel-regression
-		// signal, so they are informational in the trajectory file and
-		// invisible to the gate, in baseline and current alike.
-		if strings.HasPrefix(b.Mode, "concurrent") || strings.HasPrefix(b.Mode, "server") {
+		// and machine load. Out-of-core rows — "ooc" and "shard<N>"
+		// (xmarkbench -store-shards) — record demand paging under a
+		// deliberately starved ledger: page-cache and filesystem noise.
+		// Neither latency is a kernel-regression signal, so both families
+		// are informational in the trajectory file and invisible to the
+		// gate, in baseline and current alike.
+		if strings.HasPrefix(b.Mode, "concurrent") || strings.HasPrefix(b.Mode, "server") ||
+			strings.HasPrefix(b.Mode, "ooc") || strings.HasPrefix(b.Mode, "shard") {
 			continue
 		}
 		c, ok := curRows[rowKey{b.Query, b.Mode, b.Typed}]

@@ -182,3 +182,31 @@ func TestDiffSkipsServerRows(t *testing.T) {
 		}
 	}
 }
+
+func TestDiffSkipsOutOfCoreRows(t *testing.T) {
+	base := diffBaseline()
+	base.Rows = append(base.Rows,
+		TrajectoryRow{Query: "Q1", Mode: "ooc", Typed: true, NsPerOp: 4_000_000, AllocsPerOp: 2500},
+		TrajectoryRow{Query: "Q1", Mode: "shard4", Typed: true, NsPerOp: 5_000_000, AllocsPerOp: 2600},
+	)
+	// Out-of-core rows price demand paging — page-cache and filesystem
+	// noise. They regress 10x AND vanish from runs measured without
+	// -store-shards: both must be invisible to the gate.
+	cur := copyReport(base)
+	cur.Rows = cur.Rows[:len(cur.Rows)-2]
+	entries, err := Diff(base, cur, DiffThresholds{})
+	if err != nil {
+		t.Fatalf("gate errored on vanished out-of-core rows: %v", err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("got %d entries, want 6 (ooc/shard rows must not be compared)", len(entries))
+	}
+	if Regressed(entries) {
+		t.Errorf("gate regressed: %+v", entries)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Mode, "ooc") || strings.HasPrefix(e.Mode, "shard") {
+			t.Errorf("out-of-core row leaked into the gate: %+v", e)
+		}
+	}
+}

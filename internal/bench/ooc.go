@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/store"
+	"repro/internal/xdm"
+	"repro/internal/xmarkq"
+	"repro/internal/xmltree"
+)
+
+// storeRows measures the trajectory queries through the on-disk columnar
+// store (internal/store) instead of the in-memory fragment: mode "ooc"
+// mounts a single-part store, mode "shard<N>" the same corpus sharded
+// across N directories. Both mount under a dedicated byte ledger a
+// quarter of the mapped corpus, so the rows price demand paging and
+// pressure eviction, not just mmap reads — which is also why the
+// benchdiff gate skips them: paging cost is storage/OS noise, not a
+// kernel regression signal. Typed storage only (the store reassembles
+// typed columns; boxing them would measure the conversion, not the
+// store).
+func storeRows(env *Env, queryIDs []int, shards, repeats int, stats, noCompile bool, w io.Writer) ([]TrajectoryRow, error) {
+	frag := env.Store.Frag(env.Docs["auction.xml"][0])
+	base, err := os.MkdirTemp("", "xmarkbench-store-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(base)
+
+	modes := []struct {
+		name string
+		dirs []string
+	}{{"ooc", []string{filepath.Join(base, "single")}}}
+	if shards > 1 {
+		dirs := make([]string, shards)
+		for k := range dirs {
+			dirs[k] = filepath.Join(base, fmt.Sprintf("shard%d", k))
+		}
+		modes = append(modes, struct {
+			name string
+			dirs []string
+		}{fmt.Sprintf("shard%d", shards), dirs})
+	}
+
+	cfg := indifferenceCfg(0)
+	cfg.Compiled = !noCompile
+	var rows []TrajectoryRow
+	for _, m := range modes {
+		if err := store.WriteDoc(m.dirs, "auction.xml", frag); err != nil {
+			return nil, fmt.Errorf("%s: write store: %w", m.name, err)
+		}
+		// Probe pass discovers the mapped size; the measured mount then
+		// pages under a ledger a quarter of it.
+		probe, err := store.Open(m.dirs, store.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: probe: %w", m.name, err)
+		}
+		mapped := probe.Stats().MappedBytes
+		probe.Close()
+		st, err := store.Open(m.dirs, store.Options{Ledger: xdm.NewLedger(mapped / 4)})
+		if err != nil {
+			return nil, fmt.Errorf("%s: open: %w", m.name, err)
+		}
+		senv := &Env{
+			Store:  xmltree.NewStore(),
+			Docs:   map[string][]uint32{},
+			Factor: env.Factor,
+			Bytes:  env.Bytes,
+			Nodes:  env.Nodes,
+		}
+		for _, d := range st.Docs() {
+			senv.Docs[d.URI] = []uint32{senv.Store.Add(d.Frag)}
+		}
+		if w != nil {
+			fmt.Fprintf(w, "store mode %s: %d part(s), %.1f MB mapped, ledger %.1f MB\n",
+				m.name, len(st.Stats().Parts), float64(mapped)/(1<<20), float64(mapped/4)/(1<<20))
+		}
+		for _, id := range queryIDs {
+			q := xmarkq.Get(id)
+			row, err := measureOne(senv, q.Text, cfg, repeats, stats)
+			if err != nil {
+				st.Close()
+				return nil, fmt.Errorf("%s/%s: %w", q.Name, m.name, err)
+			}
+			row.Query, row.Mode, row.Typed = q.Name, m.name, true
+			rows = append(rows, row)
+			st.Sample() // keep the paging ledger honest between queries
+			if w != nil {
+				fmt.Fprintf(w, "%-6s %-9s %-6s %14d %14d %14d\n",
+					row.Query, row.Mode, "typed", row.NsPerOp, row.AllocsPerOp, row.BytesPerOp)
+			}
+		}
+		st.Close()
+	}
+	return rows, nil
+}

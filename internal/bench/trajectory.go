@@ -23,7 +23,7 @@ import (
 // after the timed runs, so collection never perturbs the measurements.
 type TrajectoryRow struct {
 	Query       string        `json:"query"`
-	Mode        string        `json:"mode"`  // "serial", "walked", "parallel", "concurrent<N>" or "server<N>"
+	Mode        string        `json:"mode"`  // "serial", "walked", "parallel", "concurrent<N>", "server<N>", "ooc" or "shard<N>"
 	Typed       bool          `json:"typed"` // false = boxed []Item storage (xdm.ForceBoxed)
 	NsPerOp     int64         `json:"ns_per_op"`
 	AllocsPerOp uint64        `json:"allocs_per_op"`
@@ -104,7 +104,8 @@ type TrajectoryReport struct {
 	Workers     int                 `json:"workers"`
 	GoMaxProcs  int                 `json:"gomaxprocs"`
 	Repeats     int                 `json:"repeats"`
-	Concurrency int                 `json:"concurrency,omitempty"` // clients of the "concurrent<N>" rows
+	Concurrency int                 `json:"concurrency,omitempty"`  // clients of the "concurrent<N>" rows
+	StoreShards int                 `json:"store_shards,omitempty"` // shard count of the "shard<N>" out-of-core rows
 	Meta        TrajectoryMeta      `json:"meta"`
 	Rows        []TrajectoryRow     `json:"rows"`
 	Summaries   []TrajectorySummary `json:"summaries"`
@@ -121,6 +122,12 @@ type TrajectoryOptions struct {
 	Repeats     int   // timed runs per row; <1 means 3
 	Stats       bool  // attach per-operator OpStats to every row
 	Concurrency int   // >0 adds "concurrent<N>" contention rows with N clients
+	// StoreShards > 0 adds out-of-core rows: mode "ooc" runs the queries
+	// through a single-part on-disk store (internal/store), and when
+	// StoreShards > 1 mode "shard<N>" runs them through the corpus
+	// sharded across N directories. Both page under a dedicated ledger a
+	// quarter of the mapped corpus. The benchdiff gate skips both modes.
+	StoreShards int
 	// NoCompile runs every mode on the tree-walking engine instead of
 	// bytecode programs (and drops the "walked" rows, which would then
 	// duplicate "serial"). Recorded in TrajectoryMeta.Compiled.
@@ -265,6 +272,17 @@ func Trajectory(opts TrajectoryOptions, w io.Writer) (*TrajectoryReport, error) 
 		}
 		rep.Rows = append(rep.Rows, rows...)
 		rep.Concurrency = opts.Concurrency
+	}
+	// Out-of-core rows: the same queries served from the mmap'd columnar
+	// store, unsharded and (when StoreShards > 1) sharded. Appended after
+	// the in-memory matrix so its rows stay unperturbed by store paging.
+	if opts.StoreShards > 0 {
+		rows, err := storeRows(env, queryIDs, opts.StoreShards, repeats, opts.Stats, opts.NoCompile, w)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, rows...)
+		rep.StoreShards = opts.StoreShards
 	}
 	// Typed-versus-boxed summaries per (query, mode).
 	byKey := map[[2]string]map[bool]TrajectoryRow{}

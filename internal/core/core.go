@@ -261,7 +261,7 @@ func planCounts(plan *compile.Plan) struct{ Operators, RowNums, RowIDs int } {
 // Run executes the prepared plan against a store and document registry,
 // dispatching to the morsel-wise parallel executor when Config.Parallelism
 // asks for more than one worker.
-func (p *Prepared) Run(store *xmltree.Store, docs map[string]uint32) (*engine.Result, error) {
+func (p *Prepared) Run(store *xmltree.Store, docs map[string][]uint32) (*engine.Result, error) {
 	return p.RunContext(context.Background(), store, docs)
 }
 
@@ -271,7 +271,7 @@ func (p *Prepared) Run(store *xmltree.Store, docs map[string]uint32) (*engine.Re
 // deadline) and the context's own error. Internal failures during
 // execution come back as qerr.ErrInternal carrying the optimized plan's
 // Explain() dump.
-func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs map[string]uint32) (*engine.Result, error) {
+func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs map[string][]uint32) (*engine.Result, error) {
 	// Admission control: with a governor configured, every execution
 	// first claims a slot (possibly queueing, possibly being shed with
 	// qerr.ErrOverload) and draws its memory from the shared ledger. A
@@ -442,7 +442,7 @@ func (p *Prepared) ExplainAnalyze(st *obs.RunStats) string {
 // Analyze executes the prepared plan with statistics collection forced on
 // (regardless of Config.Collect) and returns the result alongside the
 // annotated plan text. It is the engine behind `exrquy -analyze`.
-func (p *Prepared) Analyze(ctx context.Context, store *xmltree.Store, docs map[string]uint32) (*engine.Result, string, error) {
+func (p *Prepared) Analyze(ctx context.Context, store *xmltree.Store, docs map[string][]uint32) (*engine.Result, string, error) {
 	q := *p
 	q.cfg.Collect = true
 	res, err := q.RunContext(ctx, store, docs)

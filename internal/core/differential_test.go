@@ -197,16 +197,16 @@ var diffCases = []diffCase{
 	{name: "percontext-vs-filter", query: bindT + `(count($t//c[1]), count(($t//c)[1]))`},
 }
 
-func buildStore(t *testing.T) (*xmltree.Store, map[string]uint32) {
+func buildStore(t *testing.T) (*xmltree.Store, map[string][]uint32) {
 	t.Helper()
 	store := xmltree.NewStore()
-	docs := make(map[string]uint32)
+	docs := make(map[string][]uint32)
 	for name, src := range diffDocs {
 		f, err := xmltree.ParseString(src, name, xmltree.ParseOptions{})
 		if err != nil {
 			t.Fatalf("parse %s: %v", name, err)
 		}
-		docs[name] = store.Add(f)
+		docs[name] = []uint32{store.Add(f)}
 	}
 	return store, docs
 }
@@ -227,7 +227,7 @@ func bagOf(t *testing.T, store *xmltree.Store, items []interface{ Serialize() (s
 	return out
 }
 
-func runInterp(t *testing.T, store *xmltree.Store, docs map[string]uint32, q string) (string, []string) {
+func runInterp(t *testing.T, store *xmltree.Store, docs map[string][]uint32, q string) (string, []string) {
 	t.Helper()
 	ip := interp.New(store, docs)
 	res, err := ip.EvalString(q)
@@ -251,7 +251,7 @@ func runInterp(t *testing.T, store *xmltree.Store, docs map[string]uint32, q str
 	return s, bag
 }
 
-func runPipeline(t *testing.T, store *xmltree.Store, docs map[string]uint32, q string, cfg Config) (string, []string) {
+func runPipeline(t *testing.T, store *xmltree.Store, docs map[string][]uint32, q string, cfg Config) (string, []string) {
 	t.Helper()
 	p, err := Prepare(q, cfg)
 	if err != nil {

@@ -234,7 +234,7 @@ func queryOrderSensitiveUnderUnordered(q string) bool {
 		strings.Contains(q, ")[1]")
 }
 
-func buildStoreWith(t *testing.T, extra map[string]string) (*xmltree.Store, map[string]uint32) {
+func buildStoreWith(t *testing.T, extra map[string]string) (*xmltree.Store, map[string][]uint32) {
 	t.Helper()
 	s, d := buildStore(t)
 	for name, src := range extra {
@@ -242,7 +242,7 @@ func buildStoreWith(t *testing.T, extra map[string]string) (*xmltree.Store, map[
 		if err != nil {
 			t.Fatal(err)
 		}
-		d[name] = s.Add(f)
+		d[name] = []uint32{s.Add(f)}
 	}
 	return s, d
 }
@@ -250,7 +250,7 @@ func buildStoreWith(t *testing.T, extra map[string]string) (*xmltree.Store, map[
 // tryInterp evaluates with the oracle, returning the serialized result
 // and per-item bag, or an error (dynamic errors are expected outcomes for
 // fuzzed queries).
-func tryInterp(store *xmltree.Store, docs map[string]uint32, q string) (string, []string, error) {
+func tryInterp(store *xmltree.Store, docs map[string][]uint32, q string) (string, []string, error) {
 	ip := interp.New(store, docs)
 	res, err := ip.EvalString(q)
 	if err != nil {
@@ -273,7 +273,7 @@ func tryInterp(store *xmltree.Store, docs map[string]uint32, q string) (string, 
 }
 
 // tryPipeline compiles and runs, returning result, bag, or error.
-func tryPipeline(store *xmltree.Store, docs map[string]uint32, q string, cfg Config) (string, []string, error) {
+func tryPipeline(store *xmltree.Store, docs map[string][]uint32, q string, cfg Config) (string, []string, error) {
 	p, err := Prepare(q, cfg)
 	if err != nil {
 		return "", nil, err

@@ -135,7 +135,7 @@ func TestCancelMidFlight(t *testing.T) {
 	}
 	store := xmltree.NewStore()
 	frag := xmark.Generate(xmark.Config{Factor: 0.1})
-	docs := map[string]uint32{"auction.xml": store.Add(frag)}
+	docs := map[string][]uint32{"auction.xml": {store.Add(frag)}}
 	// Q11 is a non-equi join that runs for multiple seconds at factor
 	// 0.1 — long enough that a 250ms cancellation is genuinely mid-flight.
 	q := xmarkq.Get(11).Text

@@ -113,10 +113,12 @@ func (r *Result) SerializeXML() (string, error) {
 }
 
 // Run evaluates the plan DAG rooted at root. docs maps fn:doc() URIs to
-// fragment ids in base; constructed fragments go to a derived store.
-// Run never panics: engine invariant violations tripped at runtime are
-// recovered and surface as qerr.ErrInternal.
-func Run(root *algebra.Node, base *xmltree.Store, docs map[string]uint32, opts Options) (res *Result, err error) {
+// fragment ids in base — one id for an ordinary document, several for a
+// sharded corpus (internal/store), whose parts fn:doc() returns as one
+// root sequence in part order; constructed fragments go to a derived
+// store. Run never panics: engine invariant violations tripped at
+// runtime are recovered and surface as qerr.ErrInternal.
+func Run(root *algebra.Node, base *xmltree.Store, docs map[string][]uint32, opts Options) (res *Result, err error) {
 	defer qerr.RecoverInto("execute", &err)
 	defer func() {
 		obs.QueriesTotal.Inc()
@@ -144,7 +146,7 @@ func Run(root *algebra.Node, base *xmltree.Store, docs map[string]uint32, opts O
 // single goroutine that walks the DAG.
 type Exec struct {
 	store     *xmltree.Store
-	docs      map[string]uint32
+	docs      map[string][]uint32
 	memo      map[*algebra.Node]*Table
 	prof      map[string]*ProfileEntry
 	ctx       context.Context
@@ -172,7 +174,7 @@ type Exec struct {
 }
 
 // NewExec prepares an execution over a derived store.
-func NewExec(base *xmltree.Store, docs map[string]uint32, opts Options) *Exec {
+func NewExec(base *xmltree.Store, docs map[string][]uint32, opts Options) *Exec {
 	ex := &Exec{
 		store:     base.Derive(),
 		docs:      docs,
@@ -619,12 +621,20 @@ func (ex *Exec) EvalOp(n *algebra.Node, ins []*Table) (*Table, error) {
 		return ex.evalStep(n, ins[0])
 
 	case algebra.OpDoc:
-		id, ok := ex.docs[n.URI]
+		ids, ok := ex.docs[n.URI]
 		if !ok {
 			return nil, ex.errf(n, "unknown document %q", n.URI)
 		}
+		// One row per registered root, in registration (shard part)
+		// order: downstream steps preserve this order, so a sharded
+		// corpus evaluates part-wise yet serializes identically to the
+		// unsharded document set.
+		roots := make([]xdm.NodeID, len(ids))
+		for i, id := range ids {
+			roots[i] = xdm.NodeID{Frag: id, Pre: 0}
+		}
 		t := NewTable([]string{"item"})
-		t.Data[0] = xdm.NodeColumn([]xdm.NodeID{{Frag: id, Pre: 0}})
+		t.Data[0] = xdm.NodeColumn(roots)
 		return t, nil
 
 	case algebra.OpElem:

@@ -12,21 +12,21 @@ import (
 )
 
 // testEnv builds a store with one document and a builder.
-func testEnv(t *testing.T, doc string) (*xmltree.Store, map[string]uint32, *algebra.Builder) {
+func testEnv(t *testing.T, doc string) (*xmltree.Store, map[string][]uint32, *algebra.Builder) {
 	t.Helper()
 	store := xmltree.NewStore()
-	docs := map[string]uint32{}
+	docs := map[string][]uint32{}
 	if doc != "" {
 		f, err := xmltree.ParseString(doc, "d.xml", xmltree.ParseOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		docs["d.xml"] = store.Add(f)
+		docs["d.xml"] = []uint32{store.Add(f)}
 	}
 	return store, docs, algebra.NewBuilder()
 }
 
-func run(t *testing.T, root *algebra.Node, store *xmltree.Store, docs map[string]uint32) *Table {
+func run(t *testing.T, root *algebra.Node, store *xmltree.Store, docs map[string][]uint32) *Table {
 	t.Helper()
 	ex := NewExec(store, docs, Options{})
 	tab, err := ex.Eval(root)

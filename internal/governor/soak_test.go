@@ -25,10 +25,10 @@ import (
 	"repro/internal/xmltree"
 )
 
-func soakEnv() (*xmltree.Store, map[string]uint32) {
+func soakEnv() (*xmltree.Store, map[string][]uint32) {
 	f := xmark.Generate(xmark.Config{Factor: 0.002})
 	store := xmltree.NewStore()
-	return store, map[string]uint32{"auction.xml": store.Add(f)}
+	return store, map[string][]uint32{"auction.xml": {store.Add(f)}}
 }
 
 func TestGovernorSoak(t *testing.T) {

@@ -73,11 +73,15 @@ func (st *evalState) evalFuncCall(e *xquery.FuncCall, en *env, c ctx) ([]xdm.Ite
 		if len(v) != 1 {
 			return nil, fmt.Errorf("interp: doc() expects a single URI")
 		}
-		id, ok := st.docs[v[0].StringValue()]
+		ids, ok := st.docs[v[0].StringValue()]
 		if !ok {
 			return nil, fmt.Errorf("interp: unknown document %q", v[0].StringValue())
 		}
-		return []xdm.Item{xdm.NewNode(xdm.NodeID{Frag: id, Pre: 0})}, nil
+		out := make([]xdm.Item, len(ids))
+		for i, id := range ids {
+			out[i] = xdm.NewNode(xdm.NodeID{Frag: id, Pre: 0})
+		}
+		return out, nil
 
 	case "count":
 		v, err := evalArg(0)

@@ -22,12 +22,13 @@ import (
 // Interp evaluates parsed queries against a set of named documents.
 type Interp struct {
 	base *xmltree.Store
-	docs map[string]uint32
+	docs map[string][]uint32
 }
 
 // New creates an interpreter over the given store; docs maps fn:doc()
-// URIs to fragment IDs registered in the store.
-func New(store *xmltree.Store, docs map[string]uint32) *Interp {
+// URIs to fragment IDs registered in the store — one id per document
+// root, several for a sharded corpus, returned by fn:doc() in order.
+func New(store *xmltree.Store, docs map[string][]uint32) *Interp {
 	return &Interp{base: store, docs: docs}
 }
 
@@ -48,7 +49,7 @@ func (r *Result) SerializeXML() (string, error) {
 // evalState carries per-evaluation mutable state.
 type evalState struct {
 	store *xmltree.Store
-	docs  map[string]uint32
+	docs  map[string][]uint32
 	funcs map[string]*xquery.FuncDecl
 	depth int
 }

@@ -15,13 +15,13 @@ import (
 func newTestInterp(t *testing.T, docs map[string]string) *Interp {
 	t.Helper()
 	store := xmltree.NewStore()
-	ids := make(map[string]uint32, len(docs))
+	ids := make(map[string][]uint32, len(docs))
 	for name, src := range docs {
 		f, err := xmltree.ParseString(src, name, xmltree.ParseOptions{})
 		if err != nil {
 			t.Fatalf("parse %s: %v", name, err)
 		}
-		ids[name] = store.Add(f)
+		ids[name] = []uint32{store.Add(f)}
 	}
 	return New(store, ids)
 }

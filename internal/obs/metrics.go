@@ -278,3 +278,25 @@ var (
 	// resilience.HTTPFaultPlan (zero in production).
 	HTTPFaultsInjected = Default.Counter("httpfault_injected_total")
 )
+
+// Out-of-core store metrics (internal/store): mmap'd columnar document
+// stores, their demand-paged residency, and ledger-pressure evictions.
+var (
+	// StoreMappedBytes gauges the bytes currently mmap'd across all open
+	// stores (the corpus footprint on the address space, not in RAM).
+	StoreMappedBytes = Default.Gauge("store_mapped_bytes")
+	// StoreResidentBytes gauges the mapped bytes resident in physical
+	// memory at the last residency sample (mincore).
+	StoreResidentBytes = Default.Gauge("store_resident_bytes")
+	// StorePageFaultsTotal counts pages observed newly resident between
+	// residency samples — a lower bound on major+minor faults served for
+	// store mappings (pages faulted and evicted between samples are
+	// invisible).
+	StorePageFaultsTotal = Default.Counter("store_page_faults_total")
+	// StoreEvictionsTotal counts ledger-pressure evictions: the residency
+	// sampler told the kernel to drop store pages (madvise DONTNEED)
+	// because the byte ledger could not cover what was resident.
+	StoreEvictionsTotal = Default.Counter("store_evictions_total")
+	// StorePartsOpen gauges the store part files currently mapped.
+	StorePartsOpen = Default.Gauge("store_parts_open")
+)

@@ -95,7 +95,7 @@ const (
 // and a panic inside a worker goroutine is recovered in the worker and
 // propagated as an error through the merge path (see runTasks), so a
 // poisoned morsel kernel fails the query instead of killing the process.
-func Run(root *algebra.Node, base *xmltree.Store, docs map[string]uint32, opts Options) (res *engine.Result, err error) {
+func Run(root *algebra.Node, base *xmltree.Store, docs map[string][]uint32, opts Options) (res *engine.Result, err error) {
 	defer qerr.RecoverInto("execute", &err)
 	w := opts.Workers
 	if w <= 0 {

@@ -18,11 +18,11 @@ import (
 	"repro/internal/xquery"
 )
 
-func xmarkEnv(t testing.TB, factor float64) (*xmltree.Store, map[string]uint32) {
+func xmarkEnv(t testing.TB, factor float64) (*xmltree.Store, map[string][]uint32) {
 	t.Helper()
 	store := xmltree.NewStore()
 	f := xmark.Generate(xmark.Config{Factor: factor})
-	return store, map[string]uint32{"auction.xml": store.Add(f)}
+	return store, map[string][]uint32{"auction.xml": {store.Add(f)}}
 }
 
 func serialize(t *testing.T, res *engine.Result) string {

@@ -25,6 +25,7 @@ const StatusClientClosedRequest = 499
 //	ErrCanceled     499  client went away mid-query
 //	ErrOverload     429  shed by admission control (send Retry-After)
 //	ErrRateLimited  429  per-client rate limit (send Retry-After)
+//	ErrCorrupt      500  on-disk store failed validation (server-side state)
 //	ErrInternal     500  recovered engine panic
 //	other *Error    400  classified dynamic failure (the request's fault)
 //	unclassified    500  the engine broke its own contract
@@ -52,6 +53,9 @@ func HTTPStatus(err error) int {
 		return StatusClientClosedRequest
 	case errors.Is(err, ErrOverload), errors.Is(err, ErrRateLimited):
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrCorrupt):
+		// Corrupt server-side state, not the request's fault.
+		return http.StatusInternalServerError
 	case errors.Is(err, ErrInternal):
 		return http.StatusInternalServerError
 	}
@@ -86,6 +90,8 @@ func Code(err error) string {
 		return "timeout"
 	case errors.Is(err, ErrCanceled):
 		return "canceled"
+	case errors.Is(err, ErrCorrupt):
+		return "corrupt_store"
 	case errors.Is(err, ErrInternal):
 		return "internal"
 	}

@@ -14,6 +14,8 @@
 //	ErrRateLimited  a per-client rate limit rejected the request (retryable;
 //	                RetryAfter from the token bucket's refill — distinct from
 //	                ErrOverload: over-budget vs. saturated)
+//	ErrCorrupt      an on-disk store failed validation (bad magic, version
+//	                skew, checksum mismatch, truncation)
 //
 // The carrier type Error attaches the pipeline phase, a source position
 // when one is known, and — for internal errors — the optimized plan dump
@@ -58,6 +60,12 @@ var (
 	// errors.Is keeps them distinguishable. Retryable, with the carrier's
 	// RetryAfter computed from the token bucket's refill time.
 	ErrRateLimited = errors.New("rate limited")
+	// ErrCorrupt marks an on-disk document store that failed structural
+	// validation when opened or mounted: truncated file, wrong magic,
+	// format version skew, or a section checksum mismatch. Not retryable
+	// — the bytes on disk are wrong and will stay wrong; the remedy is
+	// rebuilding the store.
+	ErrCorrupt = errors.New("corrupt store")
 )
 
 // IsRetryable reports whether err describes a transient condition that a

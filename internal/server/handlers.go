@@ -27,6 +27,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("PUT /documents/{name}", s.handlePutDocument)
 	s.mux.HandleFunc("DELETE /documents/{name}", s.handleDeleteDocument)
 	s.mux.HandleFunc("GET /documents", s.handleListDocuments)
+	s.storeRoutes()
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -61,6 +61,10 @@ type Config struct {
 	// (0 = serial, the default; -1 = GOMAXPROCS). The governor degrades
 	// parallel plans to serial under pressure either way.
 	Parallelism int
+	// StoreBudget gives attached on-disk stores a dedicated paging
+	// ledger of this many bytes (exrquy.WithStoreBudget). 0 means store
+	// residency is charged to the governor's shared ledger instead.
+	StoreBudget int64
 	// Timeout is the default per-request query deadline; 0 means 30 s.
 	Timeout time.Duration
 	// MaxTimeout caps the ?timeout= request parameter; 0 means 5 m.
@@ -163,6 +167,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.NoCompile {
 		opts = append(opts, exrquy.WithCompiled(false))
+	}
+	if cfg.StoreBudget > 0 {
+		opts = append(opts, exrquy.WithStoreBudget(cfg.StoreBudget))
 	}
 	s := &Server{
 		cfg:      cfg,

@@ -1,0 +1,456 @@
+// On-disk format of the columnar document store.
+//
+// A document's pre/size/level encoding is persisted as one or more part
+// files, each holding a contiguous preorder range of the node columns:
+//
+//	header   magic "XRQSTORE", format version, node count, global row
+//	         offset (rowLo), dictionary size, section table
+//	sections kind (1 B/node) · size/level/parent (int32 LE) ·
+//	         name ids (uint32 LE into the dictionary) ·
+//	         name dictionary ({u32 len, bytes} entries) ·
+//	         value offsets (uint64 LE, n+1 entries) · value heap
+//
+// Every section is 8-byte aligned (so mmap'd int32/uint64 columns alias
+// directly) and carries a CRC-32 (IEEE) verified at open. Fixed-width
+// integers are little-endian; the zero-copy open path additionally
+// assumes a little-endian host, like every target this repo builds for.
+//
+// A directory becomes a store through manifest.json, which lists the
+// documents and their parts. Sharding a document across N directories
+// just distributes its part files: part k of N holds preorder rows
+// [rowLo, rowLo+nodes), and mounting any grouping of directories that
+// covers all parts reassembles the identical document.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/qerr"
+	"repro/internal/xmltree"
+)
+
+const (
+	magic         = "XRQSTORE"
+	formatVersion = 1
+	numSections   = 8
+)
+
+// Section indices into the header's section table.
+const (
+	sKind = iota
+	sSize
+	sLevel
+	sParent
+	sNameID
+	sDict
+	sValOff
+	sValHeap
+)
+
+// headerSize is the fixed byte length of the part-file header:
+// magic(8) + version(4) + sections(4) + nodes(8) + rowLo(8) + dict(8)
+// + table(numSections × 24).
+const headerSize = 8 + 4 + 4 + 8 + 8 + 8 + numSections*24
+
+// ManifestName is the per-directory store manifest file.
+const ManifestName = "manifest.json"
+
+type section struct {
+	off uint64
+	len uint64
+	crc uint32
+}
+
+type header struct {
+	nodes uint64
+	rowLo uint64
+	dictN uint64
+	secs  [numSections]section
+}
+
+// corruptf classifies a structural store failure under qerr.ErrCorrupt
+// (phase "mount"), so serving layers answer 500/"corrupt_store" instead
+// of crashing or mis-blaming the request.
+func corruptf(format string, args ...any) error {
+	return qerr.Newf(qerr.ErrCorrupt, "mount", "store: "+format, args...)
+}
+
+// manifest is the JSON document listing a directory's store contents.
+type manifest struct {
+	Format int           `json:"format"`
+	Docs   []manifestDoc `json:"docs"`
+}
+
+type manifestDoc struct {
+	URI   string         `json:"uri"`
+	Parts []manifestPart `json:"parts"`
+}
+
+type manifestPart struct {
+	File  string `json:"file"`
+	Index int    `json:"index"`
+	Of    int    `json:"of"`
+	Nodes int64  `json:"nodes"`
+}
+
+func readManifest(dir string) (*manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, corruptf("%s: not a store directory (no %s)", dir, ManifestName)
+		}
+		return nil, fmt.Errorf("store: %s: %w", dir, err)
+	}
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, corruptf("%s: unreadable manifest: %v", dir, err)
+	}
+	if m.Format != formatVersion {
+		return nil, corruptf("%s: manifest format %d, this build reads %d", dir, m.Format, formatVersion)
+	}
+	return &m, nil
+}
+
+func writeManifest(dir string, m *manifest) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, ManifestName+".tmp")
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, ManifestName))
+}
+
+// partFileName derives a filesystem-safe part file name from a doc URI.
+func partFileName(uri string, index int) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, uri)
+	return fmt.Sprintf("%s.part%03d.xrq", safe, index)
+}
+
+// WriteDoc persists frag as the parts of uri, one part per directory:
+// len(dirs) == 1 writes a single-part (unsharded) store, N directories
+// shard the document by equal preorder ranges. Directories are created
+// as needed; each directory's manifest is updated (it is an error if it
+// already lists uri).
+func WriteDoc(dirs []string, uri string, frag *xmltree.Fragment) error {
+	n := frag.Len()
+	if n == 0 {
+		return fmt.Errorf("store: refusing to write empty document %q", uri)
+	}
+	parts := len(dirs)
+	if parts < 1 {
+		return fmt.Errorf("store: no target directories")
+	}
+	for k, dir := range dirs {
+		lo, hi := k*n/parts, (k+1)*n/parts
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		m := &manifest{Format: formatVersion}
+		if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
+			var merr error
+			m, merr = readManifest(dir)
+			if merr != nil {
+				return merr
+			}
+			for _, d := range m.Docs {
+				if d.URI == uri {
+					return fmt.Errorf("store: %s already holds parts of %q", dir, uri)
+				}
+			}
+		}
+		file := partFileName(uri, k)
+		if err := writePart(filepath.Join(dir, file), frag, lo, hi); err != nil {
+			return err
+		}
+		m.Docs = append(m.Docs, manifestDoc{URI: uri, Parts: []manifestPart{{
+			File: file, Index: k, Of: parts, Nodes: int64(hi - lo),
+		}}})
+		if err := writeManifest(dir, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePart writes rows [lo, hi) of frag as one part file. The section
+// table is patched into the header after the sections (and their CRCs)
+// have streamed out.
+func writePart(path string, frag *xmltree.Fragment, lo, hi int) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+
+	n := hi - lo
+	// Per-part name dictionary, in first-use order.
+	dictIdx := make(map[string]uint32)
+	var dict []string
+	nameID := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		nm := frag.Name[lo+i]
+		id, ok := dictIdx[nm]
+		if !ok {
+			id = uint32(len(dict))
+			dictIdx[nm] = id
+			dict = append(dict, nm)
+		}
+		nameID[i] = id
+	}
+
+	w := &partWriter{f: f, off: headerSize}
+	if err := w.seekPastHeader(); err != nil {
+		return err
+	}
+
+	var hdr header
+	hdr.nodes = uint64(n)
+	hdr.rowLo = uint64(lo)
+	hdr.dictN = uint64(len(dict))
+
+	// kind: one byte per node.
+	w.begin(&hdr.secs[sKind])
+	for i := lo; i < hi; i++ {
+		w.byte(byte(frag.Kind[i]))
+	}
+	w.end(&hdr.secs[sKind])
+
+	for si, col := range [][]int32{frag.Size, frag.Level, frag.Parent} {
+		s := &hdr.secs[sSize+si]
+		w.begin(s)
+		for i := lo; i < hi; i++ {
+			w.u32(uint32(col[i]))
+		}
+		w.end(s)
+	}
+
+	w.begin(&hdr.secs[sNameID])
+	for _, id := range nameID {
+		w.u32(id)
+	}
+	w.end(&hdr.secs[sNameID])
+
+	w.begin(&hdr.secs[sDict])
+	for _, s := range dict {
+		w.u32(uint32(len(s)))
+		w.bytes([]byte(s))
+	}
+	w.end(&hdr.secs[sDict])
+
+	w.begin(&hdr.secs[sValOff])
+	off := uint64(0)
+	w.u64(0)
+	for i := lo; i < hi; i++ {
+		off += uint64(len(frag.Value[i]))
+		w.u64(off)
+	}
+	w.end(&hdr.secs[sValOff])
+
+	w.begin(&hdr.secs[sValHeap])
+	for i := lo; i < hi; i++ {
+		w.bytes([]byte(frag.Value[i]))
+	}
+	w.end(&hdr.secs[sValHeap])
+
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.flush(); err != nil {
+		return err
+	}
+	// Patch the now-complete header over the zeroes written first.
+	hb := make([]byte, headerSize)
+	copy(hb, magic)
+	binary.LittleEndian.PutUint32(hb[8:], formatVersion)
+	binary.LittleEndian.PutUint32(hb[12:], numSections)
+	binary.LittleEndian.PutUint64(hb[16:], hdr.nodes)
+	binary.LittleEndian.PutUint64(hb[24:], hdr.rowLo)
+	binary.LittleEndian.PutUint64(hb[32:], hdr.dictN)
+	for i, s := range hdr.secs {
+		base := 40 + i*24
+		binary.LittleEndian.PutUint64(hb[base:], s.off)
+		binary.LittleEndian.PutUint64(hb[base+8:], s.len)
+		binary.LittleEndian.PutUint32(hb[base+16:], s.crc)
+	}
+	_, err = f.WriteAt(hb, 0)
+	return err
+}
+
+// partWriter streams section bytes with running CRC and 8-byte section
+// alignment, through a fixed buffer so a multi-GB part never needs a
+// section-sized allocation.
+type partWriter struct {
+	f   *os.File
+	buf [1 << 16]byte
+	n   int
+	off uint64
+	crc uint32
+	err error
+}
+
+func (w *partWriter) seekPastHeader() error {
+	var zero [headerSize]byte
+	_, err := w.f.Write(zero[:])
+	return err
+}
+
+func (w *partWriter) flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.n > 0 {
+		if _, err := w.f.Write(w.buf[:w.n]); err != nil {
+			w.err = err
+			return err
+		}
+		w.n = 0
+	}
+	return nil
+}
+
+func (w *partWriter) bytes(b []byte) {
+	if w.err != nil {
+		return
+	}
+	w.crc = crc32.Update(w.crc, crc32.IEEETable, b)
+	w.off += uint64(len(b))
+	for len(b) > 0 {
+		c := copy(w.buf[w.n:], b)
+		w.n += c
+		b = b[c:]
+		if w.n == len(w.buf) {
+			if w.flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+func (w *partWriter) byte(b byte) { w.bytes([]byte{b}) }
+
+func (w *partWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.bytes(b[:])
+}
+
+func (w *partWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.bytes(b[:])
+}
+
+// begin pads to 8-byte alignment and records the section start.
+func (w *partWriter) begin(s *section) {
+	var pad [8]byte
+	if r := w.off % 8; r != 0 {
+		// Padding is outside every section: written with the previous
+		// section's crc state already captured and the next one not yet
+		// started.
+		w.crc = 0 // reset before the pad so it doesn't leak into the crc
+		if w.err == nil {
+			b := pad[:8-r]
+			w.off += uint64(len(b))
+			for len(b) > 0 {
+				c := copy(w.buf[w.n:], b)
+				w.n += c
+				b = b[c:]
+				if w.n == len(w.buf) {
+					if w.flush() != nil {
+						return
+					}
+				}
+			}
+		}
+	}
+	w.crc = 0
+	s.off = w.off
+}
+
+// end records the section length and CRC.
+func (w *partWriter) end(s *section) {
+	s.len = w.off - s.off
+	s.crc = w.crc
+}
+
+// parseHeader validates the fixed header of a mapped part file against
+// the file's actual size, classifying every violation as ErrCorrupt.
+func parseHeader(path string, data []byte) (header, error) {
+	var h header
+	if len(data) < headerSize {
+		return h, corruptf("%s: truncated: %d bytes, header needs %d", path, len(data), headerSize)
+	}
+	if string(data[:8]) != magic {
+		return h, corruptf("%s: bad magic %q", path, data[:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != formatVersion {
+		return h, corruptf("%s: format version %d, this build reads %d", path, v, formatVersion)
+	}
+	if s := binary.LittleEndian.Uint32(data[12:]); s != numSections {
+		return h, corruptf("%s: %d sections, expected %d", path, s, numSections)
+	}
+	h.nodes = binary.LittleEndian.Uint64(data[16:])
+	h.rowLo = binary.LittleEndian.Uint64(data[24:])
+	h.dictN = binary.LittleEndian.Uint64(data[32:])
+	size := uint64(len(data))
+	for i := range h.secs {
+		base := 40 + i*24
+		h.secs[i].off = binary.LittleEndian.Uint64(data[base:])
+		h.secs[i].len = binary.LittleEndian.Uint64(data[base+8:])
+		h.secs[i].crc = binary.LittleEndian.Uint32(data[base+16:])
+		s := h.secs[i]
+		if s.off < headerSize || s.off > size || s.len > size-s.off {
+			return h, corruptf("%s: section %d [%d,+%d) outside file of %d bytes (truncated?)",
+				path, i, s.off, s.len, size)
+		}
+		if s.off%8 != 0 {
+			return h, corruptf("%s: section %d misaligned at %d", path, i, s.off)
+		}
+	}
+	n := h.nodes
+	for i, want := range []uint64{n, 4 * n, 4 * n, 4 * n, 4 * n} {
+		if h.secs[i].len != want {
+			return h, corruptf("%s: section %d holds %d bytes, %d nodes need %d",
+				path, i, h.secs[i].len, n, want)
+		}
+	}
+	if h.secs[sValOff].len != 8*(n+1) {
+		return h, corruptf("%s: value offsets hold %d bytes, %d nodes need %d",
+			path, h.secs[sValOff].len, n, 8*(n+1))
+	}
+	return h, nil
+}
+
+// verifySections checks every section CRC. It touches every page of the
+// mapping; callers drop the page cache afterwards so verification does
+// not pin the whole corpus resident.
+func verifySections(path string, data []byte, h header) error {
+	for i, s := range h.secs {
+		got := crc32.ChecksumIEEE(data[s.off : s.off+s.len])
+		if got != s.crc {
+			return corruptf("%s: section %d checksum mismatch (%08x != %08x)", path, i, got, s.crc)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+//go:build linux
+
+package store
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+func pageSize() int { return os.Getpagesize() }
+
+// mapFile maps the whole file shared read-only. An empty file maps to an
+// empty slice (the header parser then reports the truncation).
+func mapFile(f *os.File) ([]byte, bool, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	if st.Size() == 0 {
+		return nil, true, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func unmapFile(data []byte, mapped bool) {
+	if mapped && len(data) > 0 {
+		_ = syscall.Munmap(data)
+	}
+}
+
+// residentBytes reports how many of the mapping's bytes are currently in
+// physical memory, via mincore. On any failure it conservatively reports
+// the full mapping.
+func residentBytes(data []byte, mapped bool) int64 {
+	if len(data) == 0 {
+		return 0
+	}
+	if !mapped {
+		return int64(len(data))
+	}
+	ps := pageSize()
+	pages := (len(data) + ps - 1) / ps
+	vec := make([]byte, pages)
+	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE,
+		uintptr(unsafe.Pointer(&data[0])), uintptr(len(data)), uintptr(unsafe.Pointer(&vec[0])))
+	if errno != 0 {
+		return int64(len(data))
+	}
+	n := 0
+	for _, v := range vec {
+		if v&1 != 0 {
+			n++
+		}
+	}
+	res := int64(n) * int64(ps)
+	if res > int64(len(data)) {
+		res = int64(len(data))
+	}
+	return res
+}
+
+// posixFadvDontneed is POSIX_FADV_DONTNEED (not exported by syscall).
+const posixFadvDontneed = 4
+
+// dropPages asks the kernel to evict the mapping's pages. For a shared
+// file mapping, madvise(MADV_DONTNEED) alone drops the PTEs but leaves
+// the pages in the page cache — mincore would still count them resident
+// — so it is paired with fadvise(POSIX_FADV_DONTNEED) on the backing
+// file, which actually releases the cache. Purely advisory on both
+// counts: failure means pages stay warm, never that data is lost.
+func dropPages(f *os.File, data []byte, mapped bool) {
+	if !mapped || len(data) == 0 || f == nil {
+		return
+	}
+	_ = syscall.Madvise(data, syscall.MADV_DONTNEED)
+	_, _, _ = syscall.Syscall6(syscall.SYS_FADVISE64,
+		f.Fd(), 0, uintptr(len(data)), posixFadvDontneed, 0, 0)
+}

@@ -1,0 +1,27 @@
+//go:build !linux
+
+package store
+
+import (
+	"io"
+	"os"
+)
+
+func pageSize() int { return os.Getpagesize() }
+
+// mapFile reads the whole file into memory — the portable fallback for
+// hosts without the linux mmap/mincore path. Out-of-core behavior
+// degrades to in-core; correctness is unchanged.
+func mapFile(f *os.File) ([]byte, bool, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+func unmapFile(data []byte, mapped bool) {}
+
+func residentBytes(data []byte, mapped bool) int64 { return int64(len(data)) }
+
+func dropPages(f *os.File, data []byte, mapped bool) {}

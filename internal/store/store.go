@@ -1,0 +1,468 @@
+// Store opening and runtime: mmap the part files of one or more store
+// directories, reassemble each document's columns into an
+// xmltree.Fragment whose string payloads alias the mappings (zero-copy,
+// demand-paged), and mirror sampled page residency into an xdm.Ledger
+// account so a multi-gigabyte corpus competes for the same byte budget
+// as query intermediates — under pressure the sampler evicts store
+// pages instead of failing queries.
+package store
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"unsafe"
+
+	"repro/internal/obs"
+	"repro/internal/xdm"
+	"repro/internal/xmltree"
+)
+
+// Options configures Open.
+type Options struct {
+	// Ledger, when set, receives the store's sampled mmap residency as a
+	// long-lived account (the fixed in-heap spine, Stats.SpineBytes, is
+	// reported but not charged — see Sample). Reservations that the
+	// ledger cannot cover trigger page eviction, never an error — paging
+	// pressure must degrade locality, not availability.
+	Ledger *xdm.Ledger
+}
+
+// part is one mapped part file.
+type part struct {
+	path   string
+	uri    string
+	index  int
+	of     int
+	f      *os.File
+	data   []byte
+	mapped bool // data is an mmap (not the read-whole-file fallback)
+	hdr    header
+
+	lastResident int64 // bytes resident at the previous Sample
+}
+
+// DocEntry is one document reassembled from its parts.
+type DocEntry struct {
+	URI   string
+	Frag  *xmltree.Fragment
+	Parts int
+}
+
+// Store is a set of documents served from mmap'd part files. The
+// fragments returned by Docs alias the mappings; they are valid until
+// Close.
+type Store struct {
+	mu    sync.Mutex
+	parts []*part
+	docs  []DocEntry
+	acct  *xdm.Account
+
+	mappedBytes   int64
+	residentBytes int64
+	spineBytes    int64
+	closed        bool
+}
+
+// Open mounts the stores in dirs as one corpus. A document sharded
+// across several directories is reassembled as long as the given dirs
+// jointly cover all of its parts exactly once. Structural failures
+// (missing or partial part sets, bad magic, version skew, checksum
+// mismatches, truncation, invalid tree encodings) are classified under
+// qerr.ErrCorrupt.
+func Open(dirs []string, opts Options) (st *Store, err error) {
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("store: no directories to open")
+	}
+	type partRef struct {
+		dir string
+		mp  manifestPart
+	}
+	byURI := make(map[string][]partRef)
+	var uris []string // first-appearance order
+	for _, dir := range dirs {
+		m, err := readManifest(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range m.Docs {
+			if _, seen := byURI[d.URI]; !seen {
+				uris = append(uris, d.URI)
+			}
+			for _, p := range d.Parts {
+				byURI[d.URI] = append(byURI[d.URI], partRef{dir: dir, mp: p})
+			}
+		}
+	}
+
+	st = &Store{}
+	defer func() {
+		if err != nil {
+			st.Close()
+			st = nil
+		}
+	}()
+
+	for _, uri := range uris {
+		refs := byURI[uri]
+		of := refs[0].mp.Of
+		if of < 1 {
+			return nil, corruptf("%s: part count %d", uri, of)
+		}
+		seen := make([]bool, of)
+		for _, r := range refs {
+			if r.mp.Of != of {
+				return nil, corruptf("%s: directories disagree on part count (%d vs %d)", uri, r.mp.Of, of)
+			}
+			if r.mp.Index < 0 || r.mp.Index >= of {
+				return nil, corruptf("%s: part index %d out of range [0,%d)", uri, r.mp.Index, of)
+			}
+			if seen[r.mp.Index] {
+				return nil, corruptf("%s: part %d mounted twice", uri, r.mp.Index)
+			}
+			seen[r.mp.Index] = true
+		}
+		for i, ok := range seen {
+			if !ok {
+				return nil, corruptf("%s: part %d/%d missing from the mounted directories", uri, i, of)
+			}
+		}
+		sort.Slice(refs, func(i, j int) bool { return refs[i].mp.Index < refs[j].mp.Index })
+
+		docParts := make([]*part, 0, of)
+		rows := uint64(0)
+		for _, r := range refs {
+			path := filepath.Join(r.dir, r.mp.File)
+			p, perr := openPart(path, uri, r.mp)
+			if perr != nil {
+				return nil, perr
+			}
+			st.parts = append(st.parts, p)
+			st.mappedBytes += int64(len(p.data))
+			if p.hdr.rowLo != rows {
+				return nil, corruptf("%s: part %d starts at row %d, expected %d", path, p.index, p.hdr.rowLo, rows)
+			}
+			rows += p.hdr.nodes
+			docParts = append(docParts, p)
+		}
+		frag, ferr := assembleDoc(uri, docParts)
+		if ferr != nil {
+			return nil, ferr
+		}
+		st.docs = append(st.docs, DocEntry{URI: uri, Frag: frag, Parts: of})
+		// Nominal in-heap spine: the Name/Value string headers (16 B
+		// each) every mount materializes, plus the copied int columns
+		// (13 B/node) when the doc is sharded and its columns cannot
+		// alias a single mapping.
+		per := int64(32)
+		if of > 1 {
+			per += 13
+		}
+		st.spineBytes += per * int64(frag.Len())
+	}
+
+	obs.StorePartsOpen.Add(int64(len(st.parts)))
+	obs.StoreMappedBytes.Add(st.mappedBytes)
+	// Verification touched every page; start cold so residency reflects
+	// query access, not mount-time checksumming.
+	for _, p := range st.parts {
+		dropPages(p.f, p.data, p.mapped)
+	}
+	if opts.Ledger != nil {
+		st.acct = opts.Ledger.NewAccount(0)
+	}
+	st.Sample()
+	return st, nil
+}
+
+// openPart maps one part file and validates header, manifest agreement
+// and section checksums.
+func openPart(path, uri string, mp manifestPart) (*part, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, corruptf("%s: part file missing", path)
+		}
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	data, mapped, err := mapFile(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	p := &part{path: path, uri: uri, index: mp.Index, of: mp.Of, f: f, data: data, mapped: mapped}
+	h, err := parseHeader(path, data)
+	if err != nil {
+		p.close()
+		return nil, err
+	}
+	if int64(h.nodes) != mp.Nodes {
+		p.close()
+		return nil, corruptf("%s: holds %d nodes, manifest says %d", path, h.nodes, mp.Nodes)
+	}
+	if err := verifySections(path, data, h); err != nil {
+		p.close()
+		return nil, err
+	}
+	p.hdr = h
+	return p, nil
+}
+
+func (p *part) close() {
+	unmapFile(p.data, p.mapped)
+	p.data = nil
+	if p.f != nil {
+		p.f.Close()
+		p.f = nil
+	}
+}
+
+// sec returns the bytes of section i of the part.
+func (p *part) sec(i int) []byte {
+	s := p.hdr.secs[i]
+	return p.data[s.off : s.off+s.len]
+}
+
+// assembleDoc rebuilds one document's Fragment from its parts (already
+// in index order, row-contiguous). For a single-part document the int
+// columns alias the mapping directly; a sharded document concatenates
+// them into heap slices. Value strings always alias the part mappings —
+// the text payload, which dominates corpus bytes, stays demand-paged
+// either way.
+func assembleDoc(uri string, parts []*part) (*xmltree.Fragment, error) {
+	total := uint64(0)
+	for _, p := range parts {
+		total += p.hdr.nodes
+	}
+	if total == 0 {
+		return nil, corruptf("%s: document has no nodes", uri)
+	}
+	if total > math.MaxInt32 {
+		return nil, corruptf("%s: %d nodes exceed the fragment encoding's int32 preorder", uri, total)
+	}
+	n := int(total)
+	frag := &xmltree.Fragment{Name_: uri}
+
+	if len(parts) == 1 {
+		p := parts[0]
+		frag.Kind = unsafe.Slice((*xmltree.NodeKind)(unsafe.Pointer(&p.sec(sKind)[0])), n)
+		frag.Size = unsafe.Slice((*int32)(unsafe.Pointer(&p.sec(sSize)[0])), n)
+		frag.Level = unsafe.Slice((*int32)(unsafe.Pointer(&p.sec(sLevel)[0])), n)
+		frag.Parent = unsafe.Slice((*int32)(unsafe.Pointer(&p.sec(sParent)[0])), n)
+	} else {
+		frag.Kind = make([]xmltree.NodeKind, n)
+		frag.Size = make([]int32, n)
+		frag.Level = make([]int32, n)
+		frag.Parent = make([]int32, n)
+		for _, p := range parts {
+			lo, pn := int(p.hdr.rowLo), int(p.hdr.nodes)
+			if pn == 0 {
+				continue
+			}
+			copy(frag.Kind[lo:], unsafe.Slice((*xmltree.NodeKind)(unsafe.Pointer(&p.sec(sKind)[0])), pn))
+			copy(frag.Size[lo:], unsafe.Slice((*int32)(unsafe.Pointer(&p.sec(sSize)[0])), pn))
+			copy(frag.Level[lo:], unsafe.Slice((*int32)(unsafe.Pointer(&p.sec(sLevel)[0])), pn))
+			copy(frag.Parent[lo:], unsafe.Slice((*int32)(unsafe.Pointer(&p.sec(sParent)[0])), pn))
+		}
+	}
+
+	frag.Name = make([]string, n)
+	frag.Value = make([]string, n)
+	for _, p := range parts {
+		if p.hdr.nodes == 0 {
+			continue
+		}
+		dict, err := decodeDict(p)
+		if err != nil {
+			return nil, err
+		}
+		lo, pn := int(p.hdr.rowLo), int(p.hdr.nodes)
+		nameID := unsafe.Slice((*uint32)(unsafe.Pointer(&p.sec(sNameID)[0])), pn)
+		for i := 0; i < pn; i++ {
+			id := nameID[i]
+			if id >= uint32(len(dict)) {
+				return nil, corruptf("%s: node %d names dictionary entry %d of %d", p.path, lo+i, id, len(dict))
+			}
+			frag.Name[lo+i] = dict[id]
+		}
+		valOff := unsafe.Slice((*uint64)(unsafe.Pointer(&p.sec(sValOff)[0])), pn+1)
+		heap := p.sec(sValHeap)
+		if valOff[0] != 0 || valOff[pn] != uint64(len(heap)) {
+			return nil, corruptf("%s: value offsets [%d..%d] do not span the %d-byte heap",
+				p.path, valOff[0], valOff[pn], len(heap))
+		}
+		for i := 0; i < pn; i++ {
+			o, e := valOff[i], valOff[i+1]
+			if e < o || e > uint64(len(heap)) {
+				return nil, corruptf("%s: node %d value span [%d,%d) invalid", p.path, lo+i, o, e)
+			}
+			if e > o {
+				frag.Value[lo+i] = unsafe.String(&heap[o], int(e-o))
+			}
+		}
+	}
+
+	if err := xmltree.Validate(frag); err != nil {
+		return nil, corruptf("%s: invalid tree encoding: %v", uri, err)
+	}
+	return frag, nil
+}
+
+// decodeDict materializes a part's name dictionary (names are few and
+// hot; copying them off the mapping keeps Name lookups fault-free).
+func decodeDict(p *part) ([]string, error) {
+	b := p.sec(sDict)
+	dict := make([]string, 0, p.hdr.dictN)
+	for i := uint64(0); i < p.hdr.dictN; i++ {
+		if len(b) < 4 {
+			return nil, corruptf("%s: dictionary truncated at entry %d", p.path, i)
+		}
+		l := int(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
+		b = b[4:]
+		if l < 0 || l > len(b) {
+			return nil, corruptf("%s: dictionary entry %d length %d exceeds section", p.path, i, l)
+		}
+		dict = append(dict, string(b[:l]))
+		b = b[l:]
+	}
+	return dict, nil
+}
+
+// Docs returns the mounted documents in mount order.
+func (s *Store) Docs() []DocEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]DocEntry(nil), s.docs...)
+}
+
+// PartInfo describes one mapped part file for observability.
+type PartInfo struct {
+	URI           string `json:"uri"`
+	Path          string `json:"path"`
+	Index         int    `json:"index"`
+	Of            int    `json:"of"`
+	Nodes         int64  `json:"nodes"`
+	MappedBytes   int64  `json:"mapped_bytes"`
+	ResidentBytes int64  `json:"resident_bytes"`
+}
+
+// StatsSnapshot is a point-in-time view of the store's footprint.
+type StatsSnapshot struct {
+	Docs          []string   `json:"docs"`
+	Parts         []PartInfo `json:"parts"`
+	MappedBytes   int64      `json:"mapped_bytes"`
+	ResidentBytes int64      `json:"resident_bytes"`
+	SpineBytes    int64      `json:"spine_bytes"`
+}
+
+// Stats reports the store's documents, parts and footprint as of the
+// last Sample.
+func (s *Store) Stats() StatsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := StatsSnapshot{
+		MappedBytes:   s.mappedBytes,
+		ResidentBytes: s.residentBytes,
+		SpineBytes:    s.spineBytes,
+	}
+	for _, d := range s.docs {
+		out.Docs = append(out.Docs, d.URI)
+	}
+	for _, p := range s.parts {
+		out.Parts = append(out.Parts, PartInfo{
+			URI: p.uri, Path: p.path, Index: p.index, Of: p.of,
+			Nodes: int64(p.hdr.nodes), MappedBytes: int64(len(p.data)),
+			ResidentBytes: p.lastResident,
+		})
+	}
+	return out
+}
+
+// Sample measures page residency across the store's mappings, updates
+// the store metrics, and mirrors the footprint (resident + spine) into
+// the ledger account. When the ledger cannot cover the footprint the
+// sampler evicts store pages (madvise/fadvise DONTNEED) and re-measures:
+// queries then fault their working set back in page by page, but a
+// store under memory pressure never fails — it just runs colder.
+// Returns the mapped and resident byte totals.
+func (s *Store) Sample() (mapped, resident int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, 0
+	}
+	resident = s.sampleLocked()
+	if s.acct != nil {
+		// Only the evictable mmap residency is charged — the in-heap
+		// spine (Stats.SpineBytes) is a fixed floor the sampler cannot
+		// shed, so charging it would let a large corpus starve every
+		// query of the budget it shares with them. The floor is reported
+		// instead of charged; size ledgers above it.
+		delta := resident - s.acct.Used()
+		if delta > 0 {
+			if over := s.acct.Reserve(delta); over != nil {
+				// Ledger pressure: drop store pages and charge only what
+				// is still resident after eviction. Reserve-best-effort —
+				// deliberately no error path.
+				obs.StoreEvictionsTotal.Inc()
+				for _, p := range s.parts {
+					dropPages(p.f, p.data, p.mapped)
+				}
+				resident = s.sampleLocked()
+				if delta = resident - s.acct.Used(); delta > 0 {
+					s.acct.Reserve(delta) // may fail again; resident stays undercharged
+				} else if delta < 0 {
+					s.acct.Release(-delta)
+				}
+			}
+		} else if delta < 0 {
+			s.acct.Release(-delta)
+		}
+	}
+	return s.mappedBytes, resident
+}
+
+// sampleLocked refreshes per-part residency, counts fault deltas, and
+// updates the gauges. Caller holds s.mu.
+func (s *Store) sampleLocked() int64 {
+	total := int64(0)
+	ps := int64(pageSize())
+	for _, p := range s.parts {
+		res := residentBytes(p.data, p.mapped)
+		if res > p.lastResident {
+			obs.StorePageFaultsTotal.Add((res - p.lastResident + ps - 1) / ps)
+		}
+		p.lastResident = res
+		total += res
+	}
+	obs.StoreResidentBytes.Add(total - s.residentBytes)
+	s.residentBytes = total
+	return total
+}
+
+// Close unmaps every part and releases the ledger account. The
+// fragments returned by Docs alias the mappings and must not be read
+// afterwards.
+func (s *Store) Close() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	obs.StorePartsOpen.Add(-int64(len(s.parts)))
+	obs.StoreMappedBytes.Add(-s.mappedBytes)
+	obs.StoreResidentBytes.Add(-s.residentBytes)
+	for _, p := range s.parts {
+		p.close()
+	}
+	if s.acct != nil {
+		s.acct.Close()
+	}
+}

@@ -163,7 +163,7 @@ func Compile(root *algebra.Node) *Program {
 		return &frame{
 			regs:    make([]*engine.Table, p.nregs),
 			colRefs: make(map[*xdm.Column]int, p.nregs*2),
-			docID:   make([]uint32, len(p.docs)),
+			docIDs:  make([][]uint32, len(p.docs)),
 			docOK:   make([]bool, len(p.docs)),
 		}
 	}

@@ -50,7 +50,7 @@ type Options struct {
 type frame struct {
 	regs    []*engine.Table
 	colRefs map[*xdm.Column]int
-	docID   []uint32
+	docIDs  [][]uint32
 	docOK   []bool
 	scratch []*engine.Table
 
@@ -81,7 +81,7 @@ func (f *frame) inputs(ins *instr) []*engine.Table {
 // compile time, which is what makes cached programs safe across
 // document reloads), constructed fragments go to a derived store. Run
 // never panics: invariant violations surface as qerr.ErrInternal.
-func Run(p *Program, base *xmltree.Store, docs map[string]uint32, opts Options) (res *engine.Result, err error) {
+func Run(p *Program, base *xmltree.Store, docs map[string][]uint32, opts Options) (res *engine.Result, err error) {
 	defer qerr.RecoverInto("execute", &err)
 	defer func() {
 		obs.QueriesTotal.Inc()
@@ -106,11 +106,11 @@ func Run(p *Program, base *xmltree.Store, docs map[string]uint32, opts Options) 
 // the parallel executor (fork/join) do per node, so budgets, EXPLAIN
 // ANALYZE and profiles are indistinguishable between walked and compiled
 // runs.
-func (p *Program) exec(ex *engine.Exec, docs map[string]uint32, opts Options) (*engine.Table, error) {
+func (p *Program) exec(ex *engine.Exec, docs map[string][]uint32, opts Options) (*engine.Table, error) {
 	f := p.frames.Get().(*frame)
 	defer p.putFrame(f)
 	for i, uri := range p.docs {
-		f.docID[i], f.docOK[i] = docs[uri]
+		f.docIDs[i], f.docOK[i] = docs[uri]
 	}
 	for ii := range p.instrs {
 		ins := &p.instrs[ii]
@@ -279,7 +279,12 @@ func (p *Program) runKernel(ex *engine.Exec, f *frame, ins *instr, ts []*engine.
 		if !f.docOK[ins.slot] {
 			return nil, ex.Errf(n, "unknown document %q", n.URI)
 		}
-		col := xdm.NodeColumn([]xdm.NodeID{{Frag: f.docID[ins.slot], Pre: 0}})
+		ids := f.docIDs[ins.slot]
+		roots := make([]xdm.NodeID, len(ids))
+		for i, id := range ids {
+			roots[i] = xdm.NodeID{Frag: id, Pre: 0}
+		}
+		col := xdm.NodeColumn(roots)
 		return engine.NewTableFromCols(n.Schema(), []*xdm.Column{col}), nil
 	}
 	return nil, ex.Errf(n, "vm: unimplemented opcode")

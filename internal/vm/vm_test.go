@@ -104,7 +104,7 @@ func TestRunMatchesEngineOnHandBuiltPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	docs := map[string]uint32{"d.xml": store.Add(f)}
+	docs := map[string][]uint32{"d.xml": {store.Add(f)}}
 	// A serializable root: (pos, item) over the //b nodes.
 	b := algebra.NewBuilder()
 	ctx := b.Cross(b.LitCol("iter", xdm.NewInt(1)), b.Doc("d.xml"))

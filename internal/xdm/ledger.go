@@ -151,6 +151,32 @@ func (a *Account) CanReserve(n int64) *OverBudget {
 	return nil
 }
 
+// Release returns up to n bytes from the account to the ledger, clamped
+// to the account's current holdings. Query executions never shrink —
+// their footprint drains all at once through Close — but long-lived
+// accounts whose footprint varies both ways (the out-of-core store's
+// residency sampler, which mirrors sampled page residency into the
+// ledger) need the shrink side too.
+func (a *Account) Release(n int64) {
+	if n <= 0 || a.closed.Load() {
+		return
+	}
+	for {
+		cur := a.used.Load()
+		if cur <= 0 {
+			return
+		}
+		take := n
+		if take > cur {
+			take = cur
+		}
+		if a.used.CompareAndSwap(cur, cur-take) {
+			a.ledger.release(take)
+			return
+		}
+	}
+}
+
 // Close releases every byte the account holds back to the ledger.
 // Idempotent; the account must not Reserve afterwards.
 func (a *Account) Close() {

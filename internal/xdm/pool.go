@@ -100,8 +100,8 @@ func (p *slicePool[T]) put(s []T) {
 var (
 	intPool   = slicePool[int64]{elem: 8}
 	floatPool = slicePool[float64]{elem: 8}
-	nodePool  = slicePool[NodeID]{elem: 8}  // Frag uint32 + Pre int32
-	itemPool  = slicePool[Item]{elem: 48}   // boxed Item: tag + payload words
+	nodePool  = slicePool[NodeID]{elem: 8} // Frag uint32 + Pre int32
+	itemPool  = slicePool[Item]{elem: 48}  // boxed Item: tag + payload words
 	int32Pool = slicePool[int32]{elem: 4}
 )
 

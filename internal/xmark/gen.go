@@ -78,9 +78,21 @@ func FactorForBytes(bytes int64) float64 {
 	return float64(bytes) / float64(ApproxBytesPerFactor)
 }
 
+// emitter is the event sink the generator drives: xmltree.Builder
+// satisfies it (materializing the order-encoded fragment), and the
+// streaming XML writer satisfies it too, so a corpus much larger than
+// RAM can be generated without ever holding it in memory.
+type emitter interface {
+	StartDoc(uri string)
+	StartElem(name string)
+	Attr(name, value string)
+	Text(value string)
+	EndElem()
+}
+
 type generator struct {
 	r   *rng
-	b   *xmltree.Builder
+	b   emitter
 	cnt Counts
 }
 
@@ -89,20 +101,27 @@ type generator struct {
 // preorder rank 0, ready to be registered with a store under the name
 // "auction.xml".
 func Generate(cfg Config) *xmltree.Fragment {
+	b := xmltree.NewBuilder()
+	generate(b, cfg)
+	return b.Close()
+}
+
+func generate(b emitter, cfg Config) {
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 0xe4c0de5eed
 	}
-	g := &generator{r: newRNG(seed), b: xmltree.NewBuilder(), cnt: CountsFor(cfg.Factor)}
+	g := &generator{r: newRNG(seed), b: b, cnt: CountsFor(cfg.Factor)}
 	g.b.StartDoc("auction.xml")
 	g.site()
-	return g.b.Close()
+	g.b.EndElem() // close the document node (Builder.Close would do this)
 }
 
-// WriteXML generates a document and serializes it as XML text.
+// WriteXML generates a document and serializes it as XML text. It
+// streams: events go straight to w through StreamXML, so the document is
+// never materialized.
 func WriteXML(w io.Writer, cfg Config) error {
-	f := Generate(cfg)
-	return xmltree.Serialize(w, f, 0, xmltree.SerializeOptions{})
+	return StreamXML(w, cfg)
 }
 
 func (g *generator) elem(name string, body func()) {

@@ -1,0 +1,84 @@
+package xmark
+
+import (
+	"bufio"
+	"io"
+
+	"repro/internal/xmltree"
+)
+
+// xmlWriter is an emitter that renders the event stream as XML text,
+// byte-for-byte identical to xmltree.Serialize of the materialized
+// fragment (deferred '>', self-closing empty elements, the same
+// text/attribute escaping), while holding only the open-element stack.
+type xmlWriter struct {
+	w     *bufio.Writer
+	stack []string
+	inTag bool // start tag open, '>' not yet written
+	err   error
+}
+
+func (x *xmlWriter) write(s string) {
+	if x.err == nil {
+		_, x.err = x.w.WriteString(s)
+	}
+}
+
+// closeTag finishes a pending start tag before content follows.
+func (x *xmlWriter) closeTag() {
+	if x.inTag {
+		x.write(">")
+		x.inTag = false
+	}
+}
+
+func (x *xmlWriter) StartDoc(uri string) {}
+
+func (x *xmlWriter) StartElem(name string) {
+	x.closeTag()
+	x.write("<" + name)
+	x.stack = append(x.stack, name)
+	x.inTag = true
+}
+
+func (x *xmlWriter) Attr(name, value string) {
+	x.write(" " + name + `="` + xmltree.EscapeAttr(value) + `"`)
+}
+
+func (x *xmlWriter) Text(value string) {
+	// The Builder drops empty text nodes, so the serializer never sees
+	// them; match that here.
+	if value == "" {
+		return
+	}
+	x.closeTag()
+	x.write(xmltree.EscapeText(value))
+}
+
+func (x *xmlWriter) EndElem() {
+	if len(x.stack) == 0 {
+		return // closing the document node: nothing to render
+	}
+	name := x.stack[len(x.stack)-1]
+	x.stack = x.stack[:len(x.stack)-1]
+	if x.inTag {
+		x.write("/>")
+		x.inTag = false
+		return
+	}
+	x.write("</" + name + ">")
+}
+
+// StreamXML generates an auction document and writes it to w as XML text
+// incrementally: memory use is bounded by the element stack and the
+// write buffer regardless of factor, so corpora far larger than RAM can
+// be generated. The bytes are identical to serializing Generate(cfg)
+// with the same config.
+func StreamXML(w io.Writer, cfg Config) error {
+	x := &xmlWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	generate(x, cfg)
+	if x.err != nil {
+		return x.err
+	}
+	return x.w.Flush()
+}

@@ -12,12 +12,12 @@ import (
 	"repro/internal/xquery"
 )
 
-func buildXMarkStore(t testing.TB, factor float64) (*xmltree.Store, map[string]uint32) {
+func buildXMarkStore(t testing.TB, factor float64) (*xmltree.Store, map[string][]uint32) {
 	t.Helper()
 	store := xmltree.NewStore()
 	f := xmark.Generate(xmark.Config{Factor: factor})
 	id := store.Add(f)
-	return store, map[string]uint32{"auction.xml": id}
+	return store, map[string][]uint32{"auction.xml": {id}}
 }
 
 func TestAllQueriesParseAndCompile(t *testing.T) {
