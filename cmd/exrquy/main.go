@@ -91,6 +91,8 @@ func main() {
 		govBytes   = flag.Int64("gov-bytes", 0, "resource governor: global memory ledger in bytes (0 = unlimited)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of query execution to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile (after execution) to this file")
+		scrub      = flag.Bool("scrub", false, "scrub mounted stores before executing: re-verify part checksums, quarantine corrupt replicas, restore from healthy copies (usable without a query)")
+		stChaos    = flag.String("store-chaos", "", "TESTING ONLY: arm deterministic storage fault injection, e.g. seed=7,eio=11,badcrc=13,shortread=17,mmap=19,torn=23")
 	)
 	var storeDirs multiFlag
 	flag.Var(&storeDirs, "store", "mount an on-disk columnar store directory (repeatable; comma-join directories holding shards of one corpus)")
@@ -103,8 +105,9 @@ func main() {
 			sources++
 		}
 	}
-	if sources != 1 {
-		fatal(nil, "exactly one of -q, -f or -xq is required")
+	scrubOnly := sources == 0 && *scrub
+	if sources != 1 && !scrubOnly {
+		fatal(nil, "exactly one of -q, -f or -xq is required (or -scrub with -store and no query)")
 	}
 	query := *queryText
 	if *queryFile != "" {
@@ -181,9 +184,28 @@ func main() {
 			fatal(err, "load %s: %v", path, err)
 		}
 	}
+	if faults, err := exrquy.ParseStoreFaultSpec(*stChaos); err != nil {
+		fatal(nil, "%v", err)
+	} else if faults != nil {
+		exrquy.SetStoreFaults(faults)
+		fmt.Fprintf(os.Stderr, "exrquy: WARNING: storage fault injection armed (-store-chaos %q) — chaos drills only\n", *stChaos)
+	}
 	for _, spec := range storeDirs {
 		if _, err := eng.AttachStore(strings.Split(spec, ",")...); err != nil {
 			fatal(err, "attach store %s: %v", spec, err)
+		}
+	}
+	if *scrub {
+		if len(storeDirs) == 0 {
+			fatal(nil, "-scrub needs at least one -store mount")
+		}
+		for key, st := range eng.ScrubStores(0) {
+			fmt.Fprintf(os.Stderr,
+				"exrquy: scrubbed %s: %d parts verified, %d errors, %d quarantined, %d re-replicated\n",
+				key, st.PartsVerified, st.Errors, st.Quarantined, st.Rereplicated)
+		}
+		if scrubOnly {
+			return
 		}
 	}
 	if *xmarkF > 0 {

@@ -27,6 +27,8 @@
 //	POST /stores             attach an on-disk columnar store ({"dirs":[...]})
 //	GET  /stores             list attached stores with paging residency
 //	DELETE /stores?dir=D     detach the store mounted from D
+//	POST /stores/scrub       re-verify all mounted part checksums now
+//	                         (quarantine + re-replicate corrupt copies)
 //	GET  /metrics            process-wide engine/governor/server metrics
 //	GET  /debug/stats        structured daemon snapshot (JSON)
 //	GET  /healthz            200 while serving, 503 while draining
@@ -77,6 +79,9 @@ func main() {
 		brkFails  = flag.Int("breaker-failures", 0, "per-client circuit-breaker trip threshold, consecutive serving failures (0 = off)")
 		brkCool   = flag.Duration("breaker-cooldown", 0, "open-circuit cooldown before a half-open probe (0 = 5s)")
 		chaos     = flag.String("chaos", "", "TESTING ONLY: arm deterministic fault injection on /query, e.g. seed=7,err500=17,reset=23,truncate=29:64,latency=13:3ms")
+		stChaos   = flag.String("store-chaos", "", "TESTING ONLY: arm deterministic storage fault injection, e.g. seed=7,eio=11,badcrc=13,shortread=17,mmap=19,torn=23")
+		scrubIvl  = flag.Duration("scrub-interval", 0, "background store scrub cadence: re-verify part checksums, quarantine corrupt replicas, restore from healthy copies (0 = off)")
+		scrubBPS  = flag.Int64("scrub-bps", 0, "scrub read-rate pacing, bytes/second (0 = unpaced)")
 	)
 	var storeDirs multiFlag
 	flag.Var(&storeDirs, "store", "mount an on-disk columnar store directory at boot (repeatable; comma-join directories holding shards of one corpus)")
@@ -94,6 +99,14 @@ func main() {
 	if faults != nil {
 		fmt.Fprintf(os.Stderr, "exrquyd: WARNING: fault injection armed on /query (-chaos %q) — chaos drills only\n", *chaos)
 	}
+	storeFaults, err := exrquy.ParseStoreFaultSpec(*stChaos)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if storeFaults != nil {
+		exrquy.SetStoreFaults(storeFaults)
+		fmt.Fprintf(os.Stderr, "exrquyd: WARNING: storage fault injection armed (-store-chaos %q) — chaos drills only\n", *stChaos)
+	}
 	s := server.New(server.Config{
 		Governor: exrquy.GovernorConfig{
 			MaxConcurrent: *govSlots,
@@ -102,21 +115,23 @@ func main() {
 			MaxBytes:      *govBytes,
 			QueryBytes:    *govQuery,
 		},
-		Parallelism:     *parallelN,
-		StoreBudget:     *storeBytes,
-		NoCompile:       !*compileOn,
-		Timeout:         *timeout,
-		MaxTimeout:      *maxTime,
-		MaxDocBytes:     *maxDoc,
-		CacheSize:       *cacheSize,
-		Clients:         clients,
-		DrainTimeout:    *drain,
-		RateQPS:         *rateQPS,
-		RateBurst:       *rateBurst,
-		WatchdogTimeout: *watchdog,
-		BreakerFailures: *brkFails,
-		BreakerCooldown: *brkCool,
-		Faults:          faults,
+		Parallelism:      *parallelN,
+		StoreBudget:      *storeBytes,
+		NoCompile:        !*compileOn,
+		Timeout:          *timeout,
+		MaxTimeout:       *maxTime,
+		MaxDocBytes:      *maxDoc,
+		CacheSize:        *cacheSize,
+		Clients:          clients,
+		DrainTimeout:     *drain,
+		RateQPS:          *rateQPS,
+		RateBurst:        *rateBurst,
+		WatchdogTimeout:  *watchdog,
+		BreakerFailures:  *brkFails,
+		BreakerCooldown:  *brkCool,
+		Faults:           faults,
+		ScrubInterval:    *scrubIvl,
+		ScrubBytesPerSec: *scrubBPS,
 	})
 
 	for _, path := range flag.Args() {

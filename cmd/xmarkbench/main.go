@@ -16,6 +16,10 @@
 //	                                also measure the corpus served out-of-core
 //	                                from the mmap'd columnar store, single-part
 //	                                ("ooc") and sharded N ways ("shard<N>")
+//	xmarkbench -json FILE -failover
+//	                                also measure recovered latency from a
+//	                                replicated store with one replica killed
+//	                                before every timed run ("failover")
 //
 // Document sizes are scaled to in-memory Go scale; the paper's 30 s
 // cutoff convention is kept (queries that exceed it report "cutoff", as
@@ -51,6 +55,7 @@ func main() {
 		compileOn = flag.Bool("compile", true, "execute bytecode-compiled programs for -json rows; off runs everything tree-walking and drops the 'walked' control rows")
 		concN     = flag.Int("concurrency", 0, "add contention rows to -json: N clients pushing queries through a shared resource governor (throughput, p50/p95 latency, shed and degraded counts)")
 		shardsN   = flag.Int("store-shards", 0, "add out-of-core rows to -json: mode 'ooc' serves the corpus from a single-part mmap'd store, and N>1 adds mode 'shard<N>' over the corpus sharded N ways, both paging under a ledger a quarter of the mapped size")
+		failover  = flag.Bool("failover", false, "add failover rows to -json: the corpus in a replicated store with one replica killed before every timed run, so p50/p95 price the full detect-swap-rerun recovery path")
 	)
 	flag.Parse()
 
@@ -110,6 +115,7 @@ func main() {
 			Concurrency: *concN,
 			NoCompile:   !*compileOn,
 			StoreShards: *shardsN,
+			Failover:    *failover,
 		}
 		if err := bench.WriteTrajectoryJSON(*jsonPath, opts, os.Stdout); err != nil {
 			fatal("json: %v", err)

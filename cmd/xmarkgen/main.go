@@ -23,6 +23,7 @@ func main() {
 		out      = flag.String("o", "", "output file (default stdout)")
 		storeDir = flag.String("store", "", "write an on-disk columnar store into this directory instead of XML text")
 		shards   = flag.Int("shards", 1, "with -store: shard the document across N part directories (DIR/shard0..N-1)")
+		replicas = flag.Int("replicas", 1, "with -store: write each part to N distinct shard directories (requires replicas <= shards); a mount fails over to a standby copy when one corrupts")
 		uri      = flag.String("uri", "auction.xml", "with -store: document URI to register the corpus under")
 		counts   = flag.Bool("counts", false, "print entity counts instead of generating")
 	)
@@ -45,12 +46,16 @@ func main() {
 				dirs = append(dirs, filepath.Join(*storeDir, fmt.Sprintf("shard%d", k)))
 			}
 		}
-		if err := store.WriteDoc(dirs, *uri, frag); err != nil {
+		if err := store.WriteDocOpts(dirs, *uri, frag, store.WriteOptions{Replicas: *replicas}); err != nil {
 			fmt.Fprintf(os.Stderr, "xmarkgen: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "xmarkgen: wrote %q (%d nodes, %d part(s)) under %s\n",
-			*uri, frag.Len(), len(dirs), *storeDir)
+		r := *replicas
+		if r < 1 {
+			r = 1
+		}
+		fmt.Fprintf(os.Stderr, "xmarkgen: wrote %q (%d nodes, %d part(s), %d replica(s)) under %s\n",
+			*uri, frag.Len(), len(dirs), r, *storeDir)
 		return
 	}
 

@@ -152,6 +152,7 @@ type options struct {
 	tracer       Tracer
 	governor     *governor.Governor
 	storeBudget  int64
+	scrub        StoreScrubConfig
 }
 
 // Option configures an Engine.
@@ -278,6 +279,17 @@ func WithGovernor(g *Governor) Option {
 // otherwise. 0 disables the dedicated budget.
 func WithStoreBudget(bytes int64) Option {
 	return func(o *options) { o.storeBudget = bytes }
+}
+
+// WithStoreScrub enables background scrubbing on every store attached
+// to this Engine: a pacing-limited loop re-verifies part-file checksums
+// (active mappings and standby replicas alike), quarantines corrupted
+// files, restores them from healthy replicas, and fails suspect parts
+// over — so silent on-disk corruption is repaired before a query trips
+// on it. The zero config (Interval <= 0) disables the loop; ScrubStores
+// still scrubs on demand.
+func WithStoreScrub(cfg StoreScrubConfig) Option {
+	return func(o *options) { o.scrub = cfg }
 }
 
 // Observability re-exports. The collection machinery lives in
@@ -513,6 +525,7 @@ func (e *Engine) coreConfig() core.Config {
 		Collect:           e.opts.collect,
 		Tracer:            e.opts.tracer,
 		Governor:          e.opts.governor,
+		StoreProbe:        e.storeProbe,
 		Opt: opt.Options{
 			ColumnAnalysis:   e.opts.optim.ColumnAnalysis,
 			RownumRelax:      e.opts.optim.RownumRelax,
@@ -668,22 +681,42 @@ func (q *Query) Execute() (*Result, error) {
 	return q.ExecuteContext(context.Background())
 }
 
+// maxStoreFailovers bounds how many times one ExecuteContext call will
+// fail a store over and re-execute after a retryable corrupt-store
+// fault. Each retry consumes a replica swap; past the bound the fault
+// surfaces to the caller (it is still retryable there if a standby
+// remains).
+const maxStoreFailovers = 3
+
 // ExecuteContext runs the plan under a context; see QueryContext for the
 // cancellation contract.
+//
+// Storage faults heal transparently: when execution aborts on a
+// retryable corrupt-store error (a mounted part went suspect but a
+// healthy replica remains), the engine fails the affected parts over to
+// their standby replicas and re-executes — order indifference makes the
+// affected plan regions restartable, so the retried run returns exactly
+// the bytes the unfaulted run would have. Only a terminal ErrCorrupt
+// (every replica of some part bad) reaches the caller.
 func (q *Query) ExecuteContext(ctx context.Context) (*Result, error) {
-	// Shared mount lock: a DetachStore must not unmap columns a running
-	// query may still be scanning. Uncontended outside detach windows.
-	q.eng.mountsMu.RLock()
-	res, err := q.prepared.RunContext(ctx, q.eng.store, q.eng.docsSnapshot())
-	q.eng.mountsMu.RUnlock()
-	if err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		// Shared mount lock: a DetachStore must not unmap columns a running
+		// query may still be scanning. Uncontended outside detach windows.
+		q.eng.mountsMu.RLock()
+		res, err := q.prepared.RunContext(ctx, q.eng.store, q.eng.docsSnapshot())
+		q.eng.mountsMu.RUnlock()
+		if err != nil {
+			if attempt < maxStoreFailovers && qerr.IsRetryableCorrupt(err) && q.eng.failoverStores() {
+				continue
+			}
+			return nil, err
+		}
+		return &Result{
+			items: res.Items, store: res.Store, eng: q.eng, profile: res.Profile,
+			elapsed: res.Elapsed, stats: res.Stats,
+			degraded: res.Degraded, queueWait: res.QueueWait,
+		}, nil
 	}
-	return &Result{
-		items: res.Items, store: res.Store, eng: q.eng, profile: res.Profile,
-		elapsed: res.Elapsed, stats: res.Stats,
-		degraded: res.Degraded, queueWait: res.QueueWait,
-	}, nil
 }
 
 // Explain renders the optimized plan DAG as indented text.
@@ -707,17 +740,22 @@ func (q *Query) Analyze() (*Result, string, error) {
 // AnalyzeContext is Analyze under a context (see QueryContext for the
 // cancellation contract).
 func (q *Query) AnalyzeContext(ctx context.Context) (*Result, string, error) {
-	q.eng.mountsMu.RLock()
-	res, text, err := q.prepared.Analyze(ctx, q.eng.store, q.eng.docsSnapshot())
-	q.eng.mountsMu.RUnlock()
-	if err != nil {
-		return nil, "", err
+	for attempt := 0; ; attempt++ {
+		q.eng.mountsMu.RLock()
+		res, text, err := q.prepared.Analyze(ctx, q.eng.store, q.eng.docsSnapshot())
+		q.eng.mountsMu.RUnlock()
+		if err != nil {
+			if attempt < maxStoreFailovers && qerr.IsRetryableCorrupt(err) && q.eng.failoverStores() {
+				continue
+			}
+			return nil, "", err
+		}
+		return &Result{
+			items: res.Items, store: res.Store, eng: q.eng, profile: res.Profile,
+			elapsed: res.Elapsed, stats: res.Stats,
+			degraded: res.Degraded, queueWait: res.QueueWait,
+		}, text, nil
 	}
-	return &Result{
-		items: res.Items, store: res.Store, eng: q.eng, profile: res.Profile,
-		elapsed: res.Elapsed, stats: res.Stats,
-		degraded: res.Degraded, queueWait: res.QueueWait,
-	}, text, nil
 }
 
 // Text returns the query source.

@@ -9,9 +9,36 @@ package exrquy
 import (
 	"fmt"
 	"path/filepath"
+	"sort"
+	"sync/atomic"
 
 	"repro/internal/store"
 )
+
+// Storage fault-tolerance re-exports (the machinery lives in
+// internal/store).
+type (
+	// StoreFaultPlan schedules deterministic storage faults — injected
+	// I/O errors and checksum mismatches at query probes, short
+	// reads/mmap failures at part opens, torn WriteStore crashes — for
+	// tests and the -store-chaos CLI flags. See SetStoreFaults.
+	StoreFaultPlan = store.FaultPlan
+	// StoreScrubConfig configures background scrubbing (WithStoreScrub):
+	// Interval between passes, BytesPerSec read-rate pacing.
+	StoreScrubConfig = store.ScrubConfig
+	// StoreScrubStats are one store's cumulative scrub counters.
+	StoreScrubStats = store.ScrubStats
+)
+
+// SetStoreFaults arms a deterministic storage fault plan process-wide
+// (nil disarms). Armed only — production never calls it; the healthy
+// probe fast path is one atomic pointer load.
+func SetStoreFaults(plan *StoreFaultPlan) { store.SetFaults(plan) }
+
+// ParseStoreFaultSpec parses a -store-chaos specification like
+// "seed=7,eio=11,badcrc=13" (keys: seed, eio, badcrc, shortread, mmap,
+// torn). An empty spec returns nil (no faults).
+func ParseStoreFaultSpec(spec string) (*StoreFaultPlan, error) { return store.ParseFaultSpec(spec) }
 
 // storeMount is one attached on-disk store and the doc URIs it
 // contributed to the registry.
@@ -65,7 +92,7 @@ func (e *Engine) AttachStore(dirs ...string) ([]string, error) {
 	if led == nil && e.opts.governor != nil {
 		led = e.opts.governor.Ledger()
 	}
-	st, err := store.Open(dirs, store.Options{Ledger: led})
+	st, err := store.Open(dirs, store.Options{Ledger: led, OnHeal: e.registerHealed})
 	if err != nil {
 		return nil, err
 	}
@@ -83,6 +110,9 @@ func (e *Engine) AttachStore(dirs ...string) ([]string, error) {
 	}
 	e.mounts[key] = m
 	e.mu.Unlock()
+	if e.opts.scrub.Interval > 0 {
+		st.StartScrub(e.opts.scrub)
+	}
 	return append([]string(nil), m.uris...), nil
 }
 
@@ -116,14 +146,9 @@ func (e *Engine) DetachStore(dir string) ([]string, error) {
 	return append([]string(nil), m.uris...), nil
 }
 
-// Stores lists the attached stores in unspecified order.
+// Stores lists the attached stores in mount-key order.
 func (e *Engine) Stores() []StoreMountInfo {
-	e.mu.RLock()
-	mounts := make([]*storeMount, 0, len(e.mounts))
-	for _, m := range e.mounts {
-		mounts = append(mounts, m)
-	}
-	e.mu.RUnlock()
+	mounts := e.mountsSnapshot()
 	out := make([]StoreMountInfo, 0, len(mounts))
 	for _, m := range mounts {
 		out = append(out, StoreMountInfo{
@@ -139,13 +164,7 @@ func (e *Engine) Stores() []StoreMountInfo {
 // resident bytes. Serving layers call it periodically; it is also how
 // ledger pressure translates into store page eviction.
 func (e *Engine) SampleStores() (mapped, resident int64) {
-	e.mu.RLock()
-	mounts := make([]*storeMount, 0, len(e.mounts))
-	for _, m := range e.mounts {
-		mounts = append(mounts, m)
-	}
-	e.mu.RUnlock()
-	for _, m := range mounts {
+	for _, m := range e.mountsSnapshot() {
 		mm, rr := m.st.Sample()
 		mapped += mm
 		resident += rr
@@ -157,6 +176,15 @@ func (e *Engine) SampleStores() (mapped, resident int64) {
 // store: one directory writes a single-part store, N directories shard
 // the document by equal preorder ranges (one part per directory).
 func (e *Engine) WriteStore(name string, dirs ...string) error {
+	return e.WriteStoreReplicated(name, 1, dirs...)
+}
+
+// WriteStoreReplicated is WriteStore with replication: every part is
+// written to replicas distinct directories (replica r of part k lands
+// in dirs[(k+r) mod len(dirs)], so two copies of one part never share a
+// directory). A mount prefers the first healthy copy of each part and
+// fails over to the next on corruption; requires replicas <= len(dirs).
+func (e *Engine) WriteStoreReplicated(name string, replicas int, dirs ...string) error {
 	e.mu.RLock()
 	ids, ok := e.docs[name]
 	e.mu.RUnlock()
@@ -166,5 +194,103 @@ func (e *Engine) WriteStore(name string, dirs ...string) error {
 	if len(ids) != 1 {
 		return fmt.Errorf("exrquy: %q is a multi-part collection; write its parts individually", name)
 	}
-	return store.WriteDoc(dirs, name, e.store.Frag(ids[0]))
+	return store.WriteDocOpts(dirs, name, e.store.Frag(ids[0]), store.WriteOptions{Replicas: replicas})
+}
+
+// mountsSnapshot copies the mount list under the registry lock, in
+// deterministic (key) order.
+func (e *Engine) mountsSnapshot() []*storeMount {
+	e.mu.RLock()
+	mounts := make([]*storeMount, 0, len(e.mounts))
+	for _, m := range e.mounts {
+		mounts = append(mounts, m)
+	}
+	e.mu.RUnlock()
+	sort.Slice(mounts, func(i, j int) bool { return mounts[i].key < mounts[j].key })
+	return mounts
+}
+
+// storeProbe is the per-execution storage health probe factory
+// (core.Config.StoreProbe): invoked once per execution, it snapshots
+// the attached stores and returns the closure every cooperative poll
+// point of that execution calls. The closure's first call gives an
+// armed fault plan its one chance to inject a fault into this
+// execution; every call then checks each store's health (two atomic
+// loads per store when all is well). Executions with no stores mounted
+// probe nothing.
+func (e *Engine) storeProbe() func() error {
+	mounts := e.mountsSnapshot()
+	if len(mounts) == 0 {
+		return nil
+	}
+	stores := make([]*store.Store, len(mounts))
+	for i, m := range mounts {
+		stores[i] = m.st
+	}
+	var fired atomic.Bool
+	return func() error {
+		if f := store.ArmedFaults(); f != nil && !fired.Load() && fired.CompareAndSwap(false, true) {
+			if err := f.QueryFault(stores); err != nil {
+				return err
+			}
+		}
+		for _, st := range stores {
+			if err := st.Health(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// failoverStores swaps every suspect part of every attached store to a
+// healthy standby replica and re-registers the reassembled documents.
+// It runs under the exclusive mount lock — the same drain barrier
+// DetachStore uses — so no in-flight execution is reading the registry
+// while documents heal; the replaced mappings themselves are condemned
+// (kept mapped until the store closes), so results already holding
+// pages of the old copy stay readable. Returns whether any part healed,
+// i.e. whether re-executing is worthwhile.
+func (e *Engine) failoverStores() bool {
+	e.mountsMu.Lock()
+	defer e.mountsMu.Unlock()
+	healed := false
+	for _, m := range e.mountsSnapshot() {
+		entries, err := m.st.FailoverSuspects()
+		if err != nil || len(entries) == 0 {
+			continue
+		}
+		healed = true
+		e.registerHealed(entries)
+	}
+	return healed
+}
+
+// registerHealed re-registers documents whose parts were failed over or
+// re-replicated (store.Options.OnHeal): the fresh fragments replace the
+// registry entries, so the next execution's snapshot reads the healthy
+// replicas. Safe concurrently with running queries — they hold their
+// own point-in-time snapshot, and the pages that snapshot aliases stay
+// mapped (condemned) until the store closes.
+func (e *Engine) registerHealed(entries []store.DocEntry) {
+	e.mu.Lock()
+	for _, d := range entries {
+		id := e.store.Add(d.Frag)
+		e.docs[d.URI] = []uint32{id}
+	}
+	e.mu.Unlock()
+}
+
+// ScrubStores runs one synchronous scrub pass over every attached store
+// — re-verifying every part file's section checksums (active mappings
+// and standby replicas), quarantining corrupt files and restoring them
+// from healthy copies — and returns each mount's cumulative scrub
+// stats, keyed like Stores(). Independent of the WithStoreScrub
+// background loop. bytesPerSec > 0 paces the verification reads.
+func (e *Engine) ScrubStores(bytesPerSec int64) map[string]StoreScrubStats {
+	out := make(map[string]StoreScrubStats)
+	for _, m := range e.mountsSnapshot() {
+		out[m.key] = m.st.ScrubNow(store.ScrubConfig{BytesPerSec: bytesPerSec})
+	}
+	return out
 }

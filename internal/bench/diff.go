@@ -81,11 +81,15 @@ func Diff(base, cur *TrajectoryReport, th DiffThresholds) ([]DiffEntry, error) {
 		// and machine load. Out-of-core rows — "ooc" and "shard<N>"
 		// (xmarkbench -store-shards) — record demand paging under a
 		// deliberately starved ledger: page-cache and filesystem noise.
-		// Neither latency is a kernel-regression signal, so both families
+		// Failover rows — "failover" (xmarkbench -failover) — record
+		// recovery latency with a replica deliberately killed per run:
+		// dominated by replica remount and document reassembly. None of
+		// these latencies is a kernel-regression signal, so the families
 		// are informational in the trajectory file and invisible to the
 		// gate, in baseline and current alike.
 		if strings.HasPrefix(b.Mode, "concurrent") || strings.HasPrefix(b.Mode, "server") ||
-			strings.HasPrefix(b.Mode, "ooc") || strings.HasPrefix(b.Mode, "shard") {
+			strings.HasPrefix(b.Mode, "ooc") || strings.HasPrefix(b.Mode, "shard") ||
+			strings.HasPrefix(b.Mode, "failover") {
 			continue
 		}
 		c, ok := curRows[rowKey{b.Query, b.Mode, b.Typed}]

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qerr"
+	"repro/internal/store"
+	"repro/internal/xmarkq"
+	"repro/internal/xmltree"
+)
+
+// failoverRows prices storage failover: the corpus is written as a
+// replicated store (2 shards × 2 replicas across 2 directories), and
+// before every timed run one replica of one part is killed, so each run
+// pays the full recovery path — suspect detection at a query probe,
+// replica swap, document reassembly, re-execution. Mode "failover"
+// rows report p50/p95 of the recovered latency. The benchdiff gate
+// skips them (recovery cost is dominated by store reassembly and page
+// faults — storage noise, not a kernel-regression signal); the rows
+// exist to keep failover latency visible in the trajectory file.
+func failoverRows(env *Env, queryIDs []int, repeats int, noCompile bool, w io.Writer) ([]TrajectoryRow, error) {
+	frag := env.Store.Frag(env.Docs["auction.xml"][0])
+	base, err := os.MkdirTemp("", "xmarkbench-failover-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(base)
+	dirs := []string{filepath.Join(base, "r0"), filepath.Join(base, "r1")}
+	if err := store.WriteDocOpts(dirs, "auction.xml", frag, store.WriteOptions{Shards: 2, Replicas: 2}); err != nil {
+		return nil, fmt.Errorf("failover: write store: %w", err)
+	}
+	st, err := store.Open(dirs, store.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("failover: open: %w", err)
+	}
+	defer st.Close()
+
+	senv := &Env{
+		Store:  xmltree.NewStore(),
+		Docs:   map[string][]uint32{},
+		Factor: env.Factor,
+		Bytes:  env.Bytes,
+		Nodes:  env.Nodes,
+	}
+	for _, d := range st.Docs() {
+		senv.Docs[d.URI] = []uint32{senv.Store.Add(d.Frag)}
+	}
+	parts := len(st.Stats().Parts)
+
+	cfg := indifferenceCfg(0)
+	cfg.Compiled = !noCompile
+	// The same probe the engine installs: every cooperative poll point
+	// checks store health, so a killed replica surfaces mid-query as a
+	// retryable corrupt error rather than at mount time.
+	cfg.StoreProbe = func() func() error { return st.Health }
+
+	// runRecovered executes p once, absorbing failover retries exactly
+	// like exrquy.ExecuteContext does: on a retryable corrupt error the
+	// suspect parts swap to their standby replicas, the healed documents
+	// re-register, and the query re-runs.
+	runRecovered := func(p *core.Prepared) error {
+		for attempt := 0; ; attempt++ {
+			_, err := p.Run(senv.Store, senv.Docs)
+			if err == nil {
+				return nil
+			}
+			if attempt >= 3 || !qerr.IsRetryableCorrupt(err) {
+				return err
+			}
+			healed, ferr := st.FailoverSuspects()
+			if ferr != nil {
+				return ferr
+			}
+			for _, d := range healed {
+				senv.Docs[d.URI] = []uint32{senv.Store.Add(d.Frag)}
+			}
+		}
+	}
+
+	if w != nil {
+		fmt.Fprintf(w, "failover mode: %d parts x 2 replicas, one replica killed per run\n", parts)
+	}
+	var rows []TrajectoryRow
+	for _, id := range queryIDs {
+		q := xmarkq.Get(id)
+		p, err := core.Prepare(q.Text, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s/failover: %w", q.Name, err)
+		}
+		// Warm-up without a kill: page the store in, settle the pools.
+		if err := runRecovered(p); err != nil {
+			return nil, fmt.Errorf("%s/failover: warm-up: %w", q.Name, err)
+		}
+		times := make([]time.Duration, 0, repeats)
+		for i := 0; i < repeats; i++ {
+			if err := st.KillReplica((id + i) % parts); err != nil {
+				return nil, fmt.Errorf("%s/failover: kill: %w", q.Name, err)
+			}
+			start := time.Now()
+			if err := runRecovered(p); err != nil {
+				return nil, fmt.Errorf("%s/failover: %w", q.Name, err)
+			}
+			times = append(times, time.Since(start))
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		row := TrajectoryRow{
+			Query:      q.Name,
+			Mode:       "failover",
+			Typed:      true,
+			NsPerOp:    percentile(times, 50).Nanoseconds(),
+			P95NsPerOp: percentile(times, 95).Nanoseconds(),
+		}
+		rows = append(rows, row)
+		if w != nil {
+			fmt.Fprintf(w, "%-6s %-9s %-6s %14d p95=%d\n",
+				row.Query, row.Mode, "typed", row.NsPerOp, row.P95NsPerOp)
+		}
+	}
+	return rows, nil
+}

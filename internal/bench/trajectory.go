@@ -23,7 +23,7 @@ import (
 // after the timed runs, so collection never perturbs the measurements.
 type TrajectoryRow struct {
 	Query       string        `json:"query"`
-	Mode        string        `json:"mode"`  // "serial", "walked", "parallel", "concurrent<N>", "server<N>", "ooc" or "shard<N>"
+	Mode        string        `json:"mode"`  // "serial", "walked", "parallel", "concurrent<N>", "server<N>", "ooc", "shard<N>" or "failover"
 	Typed       bool          `json:"typed"` // false = boxed []Item storage (xdm.ForceBoxed)
 	NsPerOp     int64         `json:"ns_per_op"`
 	AllocsPerOp uint64        `json:"allocs_per_op"`
@@ -106,6 +106,7 @@ type TrajectoryReport struct {
 	Repeats     int                 `json:"repeats"`
 	Concurrency int                 `json:"concurrency,omitempty"`  // clients of the "concurrent<N>" rows
 	StoreShards int                 `json:"store_shards,omitempty"` // shard count of the "shard<N>" out-of-core rows
+	Failover    bool                `json:"failover,omitempty"`     // "failover" recovery-latency rows present
 	Meta        TrajectoryMeta      `json:"meta"`
 	Rows        []TrajectoryRow     `json:"rows"`
 	Summaries   []TrajectorySummary `json:"summaries"`
@@ -132,6 +133,12 @@ type TrajectoryOptions struct {
 	// bytecode programs (and drops the "walked" rows, which would then
 	// duplicate "serial"). Recorded in TrajectoryMeta.Compiled.
 	NoCompile bool
+	// Failover adds mode "failover" rows: the corpus in a replicated
+	// on-disk store (2 parts × 2 replicas) with one replica killed before
+	// every timed run, so NsPerOp/P95NsPerOp price the full recovery
+	// path — suspect detection, replica swap, re-execution. The
+	// benchdiff gate skips them.
+	Failover bool
 }
 
 // measureOne runs a prepared query repeats times and reports the median
@@ -283,6 +290,17 @@ func Trajectory(opts TrajectoryOptions, w io.Writer) (*TrajectoryReport, error) 
 		}
 		rep.Rows = append(rep.Rows, rows...)
 		rep.StoreShards = opts.StoreShards
+	}
+	// Failover rows: recovered latency with one replica killed before
+	// every timed run. Last, so the kills and remounts cannot perturb the
+	// steady-state and paging rows above.
+	if opts.Failover {
+		rows, err := failoverRows(env, queryIDs, repeats, opts.NoCompile, w)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, rows...)
+		rep.Failover = true
 	}
 	// Typed-versus-boxed summaries per (query, mode).
 	byKey := map[[2]string]map[bool]TrajectoryRow{}

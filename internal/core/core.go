@@ -89,6 +89,14 @@ type Config struct {
 	// plan regions on the serial engine. Shared across Configs/Engines by
 	// design; the budgets are process-global.
 	Governor *governor.Governor
+	// StoreProbe, when non-nil, is a per-execution probe factory: it is
+	// invoked once at the start of every RunContext and the closure it
+	// returns is polled at every cooperative poll point of that
+	// execution (engine.Options.StoreProbe). The factory shape lets the
+	// mounting engine give each execution its own fault-observation
+	// state — e.g. "inject at most one storage fault per execution" —
+	// while the probe itself stays a two-atomic-load fast path.
+	StoreProbe func() func() error
 }
 
 // DefaultConfig enables everything — the paper's "order indifference
@@ -300,6 +308,13 @@ func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs ma
 	// heartbeat on this context (resilience.Watch), hand it to the engine
 	// so every cooperative poll point proves the query is making progress.
 	beat := resilience.HeartbeatFrom(ctx)
+	// Storage health: one probe closure per execution, so per-execution
+	// fault-injection state (and suspect-part observation) is scoped to
+	// this run and shared by all its workers.
+	var storeProbe func() error
+	if p.cfg.StoreProbe != nil {
+		storeProbe = p.cfg.StoreProbe()
+	}
 	end := p.cfg.span("execute")
 	var res *engine.Result
 	var err error
@@ -321,6 +336,7 @@ func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs ma
 				Collect:           collect,
 				Tracer:            p.cfg.Tracer,
 				Heartbeat:         beat,
+				StoreProbe:        storeProbe,
 			},
 			Workers: w,
 		})
@@ -335,6 +351,7 @@ func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs ma
 			Collect:           collect,
 			Tracer:            p.cfg.Tracer,
 			Heartbeat:         beat,
+			StoreProbe:        storeProbe,
 		})
 	} else {
 		res, err = engine.Run(p.Plan.Root, store, docs, engine.Options{
@@ -346,6 +363,7 @@ func (p *Prepared) RunContext(ctx context.Context, store *xmltree.Store, docs ma
 			Collect:           collect,
 			Tracer:            p.cfg.Tracer,
 			Heartbeat:         beat,
+			StoreProbe:        storeProbe,
 		})
 	}
 	end()

@@ -63,6 +63,14 @@ type Options struct {
 	// a slow query from a wedged one. One atomic add per poll; nil costs
 	// a single pointer comparison.
 	Heartbeat *atomic.Int64
+	// StoreProbe, when non-nil, is polled at every cooperative poll
+	// point alongside the heartbeat. It surfaces storage faults —
+	// suspect mmap'd parts, failed lazy CRC verification — into the
+	// execution as classified errors, because a corrupt mapped page
+	// cannot signal failure through the read that touches it. A non-nil
+	// error aborts the query exactly like a cancellation; nil costs one
+	// pointer comparison per poll.
+	StoreProbe func() error
 }
 
 // ErrCutoff is returned (wrapped) when an execution exceeds its time or
@@ -171,21 +179,25 @@ type Exec struct {
 	// beat is the watchdog heartbeat (Options.Heartbeat); nil when no one
 	// is watching. Bumped in CheckCancel, shared with parallel workers.
 	beat *atomic.Int64
+	// storeProbe surfaces storage faults at poll points
+	// (Options.StoreProbe); nil when no store is mounted.
+	storeProbe func() error
 }
 
 // NewExec prepares an execution over a derived store.
 func NewExec(base *xmltree.Store, docs map[string][]uint32, opts Options) *Exec {
 	ex := &Exec{
-		store:     base.Derive(),
-		docs:      docs,
-		prof:      make(map[string]*ProfileEntry),
-		ctx:       opts.Context,
-		maxCells:  opts.MaxCells,
-		mem:       opts.Memory,
-		intOrders: opts.InterestingOrders,
-		collect:   opts.Collect,
-		tracer:    opts.Tracer,
-		beat:      opts.Heartbeat,
+		store:      base.Derive(),
+		docs:       docs,
+		prof:       make(map[string]*ProfileEntry),
+		ctx:        opts.Context,
+		maxCells:   opts.MaxCells,
+		mem:        opts.Memory,
+		intOrders:  opts.InterestingOrders,
+		collect:    opts.Collect,
+		tracer:     opts.Tracer,
+		beat:       opts.Heartbeat,
+		storeProbe: opts.StoreProbe,
 	}
 	if ex.collect != nil {
 		ex.collect.SetPoolBaseline(xdm.PoolStats())
@@ -277,6 +289,11 @@ func (ex *Exec) ReleaseInputs(n *algebra.Node) {
 func (ex *Exec) CheckCancel() error {
 	if ex.beat != nil {
 		ex.beat.Add(1)
+	}
+	if ex.storeProbe != nil {
+		if err := ex.storeProbe(); err != nil {
+			return err
+		}
 	}
 	if ex.done == nil {
 		return nil

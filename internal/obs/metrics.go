@@ -300,3 +300,35 @@ var (
 	// StorePartsOpen gauges the store part files currently mapped.
 	StorePartsOpen = Default.Gauge("store_parts_open")
 )
+
+// Storage fault-tolerance metrics (internal/store): replica failover,
+// the background scrubber, and quarantine/re-replication events.
+var (
+	// StoreFailoverTotal counts part failovers: a mapped part was found
+	// bad (CRC mismatch, I/O fault, failed open) and the store switched
+	// to the next healthy replica — at mount time or mid-query.
+	StoreFailoverTotal = Default.Counter("store_failover_total")
+	// StoreSuspectParts gauges parts currently marked suspect: a fault
+	// was observed on their active replica and failover has not yet
+	// replaced it.
+	StoreSuspectParts = Default.Gauge("store_suspect_parts")
+	// StoreScrubPassesTotal counts completed scrub passes (every part of
+	// a store re-verified once).
+	StoreScrubPassesTotal = Default.Counter("store_scrub_passes_total")
+	// StoreScrubPartsTotal counts part-file verifications performed by
+	// the scrubber (active mappings and standby replica files alike).
+	StoreScrubPartsTotal = Default.Counter("store_scrub_parts_total")
+	// StoreScrubErrorsTotal counts scrub verifications that found a bad
+	// part (CRC mismatch, truncation, unreadable file).
+	StoreScrubErrorsTotal = Default.Counter("store_scrub_errors_total")
+	// StoreQuarantinedParts gauges part files quarantined (renamed to
+	// *.quarantine) and not yet restored by re-replication.
+	StoreQuarantinedParts = Default.Gauge("store_quarantined_parts")
+	// StoreRereplicatedTotal counts part files restored from a healthy
+	// replica after quarantine.
+	StoreRereplicatedTotal = Default.Counter("store_rereplicated_total")
+	// StoreMorselFaultsTotal counts parallel-executor task batches
+	// aborted by a retryable storage fault — the morsels order
+	// indifference lets the engine re-execute against a replica.
+	StoreMorselFaultsTotal = Default.Counter("store_morsel_faults_total")
+)

@@ -67,6 +67,12 @@ type Options struct {
 	// between morsels through the same CheckDeadline the serial kernels
 	// poll, so a healthy parallel query never looks silent.
 	Heartbeat *atomic.Int64
+	// StoreProbe mirrors engine.Options.StoreProbe: polled at the shared
+	// budget-check sites by every worker, it surfaces storage faults
+	// (suspect mmap'd store parts) into morsel tasks as classified
+	// errors. The first worker to observe a fault drains the pool
+	// through the ordinary first-error merge path.
+	StoreProbe func() error
 }
 
 // MorselHook, when non-nil, runs at the start of every morsel task inside
@@ -110,6 +116,7 @@ func Run(root *algebra.Node, base *xmltree.Store, docs map[string][]uint32, opts
 		Collect:           opts.Collect,
 		Tracer:            opts.Tracer,
 		Heartbeat:         opts.Heartbeat,
+		StoreProbe:        opts.StoreProbe,
 	}
 	if w == 1 {
 		return engine.Run(root, base, docs, eopts)
@@ -310,6 +317,13 @@ func (e *executor) runTasks(n *algebra.Node, tasks []func() error) (time.Duratio
 					}
 				}
 				if err != nil {
+					if qerr.IsRetryableCorrupt(err) {
+						// A morsel died on a storage fault with a standby
+						// replica left: account it so the failover retry
+						// that follows is attributable to morsel-level
+						// fault detection, not a mount-time failure.
+						obs.StoreMorselFaultsTotal.Inc()
+					}
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err

@@ -61,22 +61,44 @@ var (
 	// RetryAfter computed from the token bucket's refill time.
 	ErrRateLimited = errors.New("rate limited")
 	// ErrCorrupt marks an on-disk document store that failed structural
-	// validation when opened or mounted: truncated file, wrong magic,
-	// format version skew, or a section checksum mismatch. Not retryable
-	// — the bytes on disk are wrong and will stay wrong; the remedy is
-	// rebuilding the store.
+	// validation when opened, mounted or probed: truncated file, wrong
+	// magic, format version skew, a section checksum mismatch, or an I/O
+	// fault on a mapped part. Terminal when every replica of the affected
+	// part is bad — the bytes on disk are wrong and will stay wrong; the
+	// remedy is rebuilding the store. When a healthy replica remains the
+	// carrier Error sets Retryable: the store fails over to the replica
+	// and re-execution returns byte-identical results (order indifference
+	// makes the affected plan regions restartable).
 	ErrCorrupt = errors.New("corrupt store")
 )
 
 // IsRetryable reports whether err describes a transient condition that a
 // caller may reasonably retry unchanged: load shedding (ErrOverload),
 // per-client rate limiting (ErrRateLimited), wall-clock cutoffs
-// (ErrTimeout) and cooperative cancellation (ErrCanceled). Memory-limit
-// cutoffs, static errors and internal errors are not retryable —
-// repeating them reproduces them.
+// (ErrTimeout), cooperative cancellation (ErrCanceled), and errors whose
+// carrier explicitly sets Retryable (corrupt-store faults with a healthy
+// replica left). Memory-limit cutoffs, static errors and internal errors
+// are not retryable — repeating them reproduces them.
 func IsRetryable(err error) bool {
-	return errors.Is(err, ErrOverload) || errors.Is(err, ErrRateLimited) ||
-		errors.Is(err, ErrTimeout) || errors.Is(err, ErrCanceled)
+	if errors.Is(err, ErrOverload) || errors.Is(err, ErrRateLimited) ||
+		errors.Is(err, ErrTimeout) || errors.Is(err, ErrCanceled) {
+		return true
+	}
+	var qe *Error
+	return errors.As(err, &qe) && qe.Retryable
+}
+
+// IsRetryableCorrupt reports whether err is a corrupt-store fault whose
+// raiser marked it retryable: a replica of the faulting part remains, so
+// failing the store over and re-running the query can succeed with
+// byte-identical results. The engine's failover retry loop keys on this;
+// a terminal ErrCorrupt (all replicas bad) never matches.
+func IsRetryableCorrupt(err error) bool {
+	if !errors.Is(err, ErrCorrupt) {
+		return false
+	}
+	var qe *Error
+	return errors.As(err, &qe) && qe.Retryable
 }
 
 // Overload builds an ErrOverload Error with a Retry-After-style backoff
@@ -120,6 +142,11 @@ type Error struct {
 	// errors (zero otherwise) — the Retry-After header value a serving
 	// layer would put on a 503.
 	RetryAfter time.Duration
+	// Retryable marks an error of a normally-terminal kind as transient
+	// for this occurrence: a corrupt-store fault (ErrCorrupt) where a
+	// healthy replica of the affected part remains mounted. IsRetryable
+	// honours it in addition to the always-retryable kinds.
+	Retryable bool
 	// Err is the underlying cause; its message is the user-facing text.
 	Err error
 }

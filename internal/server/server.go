@@ -112,6 +112,15 @@ type Config struct {
 	// body truncation). Test/chaos hook only — leave nil in production.
 	Faults *resilience.HTTPFaultPlan
 
+	// ScrubInterval enables background scrubbing on every attached
+	// store: part-file checksums are re-verified at this cadence,
+	// corrupt files quarantined and restored from healthy replicas
+	// (exrquy.WithStoreScrub). 0 disables the loop; POST /stores/scrub
+	// still scrubs on demand.
+	ScrubInterval time.Duration
+	// ScrubBytesPerSec paces scrub verification reads (0 = unpaced).
+	ScrubBytesPerSec int64
+
 	// NoCompile disables bytecode plan compilation: the cache then stores
 	// tree-walking plans (exrquy.WithCompiled(false)). Debugging escape
 	// hatch — the flag is part of the plan-cache key, so flipping it can
@@ -170,6 +179,12 @@ func New(cfg Config) *Server {
 	}
 	if cfg.StoreBudget > 0 {
 		opts = append(opts, exrquy.WithStoreBudget(cfg.StoreBudget))
+	}
+	if cfg.ScrubInterval > 0 {
+		opts = append(opts, exrquy.WithStoreScrub(exrquy.StoreScrubConfig{
+			Interval:    cfg.ScrubInterval,
+			BytesPerSec: cfg.ScrubBytesPerSec,
+		}))
 	}
 	s := &Server{
 		cfg:      cfg,

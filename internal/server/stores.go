@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	exrquy "repro"
@@ -22,6 +23,7 @@ import (
 var (
 	storeAttachesTotal = obs.Default.Counter("server_store_attaches_total")
 	storeDetachesTotal = obs.Default.Counter("server_store_detaches_total")
+	storeScrubsTotal   = obs.Default.Counter("server_store_scrubs_total")
 )
 
 // storeRoutes wires the /stores endpoints (called from routes).
@@ -29,6 +31,7 @@ func (s *Server) storeRoutes() {
 	s.mux.HandleFunc("POST /stores", s.handleAttachStore)
 	s.mux.HandleFunc("GET /stores", s.handleListStores)
 	s.mux.HandleFunc("DELETE /stores", s.handleDetachStore)
+	s.mux.HandleFunc("POST /stores/scrub", s.handleScrubStores)
 }
 
 // attachRequest is the POST /stores body: the directories of one store
@@ -96,6 +99,34 @@ func (s *Server) handleListStores(w http.ResponseWriter, r *http.Request) {
 		mounts = []exrquy.StoreMountInfo{}
 	}
 	writeJSON(w, http.StatusOK, mounts)
+}
+
+// handleScrubStores runs one synchronous scrub pass over every attached
+// store — re-verifying part-file checksums, quarantining corrupt
+// replicas and restoring them from healthy copies — and answers with
+// each mount's cumulative scrub counters. ?bps= paces the verification
+// reads (bytes/second; 0 or absent = unpaced).
+func (s *Server) handleScrubStores(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeDraining(w)
+		return
+	}
+	if _, _, ok := s.clientFor(r); !ok {
+		writeUnauthorized(w)
+		return
+	}
+	var bps int64
+	if v := strings.TrimSpace(r.URL.Query().Get("bps")); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, qerr.Newf(qerr.ErrParse, "request", "bad ?bps=%q", v))
+			return
+		}
+		bps = n
+	}
+	stats := s.eng.ScrubStores(bps)
+	storeScrubsTotal.Inc()
+	writeJSON(w, http.StatusOK, stats)
 }
 
 // handleDetachStore unmounts the store keyed by ?dir= (the first

@@ -1,0 +1,178 @@
+// Deterministic storage fault injection: a seeded plan that makes part
+// opens fail, query-time probes observe I/O errors or checksum
+// mismatches on a chosen replica, and WriteDoc crash between writing
+// part files and publishing manifests — the storage mirror of
+// resilience.HTTPFaultPlan's counter-residue design. Armed only: the
+// zero state injects nothing and the probe fast path is one atomic
+// pointer load.
+package store
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// FaultPlan schedules deterministic storage faults. Each class fires on
+// every Nth event of its own counter, at the seed's residue, so the same
+// spec replays the same faults:
+//
+//	eio       every Nth query execution observes an I/O error (EIO) on
+//	          one replica of one part at its first probe
+//	badcrc    like eio, but the fault reads as a checksum mismatch
+//	shortread every Nth part open sees a file truncated mid-section
+//	mmap      every Nth part open fails to map the file
+//	torn      every Nth WriteDoc "crashes" after writing part files but
+//	          before publishing any manifest (the kill-during-write
+//	          window the fsync path must make safe)
+//
+// Query-class faults (eio/badcrc) mark the chosen part suspect exactly
+// as a real fault would; recovery then exercises the production path:
+// suspect → failover to the next replica → re-execute.
+type FaultPlan struct {
+	// Seed varies which events fault without changing how many.
+	Seed int64
+	// EIOEvery > 0 injects an I/O fault on every Nth query execution.
+	EIOEvery int
+	// BadCRCEvery > 0 injects a checksum mismatch on every Nth query
+	// execution.
+	BadCRCEvery int
+	// ShortReadEvery > 0 truncates every Nth part open.
+	ShortReadEvery int
+	// MmapEvery > 0 fails every Nth part open at the mapping step.
+	MmapEvery int
+	// TornEvery > 0 aborts every Nth WriteDoc before its manifests.
+	TornEvery int
+
+	queries atomic.Int64 // query executions seen (eio/badcrc counter)
+	opens   atomic.Int64 // part opens seen (shortread/mmap counter)
+	writes  atomic.Int64 // WriteDoc calls seen (torn counter)
+}
+
+// hits reports whether event number i (0-based) fires for a 1-in-n
+// fault class, at the seed's residue (same scheme as
+// resilience.HTTPFaultPlan and governor.FaultPlan).
+func (f *FaultPlan) hits(i int64, n int) bool {
+	if n <= 0 {
+		return false
+	}
+	residue := f.Seed % int64(n)
+	if residue < 0 {
+		residue += int64(n)
+	}
+	return i%int64(n) == residue
+}
+
+// armed is the process-wide fault plan; nil (the default) injects
+// nothing. Stores consult it at part open, WriteDoc, and query probes.
+var armed atomic.Pointer[FaultPlan]
+
+// SetFaults arms plan process-wide (nil disarms). Tests and the
+// -store-chaos CLI flags call it; production never does.
+func SetFaults(plan *FaultPlan) { armed.Store(plan) }
+
+// ArmedFaults returns the armed plan, or nil.
+func ArmedFaults() *FaultPlan { return armed.Load() }
+
+// openFault returns a synthetic error for this part open, or nil. The
+// error classifies exactly as the real failure would: a short read as
+// ErrCorrupt truncation, a failed map as an I/O error.
+func (f *FaultPlan) openFault(path string) error {
+	i := f.opens.Add(1) - 1
+	if f.hits(i, f.ShortReadEvery) {
+		return corruptf("%s: truncated by injected short read (fault plan)", path)
+	}
+	if f.hits(i, f.MmapEvery) {
+		return fmt.Errorf("store: %s: injected mmap failure (fault plan)", path)
+	}
+	return nil
+}
+
+// writeFault returns a synthetic crash for this WriteDoc, or nil.
+// Callers invoke it after part files are durable and before any
+// manifest is written — the torn-write window.
+func (f *FaultPlan) writeFault(uri string) error {
+	i := f.writes.Add(1) - 1
+	if f.hits(i, f.TornEvery) {
+		return fmt.Errorf("store: injected torn write: crashed before publishing manifests for %q (fault plan)", uri)
+	}
+	return nil
+}
+
+// QueryFault injects at most one fault for one query execution: when
+// this execution's number hits the eio or badcrc residue, a part is
+// chosen by rotation across the mounted stores, marked suspect, and the
+// corresponding error returned (retryable iff a standby replica
+// remains). Returns nil when this execution does not fault. The mounting
+// engine calls it from each execution's first store probe.
+func (f *FaultPlan) QueryFault(stores []*Store) error {
+	if len(stores) == 0 || (f.EIOEvery <= 0 && f.BadCRCEvery <= 0) {
+		return nil
+	}
+	i := f.queries.Add(1) - 1
+	eio := f.hits(i, f.EIOEvery)
+	badcrc := !eio && f.hits(i, f.BadCRCEvery)
+	if !eio && !badcrc {
+		return nil
+	}
+	total := 0
+	for _, st := range stores {
+		total += st.numParts()
+	}
+	if total == 0 {
+		return nil
+	}
+	k := int(i % int64(total))
+	for _, st := range stores {
+		n := st.numParts()
+		if k < n {
+			kind := "injected checksum mismatch"
+			if eio {
+				kind = "injected I/O error"
+			}
+			return st.injectPartFault(k, kind)
+		}
+		k -= n
+	}
+	return nil
+}
+
+// ParseFaultSpec parses a -store-chaos specification: comma-separated
+// key=value pairs over the keys seed, eio, badcrc, shortread, mmap and
+// torn (e.g. "seed=7,eio=11,badcrc=13"). An empty spec returns nil (no
+// faults).
+func ParseFaultSpec(spec string) (*FaultPlan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	plan := &FaultPlan{}
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("store fault spec: %q is not key=value", kv)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("store fault spec: %s: %v", key, err)
+		}
+		switch key {
+		case "seed":
+			plan.Seed = n
+		case "eio":
+			plan.EIOEvery = int(n)
+		case "badcrc":
+			plan.BadCRCEvery = int(n)
+		case "shortread":
+			plan.ShortReadEvery = int(n)
+		case "mmap":
+			plan.MmapEvery = int(n)
+		case "torn":
+			plan.TornEvery = int(n)
+		default:
+			return nil, fmt.Errorf("store fault spec: unknown key %q", key)
+		}
+	}
+	return plan, nil
+}

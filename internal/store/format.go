@@ -25,11 +25,13 @@ package store
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"repro/internal/qerr"
 	"repro/internal/xmltree"
@@ -81,6 +83,28 @@ func corruptf(format string, args ...any) error {
 	return qerr.Newf(qerr.ErrCorrupt, "mount", "store: "+format, args...)
 }
 
+// retryableCorruptf is corruptf for a fault with a healthy replica left:
+// the same classification, but marked retryable so the engine's failover
+// loop re-executes instead of failing the query.
+func retryableCorruptf(format string, args ...any) error {
+	e := qerr.Newf(qerr.ErrCorrupt, "execute", "store: "+format, args...)
+	e.Retryable = true
+	return e
+}
+
+// sectionName names a section index in diagnostics, so a corrupt-part
+// message pins down what is broken, not just where.
+var sectionNames = [numSections]string{
+	"kind", "size", "level", "parent", "nameid", "dict", "valoff", "valheap",
+}
+
+func sectionName(i int) string {
+	if i >= 0 && i < numSections {
+		return sectionNames[i]
+	}
+	return fmt.Sprintf("#%d", i)
+}
+
 // manifest is the JSON document listing a directory's store contents.
 type manifest struct {
 	Format int           `json:"format"`
@@ -90,6 +114,10 @@ type manifest struct {
 type manifestDoc struct {
 	URI   string         `json:"uri"`
 	Parts []manifestPart `json:"parts"`
+	// Quarantined lists part files of this document that the scrubber
+	// renamed to *.quarantine in this directory (forensic record; the
+	// live part entry is removed so mounts skip the bad copy).
+	Quarantined []string `json:"quarantined,omitempty"`
 }
 
 type manifestPart struct {
@@ -97,6 +125,11 @@ type manifestPart struct {
 	Index int    `json:"index"`
 	Of    int    `json:"of"`
 	Nodes int64  `json:"nodes"`
+	// Replica numbers this copy of part Index (0-based) and Replicas the
+	// copies written; pre-replication manifests omit both, reading as
+	// replica 0 of 1.
+	Replica  int `json:"replica,omitempty"`
+	Replicas int `json:"replicas,omitempty"`
 }
 
 func readManifest(dir string) (*manifest, error) {
@@ -123,10 +156,43 @@ func writeManifest(dir string, m *manifest) error {
 		return err
 	}
 	tmp := filepath.Join(dir, ManifestName+".tmp")
-	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(dir, ManifestName))
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	// The rename below is only atomic on disk if the new content got
+	// there first; without this fsync a crash can publish a manifest of
+	// garbage (or of the old length) under the final name.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir makes a directory's entries (new files, renames) durable. A
+// filesystem that cannot sync directories reports EINVAL; treated as
+// done — there is nothing more portable to ask of it.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		return err
+	}
+	return nil
 }
 
 // partFileName derives a filesystem-safe part file name from a doc URI.
@@ -143,22 +209,59 @@ func partFileName(uri string, index int) string {
 	return fmt.Sprintf("%s.part%03d.xrq", safe, index)
 }
 
+// WriteOptions configures WriteDocOpts.
+type WriteOptions struct {
+	// Shards is the number of parts the document splits into by equal
+	// preorder ranges; <= 0 means one part per directory (the historical
+	// WriteDoc behaviour).
+	Shards int
+	// Replicas is the number of directories each part is written to;
+	// <= 0 means 1 (no replication). Replica r of shard k lands in
+	// dirs[(k+r) mod len(dirs)], so replicas of one part never share a
+	// directory — a lost or corrupted directory costs at most one copy
+	// of each part. Requires Replicas <= len(dirs).
+	Replicas int
+}
+
 // WriteDoc persists frag as the parts of uri, one part per directory:
 // len(dirs) == 1 writes a single-part (unsharded) store, N directories
 // shard the document by equal preorder ranges. Directories are created
 // as needed; each directory's manifest is updated (it is an error if it
-// already lists uri).
+// already lists uri). For replication use WriteDocOpts.
 func WriteDoc(dirs []string, uri string, frag *xmltree.Fragment) error {
+	return WriteDocOpts(dirs, uri, frag, WriteOptions{})
+}
+
+// WriteDocOpts persists frag as Shards parts replicated Replicas times
+// across dirs. Every part file is fsynced (file and directory) before
+// any manifest names it, and each directory's manifest is published
+// atomically (write-to-tmp, fsync, rename, fsync dir) — a crash mid-
+// write leaves either no trace of the document or a mountable subset of
+// replicas, never a manifest pointing at torn parts.
+func WriteDocOpts(dirs []string, uri string, frag *xmltree.Fragment, opts WriteOptions) error {
 	n := frag.Len()
 	if n == 0 {
 		return fmt.Errorf("store: refusing to write empty document %q", uri)
 	}
-	parts := len(dirs)
-	if parts < 1 {
+	if len(dirs) < 1 {
 		return fmt.Errorf("store: no target directories")
 	}
-	for k, dir := range dirs {
-		lo, hi := k*n/parts, (k+1)*n/parts
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = len(dirs)
+	}
+	replicas := opts.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	if replicas > len(dirs) {
+		return fmt.Errorf("store: %d replicas need %d directories, have %d", replicas, replicas, len(dirs))
+	}
+
+	// Load (or initialize) every directory's manifest up front and
+	// refuse duplicates before writing any file.
+	manifests := make(map[string]*manifest, len(dirs))
+	for _, dir := range dirs {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
 		}
@@ -175,13 +278,51 @@ func WriteDoc(dirs []string, uri string, frag *xmltree.Fragment) error {
 				}
 			}
 		}
+		manifests[dir] = m
+	}
+
+	// Phase 1: part files — every replica written and fsynced, then the
+	// directories, so the data is durable before anything names it.
+	adds := make(map[string][]manifestPart, len(dirs))
+	for k := 0; k < shards; k++ {
+		lo, hi := k*n/shards, (k+1)*n/shards
 		file := partFileName(uri, k)
-		if err := writePart(filepath.Join(dir, file), frag, lo, hi); err != nil {
+		for r := 0; r < replicas; r++ {
+			dir := dirs[(k+r)%len(dirs)]
+			if err := writePart(filepath.Join(dir, file), frag, lo, hi); err != nil {
+				return err
+			}
+			adds[dir] = append(adds[dir], manifestPart{
+				File: file, Index: k, Of: shards, Nodes: int64(hi - lo),
+				Replica: r, Replicas: replicas,
+			})
+		}
+	}
+	for _, dir := range dirs {
+		if len(adds[dir]) > 0 {
+			if err := syncDir(dir); err != nil {
+				return err
+			}
+		}
+	}
+
+	// The torn-write window: parts durable, manifests not yet written. A
+	// crash (or an injected one) here leaves orphaned part files that no
+	// manifest names — invisible to mounts, overwritten by a rerun.
+	if f := ArmedFaults(); f != nil {
+		if err := f.writeFault(uri); err != nil {
 			return err
 		}
-		m.Docs = append(m.Docs, manifestDoc{URI: uri, Parts: []manifestPart{{
-			File: file, Index: k, Of: parts, Nodes: int64(hi - lo),
-		}}})
+	}
+
+	// Phase 2: publish — per-directory manifest updates, each atomic.
+	for _, dir := range dirs {
+		parts := adds[dir]
+		if len(parts) == 0 {
+			continue
+		}
+		m := manifests[dir]
+		m.Docs = append(m.Docs, manifestDoc{URI: uri, Parts: parts})
 		if err := writeManifest(dir, m); err != nil {
 			return err
 		}
@@ -293,8 +434,13 @@ func writePart(path string, frag *xmltree.Fragment, lo, hi int) (err error) {
 		binary.LittleEndian.PutUint64(hb[base+8:], s.len)
 		binary.LittleEndian.PutUint32(hb[base+16:], s.crc)
 	}
-	_, err = f.WriteAt(hb, 0)
-	return err
+	if _, err := f.WriteAt(hb, 0); err != nil {
+		return err
+	}
+	// Durability: the part's bytes must be on disk before any manifest
+	// names the file — tmp+rename on the manifest alone still leaves a
+	// crash window where a valid manifest points at torn parts.
+	return f.Sync()
 }
 
 // partWriter streams section bytes with running CRC and 8-byte section
@@ -397,10 +543,17 @@ func (w *partWriter) end(s *section) {
 // parseHeader validates the fixed header of a mapped part file against
 // the file's actual size, classifying every violation as ErrCorrupt.
 func parseHeader(path string, data []byte) (header, error) {
-	var h header
 	if len(data) < headerSize {
+		var h header
 		return h, corruptf("%s: truncated: %d bytes, header needs %d", path, len(data), headerSize)
 	}
+	return parseHeaderBytes(path, data[:headerSize], uint64(len(data)))
+}
+
+// parseHeaderBytes validates a part header given only its bytes and the
+// file size — the streaming (no-mmap) entry verifyPartFile uses.
+func parseHeaderBytes(path string, data []byte, size uint64) (header, error) {
+	var h header
 	if string(data[:8]) != magic {
 		return h, corruptf("%s: bad magic %q", path, data[:8])
 	}
@@ -413,7 +566,6 @@ func parseHeader(path string, data []byte) (header, error) {
 	h.nodes = binary.LittleEndian.Uint64(data[16:])
 	h.rowLo = binary.LittleEndian.Uint64(data[24:])
 	h.dictN = binary.LittleEndian.Uint64(data[32:])
-	size := uint64(len(data))
 	for i := range h.secs {
 		base := 40 + i*24
 		h.secs[i].off = binary.LittleEndian.Uint64(data[base:])
@@ -421,18 +573,18 @@ func parseHeader(path string, data []byte) (header, error) {
 		h.secs[i].crc = binary.LittleEndian.Uint32(data[base+16:])
 		s := h.secs[i]
 		if s.off < headerSize || s.off > size || s.len > size-s.off {
-			return h, corruptf("%s: section %d [%d,+%d) outside file of %d bytes (truncated?)",
-				path, i, s.off, s.len, size)
+			return h, corruptf("%s: %s section [%d,+%d) outside file of %d bytes (truncated?)",
+				path, sectionName(i), s.off, s.len, size)
 		}
 		if s.off%8 != 0 {
-			return h, corruptf("%s: section %d misaligned at %d", path, i, s.off)
+			return h, corruptf("%s: %s section misaligned at %d", path, sectionName(i), s.off)
 		}
 	}
 	n := h.nodes
 	for i, want := range []uint64{n, 4 * n, 4 * n, 4 * n, 4 * n} {
 		if h.secs[i].len != want {
-			return h, corruptf("%s: section %d holds %d bytes, %d nodes need %d",
-				path, i, h.secs[i].len, n, want)
+			return h, corruptf("%s: %s section holds %d bytes, %d nodes need %d",
+				path, sectionName(i), h.secs[i].len, n, want)
 		}
 	}
 	if h.secs[sValOff].len != 8*(n+1) {
@@ -449,7 +601,7 @@ func verifySections(path string, data []byte, h header) error {
 	for i, s := range h.secs {
 		got := crc32.ChecksumIEEE(data[s.off : s.off+s.len])
 		if got != s.crc {
-			return corruptf("%s: section %d checksum mismatch (%08x != %08x)", path, i, got, s.crc)
+			return corruptf("%s: %s section checksum mismatch (%08x != %08x)", path, sectionName(i), got, s.crc)
 		}
 	}
 	return nil

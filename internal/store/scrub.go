@@ -1,0 +1,405 @@
+// Background scrubbing: a pacing-limited loop that re-verifies every
+// part file's section CRCs — the active mappings and the standby
+// replica files — so silent on-disk corruption is found before a query
+// trips over it. A bad active copy fails over to the next replica (the
+// mounting engine re-registers the reassembled documents via
+// Options.OnHeal); a bad file with a healthy sibling is quarantined
+// (atomic rename to <file>.quarantine, manifest annotated) and restored
+// by copying the healthy replica back under the original name.
+package store
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ScrubConfig configures the background scrubber.
+type ScrubConfig struct {
+	// Interval is the pause between scrub passes; <= 0 disables the
+	// background loop (ScrubNow still scrubs on demand).
+	Interval time.Duration
+	// BytesPerSec paces verification I/O: after each file the scrubber
+	// sleeps long enough that its read rate stays under this bound, so
+	// scrubbing a cold multi-GB corpus does not monopolize the disk or
+	// the page cache. <= 0 means unpaced.
+	BytesPerSec int64
+}
+
+// ScrubStats are the scrubber's cumulative counters for one store.
+type ScrubStats struct {
+	// Passes counts completed scrub passes.
+	Passes int64 `json:"passes"`
+	// PartsVerified counts file verifications (active + standby).
+	PartsVerified int64 `json:"parts_verified"`
+	// Errors counts verifications that found a bad file.
+	Errors int64 `json:"errors"`
+	// Quarantined counts files renamed to *.quarantine.
+	Quarantined int64 `json:"quarantined"`
+	// Rereplicated counts quarantined parts restored from a healthy
+	// replica.
+	Rereplicated int64 `json:"rereplicated"`
+}
+
+// StartScrub launches the background scrub loop. A second call while
+// one is running is a no-op; Close (or StopScrub) stops it.
+func (s *Store) StartScrub(cfg ScrubConfig) {
+	if cfg.Interval <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.closed || s.scrubStop != nil {
+		s.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.scrubStop, s.scrubDone = stop, done
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(cfg.Interval):
+			}
+			s.scrubOnce(cfg, stop)
+		}
+	}()
+}
+
+// StopScrub stops the background scrub loop and waits for it to exit.
+// Safe to call when none is running.
+func (s *Store) StopScrub() {
+	s.mu.Lock()
+	stop, done := s.scrubStop, s.scrubDone
+	s.scrubStop, s.scrubDone = nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// ScrubNow runs one synchronous scrub pass (regardless of whether the
+// background loop is running) and returns the cumulative stats.
+func (s *Store) ScrubNow(cfg ScrubConfig) ScrubStats {
+	s.scrubOnce(cfg, nil)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scrubStats
+}
+
+// scrubOnce is one pass over every part: verify the active mapping,
+// verify each standby replica file, quarantine + re-replicate what is
+// bad, fail suspect parts over, and report the healed documents.
+func (s *Store) scrubOnce(cfg ScrubConfig, stop <-chan struct{}) {
+	healedURIs := make(map[string]bool)
+	n := s.numParts()
+	for i := 0; i < n; i++ {
+		select {
+		case <-stop:
+			s.finishScrub(healedURIs, false)
+			return
+		default:
+		}
+		bytes := s.scrubPart(i, healedURIs)
+		scrubPace(bytes, cfg.BytesPerSec, stop)
+	}
+	s.finishScrub(healedURIs, true)
+}
+
+// scrubPart verifies part i's active mapping and standby files,
+// handling failover/quarantine/re-replication. Returns the bytes read
+// (for pacing).
+func (s *Store) scrubPart(i int, healedURIs map[string]bool) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || i >= len(s.parts) {
+		return 0
+	}
+	p := s.parts[i]
+	read := int64(0)
+
+	// Active mapping: full section-CRC re-verification. The pages it
+	// touches are dropped right after, so scrubbing does not pin the
+	// corpus resident.
+	if p.data != nil && !p.exhausted {
+		read += int64(len(p.data))
+		err := verifySections(p.path, p.data, p.hdr)
+		dropPages(p.f, p.data, p.mapped)
+		s.scrubStats.PartsVerified++
+		obs.StoreScrubPartsTotal.Inc()
+		if err != nil {
+			s.scrubStats.Errors++
+			obs.StoreScrubErrorsTotal.Inc()
+			bad := p.srcs[p.active]
+			bad.bad = true
+			s.markSuspectLocked(p, err.Error())
+			if s.failoverPartLocked(p) {
+				healedURIs[p.uri] = true
+				if s.quarantineLocked(p, bad) {
+					s.rereplicateLocked(p, bad)
+				}
+			}
+			return read
+		}
+	}
+
+	// Standby replicas: stream the file through the same CRC checks. A
+	// bad standby with a healthy active copy is quarantined and restored
+	// from it.
+	for idx, src := range p.srcs {
+		if idx == p.active {
+			continue
+		}
+		if src.bad {
+			// Found bad before this pass (at mount, or by an earlier pass
+			// whose restore failed): repair without re-reading the copy.
+			if !p.suspect.Load() && !p.exhausted && s.quarantineLocked(p, src) {
+				s.rereplicateLocked(p, src)
+			}
+			continue
+		}
+		if fi, err := os.Stat(src.path()); err == nil {
+			read += fi.Size()
+		}
+		s.scrubStats.PartsVerified++
+		obs.StoreScrubPartsTotal.Inc()
+		if err := verifyPartFile(src.path()); err != nil {
+			s.scrubStats.Errors++
+			obs.StoreScrubErrorsTotal.Inc()
+			src.bad = true
+			if !p.suspect.Load() && !p.exhausted && s.quarantineLocked(p, src) {
+				s.rereplicateLocked(p, src)
+			}
+		}
+	}
+	return read
+}
+
+// finishScrub reassembles documents healed during the pass, hands them
+// to Options.OnHeal, and closes out the pass counters.
+func (s *Store) finishScrub(healedURIs map[string]bool, full bool) {
+	s.mu.Lock()
+	healed, _ := s.reassembleLocked(healedURIs)
+	onHeal := s.opts.OnHeal
+	if full && !s.closed {
+		s.scrubStats.Passes++
+		obs.StoreScrubPassesTotal.Inc()
+	}
+	s.mu.Unlock()
+	if len(healed) > 0 && onHeal != nil {
+		onHeal(healed)
+	}
+	if full {
+		s.Sample()
+	}
+}
+
+// scrubPace sleeps long enough after reading n bytes to keep the scrub
+// rate under bytesPerSec.
+func scrubPace(n, bytesPerSec int64, stop <-chan struct{}) {
+	if bytesPerSec <= 0 || n <= 0 {
+		return
+	}
+	d := time.Duration(n) * time.Second / time.Duration(bytesPerSec)
+	if d <= 0 {
+		return
+	}
+	if stop == nil {
+		time.Sleep(d)
+		return
+	}
+	select {
+	case <-stop:
+	case <-time.After(d):
+	}
+}
+
+// quarantineLocked renames src's file to <file>.quarantine and removes
+// its manifest entry (recording the name under the doc's "quarantined"
+// list), so future mounts skip the bad copy. Reports whether the copy
+// is quarantined — including when an earlier pass already moved it, so
+// the restore can be retried. Caller holds s.mu.
+func (s *Store) quarantineLocked(p *part, src *source) bool {
+	qpath := src.path() + ".quarantine"
+	if err := os.Rename(src.path(), qpath); err != nil {
+		if _, serr := os.Stat(qpath); serr != nil {
+			return false
+		}
+		return true // already quarantined; counted when it happened
+	}
+	_ = manifestQuarantine(src.dir, p.uri, src.mp.File)
+	s.quarantined++
+	s.scrubStats.Quarantined++
+	obs.StoreQuarantinedParts.Add(1)
+	return true
+}
+
+// rereplicateLocked restores src's quarantined part from the healthy
+// active copy: copy the active file into src's directory under the
+// original name (write-to-tmp, fsync, rename), verify it, and re-add
+// the manifest entry. Caller holds s.mu.
+func (s *Store) rereplicateLocked(p *part, src *source) {
+	if err := copyFileSync(p.path, src.path()); err != nil {
+		return
+	}
+	if err := verifyPartFile(src.path()); err != nil {
+		os.Remove(src.path())
+		return
+	}
+	if err := manifestRestore(src.dir, p.uri, src.mp); err != nil {
+		return
+	}
+	src.bad = false
+	s.quarantined--
+	s.scrubStats.Rereplicated++
+	obs.StoreQuarantinedParts.Add(-1)
+	obs.StoreRereplicatedTotal.Inc()
+}
+
+// manifestQuarantine removes file's part entry for uri from dir's
+// manifest and records it under the doc's quarantined list.
+func manifestQuarantine(dir, uri, file string) error {
+	m, err := readManifest(dir)
+	if err != nil {
+		return err
+	}
+	for di := range m.Docs {
+		if m.Docs[di].URI != uri {
+			continue
+		}
+		parts := m.Docs[di].Parts[:0]
+		for _, mp := range m.Docs[di].Parts {
+			if mp.File != file {
+				parts = append(parts, mp)
+			}
+		}
+		m.Docs[di].Parts = parts
+		m.Docs[di].Quarantined = append(m.Docs[di].Quarantined, file)
+	}
+	return writeManifest(dir, m)
+}
+
+// manifestRestore re-adds a re-replicated part entry to dir's manifest
+// and clears the quarantine note.
+func manifestRestore(dir, uri string, mp manifestPart) error {
+	m, err := readManifest(dir)
+	if err != nil {
+		return err
+	}
+	for di := range m.Docs {
+		if m.Docs[di].URI != uri {
+			continue
+		}
+		has := false
+		for _, ex := range m.Docs[di].Parts {
+			if ex.File == mp.File {
+				has = true
+			}
+		}
+		if !has {
+			m.Docs[di].Parts = append(m.Docs[di].Parts, mp)
+		}
+		q := m.Docs[di].Quarantined[:0]
+		for _, f := range m.Docs[di].Quarantined {
+			if f != mp.File {
+				q = append(q, f)
+			}
+		}
+		if len(q) == 0 {
+			q = nil
+		}
+		m.Docs[di].Quarantined = q
+	}
+	return writeManifest(dir, m)
+}
+
+// copyFileSync copies src to dst durably: write to a tmp file, fsync,
+// rename over dst, fsync the directory.
+func copyFileSync(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	tmp := dst + ".tmp"
+	out, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(dst))
+}
+
+// verifyPartFile validates a part file by streaming reads — header
+// structure and every section CRC — without mapping it. Used for
+// standby replicas and freshly re-replicated copies.
+func verifyPartFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return corruptf("%s: part file missing", path)
+		}
+		return fmt.Errorf("store: %s: %w", path, err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %s: %w", path, err)
+	}
+	hb := make([]byte, headerSize)
+	if _, err := io.ReadFull(f, hb); err != nil {
+		return corruptf("%s: truncated: %d bytes, header needs %d", path, fi.Size(), headerSize)
+	}
+	h, err := parseHeaderBytes(path, hb, uint64(fi.Size()))
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 1<<16)
+	for i, sec := range h.secs {
+		crc := uint32(0)
+		off, remaining := int64(sec.off), sec.len
+		for remaining > 0 {
+			c := uint64(len(buf))
+			if remaining < c {
+				c = remaining
+			}
+			n, err := f.ReadAt(buf[:c], off)
+			if err != nil {
+				return corruptf("%s: %s section unreadable at %d: %v", path, sectionName(i), off, err)
+			}
+			crc = crc32.Update(crc, crc32.IEEETable, buf[:n])
+			off += int64(n)
+			remaining -= uint64(n)
+		}
+		if crc != sec.crc {
+			return corruptf("%s: %s section checksum mismatch (%08x != %08x)", path, sectionName(i), crc, sec.crc)
+		}
+	}
+	return nil
+}

@@ -5,6 +5,14 @@
 // account so a multi-gigabyte corpus competes for the same byte budget
 // as query intermediates — under pressure the sampler evicts store
 // pages instead of failing queries.
+//
+// Fault tolerance: a part replicated by WriteDocOpts mounts the first
+// healthy copy and keeps the rest as standby sources. A fault observed
+// mid-query (injected I/O error, lazily-detected CRC mismatch, a test's
+// KillReplica) marks the part suspect; FailoverSuspects then swaps the
+// mapping to the next replica and reassembles the affected documents.
+// The replaced mapping is never unmapped while the store is open — it is
+// condemned instead — so in-flight results that alias it stay valid.
 package store
 
 import (
@@ -14,9 +22,11 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"unsafe"
 
 	"repro/internal/obs"
+	"repro/internal/qerr"
 	"repro/internal/xdm"
 	"repro/internal/xmltree"
 )
@@ -29,20 +39,70 @@ type Options struct {
 	// ledger cannot cover trigger page eviction, never an error — paging
 	// pressure must degrade locality, not availability.
 	Ledger *xdm.Ledger
+	// LazyVerify defers section-CRC verification from mount time to the
+	// first query probe (Health). Mounts of large corpora get cheap; the
+	// first query pays for the verification instead, and a bad part
+	// surfaces as a retryable fault (when a replica remains) rather than
+	// a failed mount. Default off: verify eagerly at open.
+	LazyVerify bool
+	// OnHeal, when set, is called after a scrub pass failed suspect
+	// parts over to healthy replicas and reassembled their documents —
+	// the mounting engine re-registers the fresh fragments. Invoked
+	// without store locks held, from the scrubber goroutine or a
+	// ScrubNow caller.
+	OnHeal func([]DocEntry)
 }
 
-// part is one mapped part file.
-type part struct {
-	path   string
-	uri    string
-	index  int
-	of     int
+// source is one on-disk location (replica) of a part.
+type source struct {
+	dir string
+	mp  manifestPart
+	bad bool // open failed or scrub proved the bytes wrong (guarded by Store.mu)
+}
+
+func (s *source) path() string { return filepath.Join(s.dir, s.mp.File) }
+
+// mapping is one mapped part file.
+type mapping struct {
 	f      *os.File
 	data   []byte
 	mapped bool // data is an mmap (not the read-whole-file fallback)
 	hdr    header
+}
+
+// part is one logical part of a document: the active mapping plus the
+// standby replica sources failover can switch to.
+type part struct {
+	uri   string
+	index int
+	of    int
+
+	srcs   []*source // replicas in replica order; immutable after Open
+	active int       // index into srcs of the serving copy (guarded by Store.mu)
+
+	path   string
+	f      *os.File
+	data   []byte
+	mapped bool
+	hdr    header
+
+	verified  bool        // section CRCs checked (guarded by Store.mu)
+	suspect   atomic.Bool // a fault was observed on the active copy
+	exhausted bool        // every replica failed; terminal (guarded by Store.mu)
+	faultMsg  string      // diagnostic of the observed fault (guarded by Store.mu)
 
 	lastResident int64 // bytes resident at the previous Sample
+}
+
+// standbyLocked reports whether a not-yet-rejected replica other than
+// the active one remains. Caller holds Store.mu.
+func (p *part) standbyLocked() bool {
+	for off := 1; off < len(p.srcs); off++ {
+		if !p.srcs[(p.active+off)%len(p.srcs)].bad {
+			return true
+		}
+	}
+	return false
 }
 
 // DocEntry is one document reassembled from its parts.
@@ -57,11 +117,27 @@ type DocEntry struct {
 // Close.
 type Store struct {
 	mu    sync.Mutex
-	parts []*part
+	parts []*part // immutable slice after Open (part fields are guarded by mu)
 	docs  []DocEntry
 	acct  *xdm.Account
+	opts  Options
 
-	mappedBytes   int64
+	// condemned holds mappings replaced by failover: in-flight results
+	// may still alias them, so they stay mapped (pages dropped, file
+	// open) until Close.
+	condemned []mapping
+
+	suspects   atomic.Int64 // parts currently suspect (Health fast path)
+	unverified atomic.Int64 // parts awaiting lazy verification
+
+	failovers   int64 // replica failovers performed by this store
+	quarantined int64 // part files quarantined and not yet restored
+	scrubStats  ScrubStats
+
+	scrubStop chan struct{}
+	scrubDone chan struct{}
+
+	mappedBytes   int64 // includes condemned mappings until Close
 	residentBytes int64
 	spineBytes    int64
 	closed        bool
@@ -69,10 +145,13 @@ type Store struct {
 
 // Open mounts the stores in dirs as one corpus. A document sharded
 // across several directories is reassembled as long as the given dirs
-// jointly cover all of its parts exactly once. Structural failures
-// (missing or partial part sets, bad magic, version skew, checksum
-// mismatches, truncation, invalid tree encodings) are classified under
-// qerr.ErrCorrupt.
+// jointly cover all of its parts at least once; a part present in
+// several directories (WriteDocOpts with Replicas > 1) mounts its first
+// healthy replica and keeps the rest as failover standbys. Structural
+// failures (missing or partial part sets, bad magic, version skew,
+// checksum mismatches, truncation, invalid tree encodings) are
+// classified under qerr.ErrCorrupt; with replicas, Open only fails when
+// every copy of a part is bad.
 func Open(dirs []string, opts Options) (st *Store, err error) {
 	if len(dirs) == 0 {
 		return nil, fmt.Errorf("store: no directories to open")
@@ -98,7 +177,7 @@ func Open(dirs []string, opts Options) (st *Store, err error) {
 		}
 	}
 
-	st = &Store{}
+	st = &Store{opts: opts}
 	defer func() {
 		if err != nil {
 			st.Close()
@@ -112,7 +191,7 @@ func Open(dirs []string, opts Options) (st *Store, err error) {
 		if of < 1 {
 			return nil, corruptf("%s: part count %d", uri, of)
 		}
-		seen := make([]bool, of)
+		slots := make([][]partRef, of)
 		for _, r := range refs {
 			if r.mp.Of != of {
 				return nil, corruptf("%s: directories disagree on part count (%d vs %d)", uri, r.mp.Of, of)
@@ -120,30 +199,63 @@ func Open(dirs []string, opts Options) (st *Store, err error) {
 			if r.mp.Index < 0 || r.mp.Index >= of {
 				return nil, corruptf("%s: part index %d out of range [0,%d)", uri, r.mp.Index, of)
 			}
-			if seen[r.mp.Index] {
-				return nil, corruptf("%s: part %d mounted twice", uri, r.mp.Index)
-			}
-			seen[r.mp.Index] = true
+			slots[r.mp.Index] = append(slots[r.mp.Index], r)
 		}
-		for i, ok := range seen {
-			if !ok {
+		for i, slot := range slots {
+			if len(slot) == 0 {
 				return nil, corruptf("%s: part %d/%d missing from the mounted directories", uri, i, of)
 			}
+			sort.Slice(slot, func(a, b int) bool {
+				if slot[a].mp.Replica != slot[b].mp.Replica {
+					return slot[a].mp.Replica < slot[b].mp.Replica
+				}
+				return slot[a].dir < slot[b].dir
+			})
+			for j := 1; j < len(slot); j++ {
+				if slot[j].mp.Replica == slot[j-1].mp.Replica {
+					return nil, corruptf("%s: part %d replica %d mounted twice", uri, i, slot[j].mp.Replica)
+				}
+			}
 		}
-		sort.Slice(refs, func(i, j int) bool { return refs[i].mp.Index < refs[j].mp.Index })
 
 		docParts := make([]*part, 0, of)
 		rows := uint64(0)
-		for _, r := range refs {
-			path := filepath.Join(r.dir, r.mp.File)
-			p, perr := openPart(path, uri, r.mp)
-			if perr != nil {
-				return nil, perr
+		for i, slot := range slots {
+			p := &part{uri: uri, index: i, of: of}
+			for _, r := range slot {
+				p.srcs = append(p.srcs, &source{dir: r.dir, mp: r.mp})
+			}
+			var lastErr error
+			opened := false
+			for si, src := range p.srcs {
+				m, merr := openMapping(src.path(), src.mp, !opts.LazyVerify)
+				if merr != nil {
+					src.bad = true
+					lastErr = merr
+					continue
+				}
+				p.active = si
+				p.path = src.path()
+				p.f, p.data, p.mapped, p.hdr = m.f, m.data, m.mapped, m.hdr
+				p.verified = !opts.LazyVerify
+				if si > 0 {
+					// A replica beyond the first served: mount-time failover.
+					st.failovers++
+					obs.StoreFailoverTotal.Inc()
+				}
+				opened = true
+				break
+			}
+			if !opened {
+				return nil, lastErr
+			}
+			if !p.verified {
+				st.unverified.Add(1)
 			}
 			st.parts = append(st.parts, p)
 			st.mappedBytes += int64(len(p.data))
 			if p.hdr.rowLo != rows {
-				return nil, corruptf("%s: part %d starts at row %d, expected %d", path, p.index, p.hdr.rowLo, rows)
+				return nil, corruptf("%s: part %d starts at row %d, expected %d", p.path, p.index, p.hdr.rowLo, rows)
 			}
 			rows += p.hdr.nodes
 			docParts = append(docParts, p)
@@ -178,9 +290,15 @@ func Open(dirs []string, opts Options) (st *Store, err error) {
 	return st, nil
 }
 
-// openPart maps one part file and validates header, manifest agreement
-// and section checksums.
-func openPart(path, uri string, mp manifestPart) (*part, error) {
+// openMapping maps one part file and validates header and manifest
+// agreement; section checksums are verified when verify is set (eager
+// mounts) and deferred to Health otherwise.
+func openMapping(path string, mp manifestPart, verify bool) (*mapping, error) {
+	if fp := ArmedFaults(); fp != nil {
+		if err := fp.openFault(path); err != nil {
+			return nil, err
+		}
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -193,22 +311,33 @@ func openPart(path, uri string, mp manifestPart) (*part, error) {
 		f.Close()
 		return nil, fmt.Errorf("store: %s: %w", path, err)
 	}
-	p := &part{path: path, uri: uri, index: mp.Index, of: mp.Of, f: f, data: data, mapped: mapped}
+	m := &mapping{f: f, data: data, mapped: mapped}
 	h, err := parseHeader(path, data)
 	if err != nil {
-		p.close()
+		m.close()
 		return nil, err
 	}
 	if int64(h.nodes) != mp.Nodes {
-		p.close()
+		m.close()
 		return nil, corruptf("%s: holds %d nodes, manifest says %d", path, h.nodes, mp.Nodes)
 	}
-	if err := verifySections(path, data, h); err != nil {
-		p.close()
-		return nil, err
+	if verify {
+		if err := verifySections(path, data, h); err != nil {
+			m.close()
+			return nil, err
+		}
 	}
-	p.hdr = h
-	return p, nil
+	m.hdr = h
+	return m, nil
+}
+
+func (m *mapping) close() {
+	unmapFile(m.data, m.mapped)
+	m.data = nil
+	if m.f != nil {
+		m.f.Close()
+		m.f = nil
+	}
 }
 
 func (p *part) close() {
@@ -225,6 +354,10 @@ func (p *part) sec(i int) []byte {
 	s := p.hdr.secs[i]
 	return p.data[s.off : s.off+s.len]
 }
+
+// numParts returns the part count (the parts slice is immutable after
+// Open, so no lock is needed).
+func (s *Store) numParts() int { return len(s.parts) }
 
 // assembleDoc rebuilds one document's Fragment from its parts (already
 // in index order, row-contiguous). For a single-part document the int
@@ -331,11 +464,222 @@ func decodeDict(p *part) ([]string, error) {
 	return dict, nil
 }
 
-// Docs returns the mounted documents in mount order.
+// Docs returns the mounted documents in mount order. After a failover
+// the entries carry freshly reassembled fragments.
 func (s *Store) Docs() []DocEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]DocEntry(nil), s.docs...)
+}
+
+// Health is the query-time probe: it performs any pending lazy
+// verification and reports the first suspect part as an error —
+// retryable (the engine fails over and re-executes) while an untried
+// replica remains, terminal once all copies are bad. The healthy fast
+// path is two atomic loads.
+func (s *Store) Health() error {
+	if s.unverified.Load() > 0 {
+		if err := s.verifyPending(); err != nil {
+			return err
+		}
+	}
+	if s.suspects.Load() > 0 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for _, p := range s.parts {
+			if p.suspect.Load() {
+				return s.faultErrLocked(p)
+			}
+		}
+	}
+	return nil
+}
+
+// verifyPending runs deferred (LazyVerify) section-CRC checks. A bad
+// part is marked suspect and reported like any other fault.
+func (s *Store) verifyPending() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	for _, p := range s.parts {
+		if p.verified {
+			continue
+		}
+		err := verifySections(p.path, p.data, p.hdr)
+		p.verified = true
+		s.unverified.Add(-1)
+		// Verification touched every page; drop them so lazy checks do
+		// not pin the corpus resident.
+		dropPages(p.f, p.data, p.mapped)
+		if err != nil {
+			s.markSuspectLocked(p, err.Error())
+			return s.faultErrLocked(p)
+		}
+	}
+	return nil
+}
+
+// markSuspectLocked records an observed fault on p's active replica.
+// Caller holds s.mu.
+func (s *Store) markSuspectLocked(p *part, msg string) {
+	if p.suspect.CompareAndSwap(false, true) {
+		p.faultMsg = msg
+		s.suspects.Add(1)
+		obs.StoreSuspectParts.Add(1)
+	}
+}
+
+// faultErrLocked classifies p's recorded fault: retryable while a
+// standby replica remains, terminal otherwise. Caller holds s.mu.
+func (s *Store) faultErrLocked(p *part) error {
+	msg := p.faultMsg
+	if msg == "" {
+		msg = fmt.Sprintf("%s: part fault", p.path)
+	}
+	if !p.exhausted && p.standbyLocked() {
+		return retryableCorruptf("%s (replica %d of %d suspect; standby available)",
+			msg, p.srcs[p.active].mp.Replica, len(p.srcs))
+	}
+	if len(p.srcs) == 1 {
+		return qerr.Newf(qerr.ErrCorrupt, "execute", "store: %s (no replica to fail over to)", msg)
+	}
+	return qerr.Newf(qerr.ErrCorrupt, "execute", "store: %s (all %d replicas bad)", msg, len(p.srcs))
+}
+
+// injectPartFault marks part k suspect on behalf of an armed fault plan
+// and returns the error the real fault would have produced.
+func (s *Store) injectPartFault(k int, kind string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || k < 0 || k >= len(s.parts) {
+		return nil
+	}
+	p := s.parts[k]
+	if !p.suspect.Load() {
+		s.markSuspectLocked(p, fmt.Sprintf("%s: %s (%s section, replica %d of %d)",
+			p.path, kind, sectionName(sValHeap), p.srcs[p.active].mp.Replica, len(p.srcs)))
+	}
+	return s.faultErrLocked(p)
+}
+
+// KillReplica marks part k's active replica suspect, exactly as a
+// detected fault would — the hook failover benches and tests use.
+func (s *Store) KillReplica(k int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if k < 0 || k >= len(s.parts) {
+		return fmt.Errorf("store: no part %d", k)
+	}
+	p := s.parts[k]
+	s.markSuspectLocked(p, fmt.Sprintf("%s: replica killed (test hook)", p.path))
+	return nil
+}
+
+// FailoverSuspects swaps every suspect part to its next healthy replica
+// and reassembles the affected documents, returning the fresh entries
+// for re-registration. The replaced mappings are condemned — kept
+// mapped until Close — so results still aliasing them stay readable;
+// the caller is expected to hold its execution drain barrier so the
+// re-registered fragments are what retries see. A suspect part with no
+// healthy replica left becomes exhausted (terminal); that is not an
+// error here — the next probe reports it.
+func (s *Store) FailoverSuspects() ([]DocEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failoverSuspectsLocked()
+}
+
+func (s *Store) failoverSuspectsLocked() ([]DocEntry, error) {
+	if s.closed || s.suspects.Load() == 0 {
+		return nil, nil
+	}
+	healedURIs := make(map[string]bool)
+	for _, p := range s.parts {
+		if !p.suspect.Load() || p.exhausted {
+			continue
+		}
+		if s.failoverPartLocked(p) {
+			healedURIs[p.uri] = true
+		}
+	}
+	return s.reassembleLocked(healedURIs)
+}
+
+// failoverPartLocked switches p to its next healthy replica. The old
+// source stays in the rotation (not marked bad): if its bytes are truly
+// corrupt a later open re-validates and rejects them, while a transient
+// fault (or an injected one) leaves a perfectly good standby. Returns
+// whether the part was healed. Caller holds s.mu.
+func (s *Store) failoverPartLocked(p *part) bool {
+	n := len(p.srcs)
+	for off := 1; off < n; off++ {
+		idx := (p.active + off) % n
+		cand := p.srcs[idx]
+		if cand.bad {
+			continue
+		}
+		m, err := openMapping(cand.path(), cand.mp, true)
+		if err != nil {
+			cand.bad = true
+			continue
+		}
+		// Condemn the old mapping: in-flight results may alias it. Drop
+		// its pages now — the mapping stays valid, the RAM is released.
+		dropPages(p.f, p.data, p.mapped)
+		s.condemned = append(s.condemned, mapping{f: p.f, data: p.data, mapped: p.mapped})
+		s.mappedBytes += int64(len(m.data))
+		obs.StoreMappedBytes.Add(int64(len(m.data)))
+		obs.StorePartsOpen.Add(1)
+		p.path = cand.path()
+		p.f, p.data, p.mapped, p.hdr = m.f, m.data, m.mapped, m.hdr
+		p.active = idx
+		p.verified = true
+		p.faultMsg = ""
+		p.lastResident = 0
+		p.suspect.Store(false)
+		s.suspects.Add(-1)
+		obs.StoreSuspectParts.Add(-1)
+		s.failovers++
+		obs.StoreFailoverTotal.Inc()
+		return true
+	}
+	p.exhausted = true
+	return false
+}
+
+// reassembleLocked rebuilds the fragments of the given URIs from their
+// (post-failover) parts and updates s.docs. Caller holds s.mu.
+func (s *Store) reassembleLocked(uris map[string]bool) ([]DocEntry, error) {
+	if len(uris) == 0 {
+		return nil, nil
+	}
+	var healed []DocEntry
+	for i := range s.docs {
+		uri := s.docs[i].URI
+		if !uris[uri] {
+			continue
+		}
+		var docParts []*part
+		for _, p := range s.parts {
+			if p.uri == uri {
+				docParts = append(docParts, p)
+			}
+		}
+		frag, err := assembleDoc(uri, docParts)
+		if err != nil {
+			// The replica passed its CRCs but assembles invalid: treat
+			// its part as bad too and leave the old fragment serving.
+			return healed, err
+		}
+		s.docs[i].Frag = frag
+		healed = append(healed, s.docs[i])
+	}
+	return healed, nil
 }
 
 // PartInfo describes one mapped part file for observability.
@@ -347,19 +691,40 @@ type PartInfo struct {
 	Nodes         int64  `json:"nodes"`
 	MappedBytes   int64  `json:"mapped_bytes"`
 	ResidentBytes int64  `json:"resident_bytes"`
+	// Replica is the replica number of the serving copy; Replicas the
+	// mounted copies of this part (1 = unreplicated).
+	Replica  int `json:"replica"`
+	Replicas int `json:"replicas"`
+	// State is "healthy", "suspect" (fault observed, failover pending)
+	// or "exhausted" (every replica bad).
+	State string `json:"state"`
 }
 
-// StatsSnapshot is a point-in-time view of the store's footprint.
+// StatsSnapshot is a point-in-time view of the store's footprint and
+// health.
 type StatsSnapshot struct {
 	Docs          []string   `json:"docs"`
 	Parts         []PartInfo `json:"parts"`
 	MappedBytes   int64      `json:"mapped_bytes"`
 	ResidentBytes int64      `json:"resident_bytes"`
 	SpineBytes    int64      `json:"spine_bytes"`
+	// Health summarizes the store: "ok", "degraded" (served by failover
+	// or carrying quarantined files, all parts healthy), "suspect"
+	// (fault observed, failover pending) or "failed" (a part has no
+	// healthy replica left).
+	Health string `json:"health"`
+	// SuspectParts counts parts awaiting failover; Condemned the
+	// replaced mappings kept alive for in-flight readers; Failovers the
+	// replica switches (mount-time and mid-query) this store performed.
+	SuspectParts int   `json:"suspect_parts"`
+	Condemned    int   `json:"condemned"`
+	Failovers    int64 `json:"failovers"`
+	// Scrub reports the background scrubber's counters.
+	Scrub ScrubStats `json:"scrub"`
 }
 
-// Stats reports the store's documents, parts and footprint as of the
-// last Sample.
+// Stats reports the store's documents, parts, footprint and health as
+// of the last Sample.
 func (s *Store) Stats() StatsSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -367,17 +732,39 @@ func (s *Store) Stats() StatsSnapshot {
 		MappedBytes:   s.mappedBytes,
 		ResidentBytes: s.residentBytes,
 		SpineBytes:    s.spineBytes,
+		SuspectParts:  int(s.suspects.Load()),
+		Condemned:     len(s.condemned),
+		Failovers:     s.failovers,
+		Scrub:         s.scrubStats,
 	}
 	for _, d := range s.docs {
 		out.Docs = append(out.Docs, d.URI)
 	}
+	health := "ok"
+	if s.failovers > 0 || s.quarantined > 0 {
+		health = "degraded"
+	}
 	for _, p := range s.parts {
+		state := "healthy"
+		if p.suspect.Load() {
+			state = "suspect"
+			if health != "failed" {
+				health = "suspect"
+			}
+		}
+		if p.exhausted {
+			state = "exhausted"
+			health = "failed"
+		}
 		out.Parts = append(out.Parts, PartInfo{
 			URI: p.uri, Path: p.path, Index: p.index, Of: p.of,
 			Nodes: int64(p.hdr.nodes), MappedBytes: int64(len(p.data)),
 			ResidentBytes: p.lastResident,
+			Replica:       p.srcs[p.active].mp.Replica, Replicas: len(p.srcs),
+			State: state,
 		})
 	}
+	out.Health = health
 	return out
 }
 
@@ -426,7 +813,9 @@ func (s *Store) Sample() (mapped, resident int64) {
 }
 
 // sampleLocked refreshes per-part residency, counts fault deltas, and
-// updates the gauges. Caller holds s.mu.
+// updates the gauges. Caller holds s.mu. Condemned mappings are not
+// sampled: their pages were dropped at condemnation and only fault back
+// if a still-live result reads them.
 func (s *Store) sampleLocked() int64 {
 	total := int64(0)
 	ps := int64(pageSize())
@@ -443,25 +832,31 @@ func (s *Store) sampleLocked() int64 {
 	return total
 }
 
-// Close unmaps every part and releases the ledger account. The
-// fragments returned by Docs alias the mappings and must not be read
-// afterwards.
+// Close stops the scrubber, unmaps every part (condemned mappings
+// included) and releases the ledger account. The fragments returned by
+// Docs alias the mappings and must not be read afterwards.
 func (s *Store) Close() {
 	if s == nil {
 		return
 	}
+	s.StopScrub()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return
 	}
 	s.closed = true
-	obs.StorePartsOpen.Add(-int64(len(s.parts)))
+	obs.StorePartsOpen.Add(-int64(len(s.parts) + len(s.condemned)))
 	obs.StoreMappedBytes.Add(-s.mappedBytes)
 	obs.StoreResidentBytes.Add(-s.residentBytes)
+	obs.StoreSuspectParts.Add(-s.suspects.Load())
 	for _, p := range s.parts {
 		p.close()
 	}
+	for i := range s.condemned {
+		s.condemned[i].close()
+	}
+	s.condemned = nil
 	if s.acct != nil {
 		s.acct.Close()
 	}

@@ -74,12 +74,44 @@ echo "== tree-walking executor"
 run_diff "Q8 ooc walked" "$workdir/ref.out" \
     -compile=false -store "$workdir/single" -store-bytes "$budget" -xq 8
 
-# Corruption must be diagnosed, not served: clobbering one byte in a
-# part file's node-kind column (offset 300, past the 232-byte header;
-# kind values are small, so 0xFF always breaks the section checksum)
-# has to fail the mount with the corrupt-store exit code (6), never
-# produce output.
-echo "== corrupt store refuses to mount"
+# Corruption with a standby replica must be healed, not served and not
+# fatal: flip one byte in one replica of one part of a 2-replica store,
+# and the query must still exit 0 with byte-identical output, recovered
+# via failover to the healthy copy (store_failover_total >= 1).
+echo "== replicated store recovers from a byte flip"
+"$workdir/xmarkgen" -factor "$factor" -store "$workdir/replicated" -shards 2 -replicas 2
+rep_dirs="$workdir/replicated/shard0,$workdir/replicated/shard1"
+"$workdir/exrquy" -store "$rep_dirs" -xq 1 >"$workdir/rep-ref.out"
+flipped=$(find "$workdir/replicated/shard0" -name '*.part000.xrq' | head -1)
+printf '\xff' | dd of="$flipped" bs=1 count=1 seek=300 conv=notrunc status=none
+"$workdir/exrquy" -store "$rep_dirs" -metrics -xq 1 \
+    >"$workdir/rep-got.out" 2>"$workdir/rep-metrics.err" \
+    || { echo "FAIL: replicated store did not recover (exit $?)"; cat "$workdir/rep-metrics.err"; exit 1; }
+cmp -s "$workdir/rep-ref.out" "$workdir/rep-got.out" \
+    || { echo "FAIL: recovered output differs"; exit 1; }
+failovers=$(awk '/^store_failover_total /{print $2}' "$workdir/rep-metrics.err")
+[ "${failovers:-0}" -ge 1 ] || { echo "FAIL: no failover recorded (store_failover_total=${failovers:-absent})"; exit 1; }
+echo "   ok: byte flip healed by failover (store_failover_total=$failovers), output byte-identical"
+
+# The scrubber must repair the flipped replica in place: quarantine the
+# bad file, restore it from the healthy copy, and leave the directories
+# mounting clean again.
+echo "== scrubber quarantines and re-replicates the flipped replica"
+"$workdir/exrquy" -store "$rep_dirs" -scrub 2>"$workdir/scrub.err"
+grep -q '1 quarantined, 1 re-replicated' "$workdir/scrub.err" \
+    || { echo "FAIL: scrub did not repair the replica"; cat "$workdir/scrub.err"; exit 1; }
+[ -f "$flipped.quarantine" ] || { echo "FAIL: no quarantine file next to $flipped"; exit 1; }
+[ -f "$flipped" ] || { echo "FAIL: replica not restored at $flipped"; exit 1; }
+run_diff "Q1 after scrub repair" "$workdir/rep-ref.out" -store "$rep_dirs" -xq 1
+echo "   ok: replica quarantined, restored, store mounts clean"
+
+# Without a replica the same corruption must be diagnosed, not served:
+# clobbering one byte in a part file's node-kind column (offset 300,
+# past the 232-byte header; kind values are small, so 0xFF always
+# breaks the section checksum) has to fail the mount with the
+# corrupt-store exit code (6) — exit 6 on a replicated store means
+# every replica of some part is bad — never produce output.
+echo "== corrupt unreplicated store refuses to mount"
 part=$(find "$workdir/single" -name '*.xrq' | head -1)
 printf '\xff' | dd of="$part" bs=1 count=1 seek=300 conv=notrunc status=none
 set +e
